@@ -1,0 +1,776 @@
+//! The on-disk chunked array: a chunk directory over large objects.
+//!
+//! One large object per chunk, appended in chunk-number order so that a
+//! chunk-ordered scan reads pages in disk order (§4.2's first
+//! optimization depends on this layout). Empty chunks occupy zero pages.
+//! The directory ("the OID and the length of each chunk", §3.3) is the
+//! LOB store's directory; [`ChunkedArray::meta_to_bytes`] persists it
+//! together with the shape.
+
+use std::sync::Arc;
+
+use molap_storage::util::{read_u32, read_u64, write_u32, write_u64};
+use molap_storage::{BufferPool, LobId, LobStore};
+
+use crate::chunk::{ChunkBuilder, CompressedChunk, DenseChunk};
+use crate::geometry::Shape;
+use crate::{lzw, ArrayError, Result};
+
+/// On-disk representation of each chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkFormat {
+    /// The paper's chunk-offset compression (§3.3): valid cells only,
+    /// sorted `(offset, data)` pairs.
+    ChunkOffset = 0,
+    /// Every cell materialized plus a validity bitmap (the naive array).
+    Dense = 1,
+    /// Dense serialization behind LZW — the generic Paradise array's
+    /// format (§3.1), kept as an ablation baseline.
+    DenseLzw = 2,
+}
+
+impl ChunkFormat {
+    fn from_u32(v: u32) -> Result<Self> {
+        match v {
+            0 => Ok(ChunkFormat::ChunkOffset),
+            1 => Ok(ChunkFormat::Dense),
+            2 => Ok(ChunkFormat::DenseLzw),
+            _ => Err(ArrayError::Corrupt("unknown chunk format")),
+        }
+    }
+}
+
+/// A decoded chunk in whichever representation it was stored.
+#[derive(Clone, Debug)]
+pub enum Chunk {
+    /// Chunk-offset compressed.
+    Compressed(CompressedChunk),
+    /// Dense (possibly decoded from LZW).
+    Dense(DenseChunk),
+}
+
+impl Chunk {
+    /// Number of valid cells.
+    pub fn valid_cells(&self) -> u64 {
+        match self {
+            Chunk::Compressed(c) => c.len() as u64,
+            Chunk::Dense(d) => d.valid_cells(),
+        }
+    }
+
+    /// Probes for a cell at `offset`.
+    #[inline]
+    pub fn probe(&self, offset: u32) -> Option<&[i64]> {
+        match self {
+            Chunk::Compressed(c) => c.probe(offset),
+            Chunk::Dense(d) => d.probe(offset),
+        }
+    }
+
+    /// Calls `f(offset, measures)` for every valid cell in offset order.
+    pub fn for_each_valid<F: FnMut(u32, &[i64])>(&self, mut f: F) {
+        match self {
+            Chunk::Compressed(c) => {
+                for (off, v) in c.iter() {
+                    f(off, v);
+                }
+            }
+            Chunk::Dense(d) => {
+                for (off, v) in d.iter_valid() {
+                    f(off, v);
+                }
+            }
+        }
+    }
+
+    /// Converts to the compressed representation (cheap if already so).
+    pub fn into_compressed(self) -> CompressedChunk {
+        match self {
+            Chunk::Compressed(c) => c,
+            Chunk::Dense(d) => d.compress(),
+        }
+    }
+}
+
+/// A chunked n-dimensional array stored on buffer-pool pages.
+pub struct ChunkedArray {
+    shape: Shape,
+    n_measures: usize,
+    format: ChunkFormat,
+    lobs: LobStore,
+    valid_cells: u64,
+}
+
+impl ChunkedArray {
+    /// The array geometry.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Measures per cell.
+    pub fn n_measures(&self) -> usize {
+        self.n_measures
+    }
+
+    /// Storage format of the chunks.
+    pub fn format(&self) -> ChunkFormat {
+        self.format
+    }
+
+    /// Number of valid cells in the whole array.
+    pub fn valid_cells(&self) -> u64 {
+        self.valid_cells
+    }
+
+    /// Fraction of logical cells that are valid.
+    pub fn density(&self) -> f64 {
+        self.valid_cells as f64 / self.shape.total_cells() as f64
+    }
+
+    /// On-disk footprint in pages.
+    pub fn total_pages(&self) -> u64 {
+        self.lobs.total_pages()
+    }
+
+    /// Logical (pre-page-rounding) byte footprint of all chunks.
+    pub fn total_bytes(&self) -> u64 {
+        self.lobs.total_bytes()
+    }
+
+    /// Reads and decodes chunk `chunk_no`.
+    pub fn read_chunk(&self, chunk_no: u64) -> Result<Chunk> {
+        let id = LobId(chunk_no as u32);
+        if self.lobs.object_len(id)? == 0 {
+            return Ok(match self.format {
+                ChunkFormat::ChunkOffset => {
+                    Chunk::Compressed(CompressedChunk::empty(self.n_measures))
+                }
+                _ => Chunk::Dense(DenseChunk::new(
+                    self.shape.chunk_cells() as usize,
+                    self.n_measures,
+                )),
+            });
+        }
+        let bytes = self.lobs.read(id)?;
+        self.decode_chunk(&bytes)
+    }
+
+    fn decode_chunk(&self, bytes: &[u8]) -> Result<Chunk> {
+        match self.format {
+            ChunkFormat::ChunkOffset => Ok(Chunk::Compressed(CompressedChunk::from_bytes(bytes)?)),
+            ChunkFormat::Dense => Ok(Chunk::Dense(DenseChunk::from_bytes(bytes)?)),
+            ChunkFormat::DenseLzw => {
+                let raw = lzw::decompress(bytes)?;
+                Ok(Chunk::Dense(DenseChunk::from_bytes(&raw)?))
+            }
+        }
+    }
+
+    fn encode_chunk(&self, chunk: &Chunk) -> Vec<u8> {
+        match (self.format, chunk) {
+            (ChunkFormat::ChunkOffset, Chunk::Compressed(c)) => {
+                if c.is_empty() {
+                    Vec::new()
+                } else {
+                    c.to_bytes()
+                }
+            }
+            (ChunkFormat::Dense, Chunk::Dense(d)) => {
+                if d.valid_cells() == 0 {
+                    Vec::new()
+                } else {
+                    d.to_bytes()
+                }
+            }
+            (ChunkFormat::DenseLzw, Chunk::Dense(d)) => {
+                if d.valid_cells() == 0 {
+                    Vec::new()
+                } else {
+                    lzw::compress(&d.to_bytes())
+                }
+            }
+            _ => unreachable!("chunk representation does not match array format"),
+        }
+    }
+
+    /// Reads the measures of the cell at `coords`, if valid.
+    ///
+    /// Convenience point lookup: decodes the whole containing chunk.
+    /// Batch access should use [`ChunkedArray::read_chunk`] /
+    /// [`ChunkedArray::for_each_cell`].
+    pub fn get(&self, coords: &[u32]) -> Result<Option<Vec<i64>>> {
+        let (chunk_no, offset) = self.shape.locate(coords)?;
+        let chunk = self.read_chunk(chunk_no)?;
+        Ok(chunk.probe(offset).map(|v| v.to_vec()))
+    }
+
+    /// Writes (inserts or overwrites) the cell at `coords` — the ADT's
+    /// Write function (§3.5). Rewrites the containing chunk's object.
+    pub fn set(&mut self, coords: &[u32], values: &[i64]) -> Result<()> {
+        if values.len() != self.n_measures {
+            return Err(ArrayError::Geometry("measure arity mismatch".into()));
+        }
+        let (chunk_no, offset) = self.shape.locate(coords)?;
+        let chunk = self.read_chunk(chunk_no)?;
+        let was_valid;
+        let new_chunk = match chunk {
+            Chunk::Compressed(c) => {
+                was_valid = c.probe(offset).is_some();
+                let mut b = ChunkBuilder::new(self.n_measures);
+                for (off, v) in c.iter() {
+                    if off != offset {
+                        b.add(off, v);
+                    }
+                }
+                b.add(offset, values);
+                Chunk::Compressed(b.build()?)
+            }
+            Chunk::Dense(mut d) => {
+                was_valid = d.probe(offset).is_some();
+                d.set(offset, values);
+                Chunk::Dense(d)
+            }
+        };
+        let bytes = self.encode_chunk(&new_chunk);
+        self.lobs.overwrite(LobId(chunk_no as u32), &bytes)?;
+        if !was_valid {
+            self.valid_cells += 1;
+        }
+        Ok(())
+    }
+
+    /// Calls `f(chunk_no, chunk)` for every chunk in chunk-number order
+    /// (which is also disk order).
+    pub fn for_each_chunk<F>(&self, mut f: F) -> Result<()>
+    where
+        F: FnMut(u64, &Chunk),
+    {
+        for chunk_no in 0..self.shape.num_chunks() {
+            let chunk = self.read_chunk(chunk_no)?;
+            f(chunk_no, &chunk);
+        }
+        Ok(())
+    }
+
+    /// Calls `f(coords, measures)` for every valid cell, in chunk order
+    /// then offset order.
+    pub fn for_each_cell<F>(&self, mut f: F) -> Result<()>
+    where
+        F: FnMut(&[u32], &[i64]),
+    {
+        let mut coords = vec![0u32; self.shape.n_dims()];
+        for chunk_no in 0..self.shape.num_chunks() {
+            let chunk = self.read_chunk(chunk_no)?;
+            let shape = &self.shape;
+            chunk.for_each_valid(|offset, values| {
+                shape.decode(chunk_no, offset, &mut coords);
+                f(&coords, values);
+            });
+        }
+        Ok(())
+    }
+
+    /// Sums each measure over the axis-aligned box `lo..=hi` — the
+    /// ADT's "sum of a subset" function (§3.5). Chunks that do not
+    /// intersect the box are not read.
+    pub fn sum_region(&self, lo: &[u32], hi: &[u32]) -> Result<Vec<i64>> {
+        let n = self.shape.n_dims();
+        if lo.len() != n || hi.len() != n {
+            return Err(ArrayError::Geometry("region arity mismatch".into()));
+        }
+        for d in 0..n {
+            if lo[d] > hi[d] || hi[d] >= self.shape.dims()[d] {
+                return Err(ArrayError::Geometry(format!(
+                    "region [{}..={}] invalid for dimension {d}",
+                    lo[d], hi[d]
+                )));
+            }
+        }
+        let mut sums = vec![0i64; self.n_measures];
+        // Odometer over the chunk-grid sub-box covering the region.
+        let lo_chunk: Vec<u32> = (0..n).map(|d| self.shape.chunk_coord(d, lo[d])).collect();
+        let hi_chunk: Vec<u32> = (0..n).map(|d| self.shape.chunk_coord(d, hi[d])).collect();
+        let mut grid = lo_chunk.clone();
+        let mut coords = vec![0u32; n];
+        loop {
+            let chunk_no: u64 = (0..n)
+                .map(|d| grid[d] as u64 * self.shape.chunk_stride(d))
+                .sum();
+            let chunk = self.read_chunk(chunk_no)?;
+            let shape = &self.shape;
+            chunk.for_each_valid(|offset, values| {
+                shape.decode(chunk_no, offset, &mut coords);
+                if (0..n).all(|d| lo[d] <= coords[d] && coords[d] <= hi[d]) {
+                    for (s, &v) in sums.iter_mut().zip(values) {
+                        *s += v;
+                    }
+                }
+            });
+            // Advance the odometer.
+            let mut d = n;
+            loop {
+                if d == 0 {
+                    return Ok(sums);
+                }
+                d -= 1;
+                if grid[d] < hi_chunk[d] {
+                    grid[d] += 1;
+                    grid[d + 1..].copy_from_slice(&lo_chunk[d + 1..]);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Extracts the sub-array `lo..=hi` into a new array on `pool` — the
+    /// ADT's slicing function (§3.5). Coordinates are rebased to zero;
+    /// chunk dimensions are clamped to the new extents.
+    pub fn slice(&self, lo: &[u32], hi: &[u32], pool: Arc<BufferPool>) -> Result<ChunkedArray> {
+        let n = self.shape.n_dims();
+        // Reuse sum_region's validation by computing it first (cheap
+        // relative to the copy, and keeps error behaviour identical).
+        for d in 0..n {
+            if d >= lo.len() || d >= hi.len() || lo[d] > hi[d] || hi[d] >= self.shape.dims()[d] {
+                return Err(ArrayError::Geometry("invalid slice region".into()));
+            }
+        }
+        let new_dims: Vec<u32> = (0..n).map(|d| hi[d] - lo[d] + 1).collect();
+        let new_chunk_dims: Vec<u32> = (0..n)
+            .map(|d| self.shape.chunk_dims()[d].min(new_dims[d]))
+            .collect();
+        let new_shape = Shape::new(new_dims, new_chunk_dims)?;
+        let mut builder = ArrayBuilder::new(new_shape, self.n_measures, self.format);
+        let mut rebased = vec![0u32; n];
+        self.for_each_cell(|coords, values| {
+            if (0..n).all(|d| lo[d] <= coords[d] && coords[d] <= hi[d]) {
+                for d in 0..n {
+                    rebased[d] = coords[d] - lo[d];
+                }
+                // Coordinates are in range by construction.
+                builder.add(&rebased, values).unwrap();
+            }
+        })?;
+        builder.build(pool)
+    }
+
+    /// Serializes shape + format + counters + chunk directory.
+    pub fn meta_to_bytes(&self) -> Vec<u8> {
+        let shape = self.shape.to_bytes();
+        let dir = self.lobs.directory_to_bytes();
+        let mut out = vec![0u8; 24];
+        write_u32(&mut out, 0, self.n_measures as u32);
+        write_u32(&mut out, 4, self.format as u32);
+        write_u64(&mut out, 8, self.valid_cells);
+        write_u32(&mut out, 16, shape.len() as u32);
+        write_u32(&mut out, 20, dir.len() as u32);
+        out.extend_from_slice(&shape);
+        out.extend_from_slice(&dir);
+        out
+    }
+
+    /// Inverse of [`ChunkedArray::meta_to_bytes`] over the same pool.
+    pub fn from_meta_bytes(pool: Arc<BufferPool>, bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 24 {
+            return Err(ArrayError::Corrupt("array meta header"));
+        }
+        let n_measures = read_u32(bytes, 0) as usize;
+        let format = ChunkFormat::from_u32(read_u32(bytes, 4))?;
+        let valid_cells = read_u64(bytes, 8);
+        let shape_len = read_u32(bytes, 16) as usize;
+        let dir_len = read_u32(bytes, 20) as usize;
+        if bytes.len() < 24 + shape_len + dir_len {
+            return Err(ArrayError::Corrupt("array meta truncated"));
+        }
+        let shape = Shape::from_bytes(&bytes[24..24 + shape_len])?;
+        let lobs =
+            LobStore::from_directory_bytes(pool, &bytes[24 + shape_len..24 + shape_len + dir_len])?;
+        Ok(ChunkedArray {
+            shape,
+            n_measures,
+            format,
+            lobs,
+            valid_cells,
+        })
+    }
+}
+
+/// Accumulates cells in memory, then writes chunks in chunk-number
+/// order (disk order) in one pass.
+pub struct ArrayBuilder {
+    shape: Shape,
+    n_measures: usize,
+    format: ChunkFormat,
+    /// (chunk_no, offset) per added cell.
+    positions: Vec<(u64, u32)>,
+    values: Vec<i64>,
+}
+
+impl ArrayBuilder {
+    /// Creates a builder for an array of the given geometry and format.
+    pub fn new(shape: Shape, n_measures: usize, format: ChunkFormat) -> Self {
+        assert!(n_measures > 0, "cells must carry at least one measure");
+        ArrayBuilder {
+            shape,
+            n_measures,
+            format,
+            positions: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of cells added.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if no cells were added.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Adds a valid cell at `coords`.
+    pub fn add(&mut self, coords: &[u32], values: &[i64]) -> Result<()> {
+        if values.len() != self.n_measures {
+            return Err(ArrayError::Geometry("measure arity mismatch".into()));
+        }
+        let pos = self.shape.locate(coords)?;
+        self.positions.push(pos);
+        self.values.extend_from_slice(values);
+        Ok(())
+    }
+
+    /// Sorts cells into chunk order and writes one large object per
+    /// chunk (empty chunks become zero-length objects).
+    pub fn build(self, pool: Arc<BufferPool>) -> Result<ChunkedArray> {
+        let ArrayBuilder {
+            shape,
+            n_measures,
+            format,
+            positions,
+            values,
+        } = self;
+        let mut order: Vec<u32> = (0..positions.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| positions[i as usize]);
+        for w in order.windows(2) {
+            if positions[w[0] as usize] == positions[w[1] as usize] {
+                return Err(ArrayError::Geometry("duplicate cell".into()));
+            }
+        }
+
+        let lobs = LobStore::new(pool);
+        let valid_cells = positions.len() as u64;
+        let chunk_cells = shape.chunk_cells() as usize;
+        let mut cursor = 0usize;
+        for chunk_no in 0..shape.num_chunks() {
+            let start = cursor;
+            while cursor < order.len() && positions[order[cursor] as usize].0 == chunk_no {
+                cursor += 1;
+            }
+            let entries = &order[start..cursor];
+            let bytes = if entries.is_empty() {
+                Vec::new()
+            } else {
+                match format {
+                    ChunkFormat::ChunkOffset => {
+                        let mut b = ChunkBuilder::new(n_measures);
+                        for &i in entries {
+                            let (_, off) = positions[i as usize];
+                            let vi = i as usize * n_measures;
+                            b.add(off, &values[vi..vi + n_measures]);
+                        }
+                        b.build()?.to_bytes()
+                    }
+                    ChunkFormat::Dense | ChunkFormat::DenseLzw => {
+                        let mut d = DenseChunk::new(chunk_cells, n_measures);
+                        for &i in entries {
+                            let (_, off) = positions[i as usize];
+                            let vi = i as usize * n_measures;
+                            d.set(off, &values[vi..vi + n_measures]);
+                        }
+                        let raw = d.to_bytes();
+                        if format == ChunkFormat::DenseLzw {
+                            lzw::compress(&raw)
+                        } else {
+                            raw
+                        }
+                    }
+                }
+            };
+            lobs.append(&bytes)?;
+        }
+        debug_assert_eq!(lobs.len() as u64, shape.num_chunks());
+        Ok(ChunkedArray {
+            shape,
+            n_measures,
+            format,
+            lobs,
+            valid_cells,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molap_storage::MemDisk;
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 1024))
+    }
+
+    fn build_sample(format: ChunkFormat) -> ChunkedArray {
+        let shape = Shape::new(vec![8, 8, 8], vec![4, 4, 4]).unwrap();
+        let mut b = ArrayBuilder::new(shape, 1, format);
+        // Cells at every coordinate where x+y+z ≡ 0 mod 5.
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                for z in 0..8u32 {
+                    if (x + y + z) % 5 == 0 {
+                        b.add(&[x, y, z], &[(x * 100 + y * 10 + z) as i64]).unwrap();
+                    }
+                }
+            }
+        }
+        b.build(pool()).unwrap()
+    }
+
+    fn check_contents(a: &ChunkedArray) {
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                for z in 0..8u32 {
+                    let got = a.get(&[x, y, z]).unwrap();
+                    if (x + y + z) % 5 == 0 {
+                        assert_eq!(got, Some(vec![(x * 100 + y * 10 + z) as i64]));
+                    } else {
+                        assert_eq!(got, None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_and_get_all_formats() {
+        for format in [
+            ChunkFormat::ChunkOffset,
+            ChunkFormat::Dense,
+            ChunkFormat::DenseLzw,
+        ] {
+            let a = build_sample(format);
+            assert_eq!(a.format(), format);
+            check_contents(&a);
+        }
+    }
+
+    #[test]
+    fn valid_cell_count_and_density() {
+        let a = build_sample(ChunkFormat::ChunkOffset);
+        let expect = (0..8u32)
+            .flat_map(|x| (0..8u32).flat_map(move |y| (0..8u32).map(move |z| (x, y, z))))
+            .filter(|(x, y, z)| (x + y + z) % 5 == 0)
+            .count() as u64;
+        assert_eq!(a.valid_cells(), expect);
+        assert!((a.density() - expect as f64 / 512.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_cells_rejected() {
+        let shape = Shape::new(vec![4], vec![2]).unwrap();
+        let mut b = ArrayBuilder::new(shape, 1, ChunkFormat::ChunkOffset);
+        b.add(&[1], &[1]).unwrap();
+        b.add(&[1], &[2]).unwrap();
+        assert!(matches!(b.build(pool()), Err(ArrayError::Geometry(_))));
+    }
+
+    #[test]
+    fn for_each_cell_visits_all_in_chunk_order() {
+        let a = build_sample(ChunkFormat::ChunkOffset);
+        let mut count = 0u64;
+        let mut last = (0u64, 0u32);
+        let mut first = true;
+        a.for_each_cell(|coords, values| {
+            assert_eq!(
+                values[0],
+                (coords[0] * 100 + coords[1] * 10 + coords[2]) as i64
+            );
+            let pos = a.shape().locate(coords).unwrap();
+            if !first {
+                assert!(pos > last, "cells must arrive in (chunk, offset) order");
+            }
+            first = false;
+            last = pos;
+            count += 1;
+        })
+        .unwrap();
+        assert_eq!(count, a.valid_cells());
+    }
+
+    #[test]
+    fn empty_chunks_use_no_pages() {
+        let shape = Shape::new(vec![100], vec![10]).unwrap();
+        let mut b = ArrayBuilder::new(shape, 1, ChunkFormat::ChunkOffset);
+        b.add(&[5], &[1]).unwrap(); // only chunk 0 populated
+        let a = b.build(pool()).unwrap();
+        assert_eq!(a.total_pages(), 1, "nine empty chunks must cost nothing");
+        assert_eq!(a.get(&[5]).unwrap(), Some(vec![1]));
+        assert_eq!(a.get(&[95]).unwrap(), None);
+    }
+
+    #[test]
+    fn set_inserts_and_overwrites() {
+        let mut a = build_sample(ChunkFormat::ChunkOffset);
+        let before = a.valid_cells();
+        // Overwrite an existing cell.
+        assert!(a.get(&[0, 0, 0]).unwrap().is_some());
+        a.set(&[0, 0, 0], &[999]).unwrap();
+        assert_eq!(a.get(&[0, 0, 0]).unwrap(), Some(vec![999]));
+        assert_eq!(a.valid_cells(), before);
+        // Insert a new cell.
+        assert!(a.get(&[1, 0, 0]).unwrap().is_none());
+        a.set(&[1, 0, 0], &[111]).unwrap();
+        assert_eq!(a.get(&[1, 0, 0]).unwrap(), Some(vec![111]));
+        assert_eq!(a.valid_cells(), before + 1);
+        // Arity errors.
+        assert!(a.set(&[0, 0, 0], &[1, 2]).is_err());
+        assert!(a.set(&[9, 0, 0], &[1]).is_err());
+    }
+
+    #[test]
+    fn set_works_on_dense_formats() {
+        for format in [ChunkFormat::Dense, ChunkFormat::DenseLzw] {
+            let mut a = build_sample(format);
+            a.set(&[1, 0, 0], &[42]).unwrap();
+            assert_eq!(a.get(&[1, 0, 0]).unwrap(), Some(vec![42]));
+            check_contents_after_one_insert(&a);
+        }
+    }
+
+    fn check_contents_after_one_insert(a: &ChunkedArray) {
+        // Original pattern must be intact apart from the inserted cell.
+        for x in 0..8u32 {
+            if x % 5 == 0 || x == 1 {
+                assert!(a.get(&[x, 0, 0]).unwrap().is_some());
+            } else {
+                assert!(a.get(&[x, 0, 0]).unwrap().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn sum_region_matches_naive() {
+        let a = build_sample(ChunkFormat::ChunkOffset);
+        let naive = |lo: [u32; 3], hi: [u32; 3]| -> i64 {
+            let mut s = 0;
+            for x in lo[0]..=hi[0] {
+                for y in lo[1]..=hi[1] {
+                    for z in lo[2]..=hi[2] {
+                        if (x + y + z) % 5 == 0 {
+                            s += (x * 100 + y * 10 + z) as i64;
+                        }
+                    }
+                }
+            }
+            s
+        };
+        for (lo, hi) in [
+            ([0, 0, 0], [7, 7, 7]),
+            ([0, 0, 0], [0, 0, 0]),
+            ([2, 3, 1], [6, 7, 4]),
+            ([4, 4, 4], [7, 7, 7]),
+            ([1, 1, 1], [2, 2, 2]),
+        ] {
+            assert_eq!(
+                a.sum_region(&lo, &hi).unwrap(),
+                vec![naive(lo, hi)],
+                "region {lo:?}..={hi:?}"
+            );
+        }
+        assert!(a.sum_region(&[5, 0, 0], &[4, 7, 7]).is_err());
+        assert!(a.sum_region(&[0, 0, 0], &[8, 7, 7]).is_err());
+    }
+
+    #[test]
+    fn sum_region_skips_disjoint_chunks() {
+        let p = pool();
+        let shape = Shape::new(vec![100], vec![10]).unwrap();
+        let mut b = ArrayBuilder::new(shape, 1, ChunkFormat::ChunkOffset);
+        for x in 0..100u32 {
+            b.add(&[x], &[1]).unwrap();
+        }
+        let a = b.build(p.clone()).unwrap();
+        p.clear().unwrap();
+        let before = p.stats().snapshot();
+        assert_eq!(a.sum_region(&[20], &[29]).unwrap(), vec![10]);
+        let delta = p.stats().snapshot().since(&before);
+        assert_eq!(delta.physical_reads, 1, "only chunk 2 may be read");
+    }
+
+    #[test]
+    fn slice_extracts_rebased_subarray() {
+        let a = build_sample(ChunkFormat::ChunkOffset);
+        let s = a.slice(&[2, 2, 2], &[5, 6, 7], pool()).unwrap();
+        assert_eq!(s.shape().dims(), &[4, 5, 6]);
+        for x in 0..4u32 {
+            for y in 0..5u32 {
+                for z in 0..6u32 {
+                    let orig = a.get(&[x + 2, y + 2, z + 2]).unwrap();
+                    assert_eq!(s.get(&[x, y, z]).unwrap(), orig);
+                }
+            }
+        }
+        assert!(a.slice(&[5, 0, 0], &[4, 0, 0], pool()).is_err());
+    }
+
+    #[test]
+    fn meta_roundtrip_reopens_array() {
+        let p = pool();
+        let shape = Shape::new(vec![8, 8, 8], vec![4, 4, 4]).unwrap();
+        let mut b = ArrayBuilder::new(shape, 2, ChunkFormat::ChunkOffset);
+        b.add(&[1, 2, 3], &[10, 20]).unwrap();
+        b.add(&[7, 7, 7], &[-1, -2]).unwrap();
+        let a = b.build(p.clone()).unwrap();
+        let meta = a.meta_to_bytes();
+        let reopened = ChunkedArray::from_meta_bytes(p, &meta).unwrap();
+        assert_eq!(reopened.valid_cells(), 2);
+        assert_eq!(reopened.n_measures(), 2);
+        assert_eq!(reopened.get(&[1, 2, 3]).unwrap(), Some(vec![10, 20]));
+        assert_eq!(reopened.get(&[7, 7, 7]).unwrap(), Some(vec![-1, -2]));
+        assert!(ChunkedArray::from_meta_bytes(pool(), &meta[..10]).is_err());
+    }
+
+    #[test]
+    fn storage_footprint_ordering() {
+        // On sparse data: chunk-offset < lzw(dense) < dense (§3.3).
+        let shape = Shape::new(vec![40, 40, 40], vec![20, 20, 20]).unwrap();
+        // 1% density, scattered, deduplicated.
+        let mut coords = std::collections::BTreeSet::new();
+        let mut x = 88172645463325252u64;
+        while coords.len() < 640 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            coords.insert([
+                (x % 40) as u32,
+                ((x >> 8) % 40) as u32,
+                ((x >> 16) % 40) as u32,
+            ]);
+        }
+        let mut sizes = Vec::new();
+        for format in [
+            ChunkFormat::ChunkOffset,
+            ChunkFormat::DenseLzw,
+            ChunkFormat::Dense,
+        ] {
+            let mut b = ArrayBuilder::new(shape.clone(), 1, format);
+            for c in &coords {
+                b.add(c, &[1]).unwrap();
+            }
+            let a = b.build(pool()).unwrap();
+            sizes.push((format, a.total_bytes()));
+        }
+        assert!(
+            sizes[0].1 < sizes[1].1 && sizes[1].1 < sizes[2].1,
+            "expected chunk-offset < lzw < dense, got {sizes:?}"
+        );
+    }
+}

@@ -1,0 +1,382 @@
+//! Array/chunk geometry: every coordinate ↔ position mapping.
+//!
+//! The array is split into a grid of equally-shaped chunks. When a
+//! dimension size is not a multiple of its chunk size, the boundary
+//! chunks are *logically padded* to the full chunk shape: offsets within
+//! a chunk are always computed against the full chunk dimensions (as in
+//! the paper's `s = ((i·c)+j)·c+k` formula), and the padding cells are
+//! simply never valid. Chunk-offset compression stores only valid cells,
+//! so padding costs nothing in the compressed format.
+//!
+//! Both cells-within-chunk and chunks-within-grid are laid out
+//! row-major (last dimension fastest).
+
+use crate::{ArrayError, Result};
+
+/// Geometry of a chunked n-dimensional array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Shape {
+    dims: Vec<u32>,
+    chunk_dims: Vec<u32>,
+    chunks_along: Vec<u32>,
+    /// Row-major strides over the chunk grid.
+    chunk_strides: Vec<u64>,
+    /// Row-major strides of cells within a chunk.
+    cell_strides: Vec<u64>,
+    chunk_cells: u64,
+    num_chunks: u64,
+}
+
+impl Shape {
+    /// Creates a shape; `chunk_dims` must have the same arity as `dims`
+    /// and every chunk dimension must be in `1..=dim`.
+    pub fn new(dims: Vec<u32>, chunk_dims: Vec<u32>) -> Result<Self> {
+        if dims.is_empty() {
+            return Err(ArrayError::Geometry("array must have ≥ 1 dimension".into()));
+        }
+        if dims.len() != chunk_dims.len() {
+            return Err(ArrayError::Geometry(format!(
+                "dims arity {} != chunk arity {}",
+                dims.len(),
+                chunk_dims.len()
+            )));
+        }
+        for (i, (&d, &c)) in dims.iter().zip(&chunk_dims).enumerate() {
+            if d == 0 || c == 0 || c > d {
+                return Err(ArrayError::Geometry(format!(
+                    "dimension {i}: size {d}, chunk {c} (need 1 <= chunk <= size)"
+                )));
+            }
+        }
+        let chunks_along: Vec<u32> = dims
+            .iter()
+            .zip(&chunk_dims)
+            .map(|(&d, &c)| d.div_ceil(c))
+            .collect();
+
+        let mut chunk_cells: u64 = 1;
+        for &c in &chunk_dims {
+            chunk_cells = chunk_cells
+                .checked_mul(c as u64)
+                .ok_or_else(|| ArrayError::Geometry("chunk too large".into()))?;
+        }
+        if chunk_cells > u32::MAX as u64 {
+            return Err(ArrayError::Geometry(
+                "chunk exceeds 2^32 cells; offsets are u32".into(),
+            ));
+        }
+        let mut num_chunks: u64 = 1;
+        for &c in &chunks_along {
+            num_chunks = num_chunks
+                .checked_mul(c as u64)
+                .ok_or_else(|| ArrayError::Geometry("too many chunks".into()))?;
+        }
+
+        let n = dims.len();
+        let mut chunk_strides = vec![1u64; n];
+        let mut cell_strides = vec![1u64; n];
+        for i in (0..n.saturating_sub(1)).rev() {
+            chunk_strides[i] = chunk_strides[i + 1] * chunks_along[i + 1] as u64;
+            cell_strides[i] = cell_strides[i + 1] * chunk_dims[i + 1] as u64;
+        }
+
+        Ok(Shape {
+            dims,
+            chunk_dims,
+            chunks_along,
+            chunk_strides,
+            cell_strides,
+            chunk_cells,
+            num_chunks,
+        })
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn n_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Dimension sizes.
+    #[inline]
+    pub fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    /// Chunk dimension sizes.
+    #[inline]
+    pub fn chunk_dims(&self) -> &[u32] {
+        &self.chunk_dims
+    }
+
+    /// Chunks along each dimension.
+    #[inline]
+    pub fn chunks_along(&self) -> &[u32] {
+        &self.chunks_along
+    }
+
+    /// Total logical cells (`∏ dims`).
+    pub fn total_cells(&self) -> u64 {
+        self.dims.iter().map(|&d| d as u64).product()
+    }
+
+    /// Cells per (padded) chunk.
+    #[inline]
+    pub fn chunk_cells(&self) -> u64 {
+        self.chunk_cells
+    }
+
+    /// Total chunks in the grid.
+    #[inline]
+    pub fn num_chunks(&self) -> u64 {
+        self.num_chunks
+    }
+
+    /// Row-major stride of dimension `d` within a chunk.
+    #[inline]
+    pub fn cell_stride(&self, d: usize) -> u64 {
+        self.cell_strides[d]
+    }
+
+    /// Row-major stride of dimension `d` over the chunk grid.
+    #[inline]
+    pub fn chunk_stride(&self, d: usize) -> u64 {
+        self.chunk_strides[d]
+    }
+
+    fn check_coords(&self, coords: &[u32]) -> Result<()> {
+        if coords.len() != self.dims.len() {
+            return Err(ArrayError::Geometry(format!(
+                "coordinate arity {} != {}",
+                coords.len(),
+                self.dims.len()
+            )));
+        }
+        for (i, (&x, &d)) in coords.iter().zip(&self.dims).enumerate() {
+            if x >= d {
+                return Err(ArrayError::Geometry(format!(
+                    "coordinate {x} out of bounds for dimension {i} (size {d})"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Maps cell coordinates to `(chunk number, offset in chunk)`.
+    pub fn locate(&self, coords: &[u32]) -> Result<(u64, u32)> {
+        self.check_coords(coords)?;
+        Ok(self.locate_unchecked(coords))
+    }
+
+    /// [`Shape::locate`] without bounds checks (hot path; coordinates
+    /// must be in range).
+    #[inline]
+    pub fn locate_unchecked(&self, coords: &[u32]) -> (u64, u32) {
+        let mut chunk = 0u64;
+        let mut offset = 0u64;
+        for (d, &x) in coords.iter().enumerate() {
+            let c = self.chunk_dims[d];
+            chunk += (x / c) as u64 * self.chunk_strides[d];
+            offset += (x % c) as u64 * self.cell_strides[d];
+        }
+        (chunk, offset as u32)
+    }
+
+    /// Inverse of [`Shape::locate`]: reconstructs cell coordinates from
+    /// `(chunk number, offset in chunk)` into `out`.
+    ///
+    /// The result may lie in a chunk's padding (outside the array) when
+    /// the offset addresses a padded cell; [`Shape::coords_in_bounds`]
+    /// distinguishes.
+    pub fn decode(&self, chunk: u64, offset: u32, out: &mut [u32]) {
+        debug_assert_eq!(out.len(), self.dims.len());
+        let mut ch = chunk;
+        let mut off = offset as u64;
+        for (d, out_d) in out.iter_mut().enumerate() {
+            let chunk_coord = (ch / self.chunk_strides[d]) as u32;
+            ch %= self.chunk_strides[d];
+            let within = (off / self.cell_strides[d]) as u32;
+            off %= self.cell_strides[d];
+            *out_d = chunk_coord * self.chunk_dims[d] + within;
+        }
+    }
+
+    /// True if `coords` addresses a real (non-padding) cell.
+    pub fn coords_in_bounds(&self, coords: &[u32]) -> bool {
+        coords.len() == self.dims.len() && coords.iter().zip(&self.dims).all(|(&x, &d)| x < d)
+    }
+
+    /// Base (lowest) cell coordinates of chunk `chunk`, written to `out`.
+    pub fn chunk_base(&self, chunk: u64, out: &mut [u32]) {
+        debug_assert_eq!(out.len(), self.dims.len());
+        let mut ch = chunk;
+        for (d, out_d) in out.iter_mut().enumerate() {
+            let chunk_coord = (ch / self.chunk_strides[d]) as u32;
+            ch %= self.chunk_strides[d];
+            *out_d = chunk_coord * self.chunk_dims[d];
+        }
+    }
+
+    /// Chunk-grid coordinate of index `x` along dimension `d`.
+    #[inline]
+    pub fn chunk_coord(&self, d: usize, x: u32) -> u32 {
+        x / self.chunk_dims[d]
+    }
+
+    /// Within-chunk coordinate of index `x` along dimension `d`.
+    #[inline]
+    pub fn within_chunk(&self, d: usize, x: u32) -> u32 {
+        x % self.chunk_dims[d]
+    }
+
+    /// Serializes dims + chunk dims.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.dims.len() * 8);
+        out.extend_from_slice(&(self.dims.len() as u32).to_le_bytes());
+        for &d in &self.dims {
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        for &c in &self.chunk_dims {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`Shape::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 4 {
+            return Err(ArrayError::Corrupt("shape header"));
+        }
+        let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        if bytes.len() < 4 + n * 8 {
+            return Err(ArrayError::Corrupt("shape truncated"));
+        }
+        let word = |i: usize| u32::from_le_bytes(bytes[4 + i * 4..8 + i * 4].try_into().unwrap());
+        let dims: Vec<u32> = (0..n).map(word).collect();
+        let chunk_dims: Vec<u32> = (n..2 * n).map(word).collect();
+        Shape::new(dims, chunk_dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_shape() -> Shape {
+        // The 40×40×40×100 array with the paper's 80-chunk layout.
+        Shape::new(vec![40, 40, 40, 100], vec![20, 20, 20, 10]).unwrap()
+    }
+
+    #[test]
+    fn paper_chunk_counts() {
+        // §5.5.1: the 40×40×40×{50,100,1000} arrays have 40/80/800 chunks.
+        for (last, expect) in [(50u32, 40u64), (100, 80), (1000, 800)] {
+            let s = Shape::new(vec![40, 40, 40, last], vec![20, 20, 20, 10]).unwrap();
+            assert_eq!(s.num_chunks(), expect, "dim {last}");
+            assert_eq!(s.chunk_cells(), 20 * 20 * 20 * 10);
+        }
+    }
+
+    #[test]
+    fn invalid_shapes_are_rejected() {
+        assert!(Shape::new(vec![], vec![]).is_err());
+        assert!(Shape::new(vec![4, 4], vec![4]).is_err());
+        assert!(Shape::new(vec![4, 4], vec![0, 4]).is_err());
+        assert!(Shape::new(vec![4, 4], vec![5, 4]).is_err());
+    }
+
+    #[test]
+    fn locate_matches_paper_formula() {
+        // 3-d cubic chunk of side c: s = ((i*c)+j)*c+k.
+        let c = 5u32;
+        let s = Shape::new(vec![10, 10, 10], vec![c, c, c]).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                for k in 0..5 {
+                    let (chunk, off) = s.locate(&[i, j, k]).unwrap();
+                    assert_eq!(chunk, 0);
+                    assert_eq!(off, ((i * c) + j) * c + k);
+                }
+            }
+        }
+        // A cell in the last chunk.
+        let (chunk, off) = s.locate(&[7, 8, 9]).unwrap();
+        assert_eq!(chunk, 7); // chunk grid (1,1,1) row-major in 2×2×2
+        assert_eq!(off, ((2 * c) + 3) * c + 4);
+    }
+
+    #[test]
+    fn locate_decode_roundtrip_exhaustive() {
+        let s = Shape::new(vec![7, 5, 9], vec![3, 2, 4]).unwrap(); // ragged edges
+        let mut out = [0u32; 3];
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..7 {
+            for y in 0..5 {
+                for z in 0..9 {
+                    let (chunk, off) = s.locate(&[x, y, z]).unwrap();
+                    assert!(chunk < s.num_chunks());
+                    assert!((off as u64) < s.chunk_cells());
+                    s.decode(chunk, off, &mut out);
+                    assert_eq!(out, [x, y, z]);
+                    assert!(seen.insert((chunk, off)), "positions must be unique");
+                }
+            }
+        }
+        assert_eq!(seen.len() as u64, s.total_cells());
+    }
+
+    #[test]
+    fn chunk_base_is_lowest_cell() {
+        let s = paper_shape();
+        let mut base = [0u32; 4];
+        s.chunk_base(0, &mut base);
+        assert_eq!(base, [0, 0, 0, 0]);
+        let (chunk, _) = s.locate(&[25, 0, 19, 95]).unwrap();
+        s.chunk_base(chunk, &mut base);
+        assert_eq!(base, [20, 0, 0, 90]);
+    }
+
+    #[test]
+    fn padding_cells_decode_out_of_bounds() {
+        // dim 5, chunk 3: second chunk is padded from 5..6.
+        let s = Shape::new(vec![5], vec![3]).unwrap();
+        assert_eq!(s.num_chunks(), 2);
+        let mut out = [0u32; 1];
+        // offset 2 in chunk 1 would be cell 5 — padding.
+        s.decode(1, 2, &mut out);
+        assert_eq!(out, [5]);
+        assert!(!s.coords_in_bounds(&out));
+        s.decode(1, 1, &mut out);
+        assert!(s.coords_in_bounds(&out));
+    }
+
+    #[test]
+    fn coordinate_errors() {
+        let s = paper_shape();
+        assert!(s.locate(&[40, 0, 0, 0]).is_err());
+        assert!(s.locate(&[0, 0, 0]).is_err());
+        assert!(s.locate(&[39, 39, 39, 99]).is_ok());
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = paper_shape();
+        assert_eq!(s.cell_stride(3), 1);
+        assert_eq!(s.cell_stride(2), 10);
+        assert_eq!(s.cell_stride(1), 200);
+        assert_eq!(s.cell_stride(0), 4000);
+        assert_eq!(s.chunk_stride(3), 1);
+        assert_eq!(s.chunk_stride(2), 10);
+        assert_eq!(s.chunk_stride(1), 20);
+        assert_eq!(s.chunk_stride(0), 40);
+    }
+
+    #[test]
+    fn shape_bytes_roundtrip() {
+        let s = paper_shape();
+        let restored = Shape::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(restored, s);
+        assert!(Shape::from_bytes(&[1, 0]).is_err());
+        assert!(Shape::from_bytes(&s.to_bytes()[..6]).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Criterion benches of the three consolidation engines on scaled-down
+//! versions of the paper's queries (the full-size runs live in the
+//! `repro` binary; these track per-commit regressions cheaply).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use molap_bench::{Engine, Harness};
+use molap_core::{AttrRef, DimGrouping, Query, Selection};
+use molap_datagen::{AttrLayout, CubeSpec};
+
+fn small_spec(v: u32) -> CubeSpec {
+    CubeSpec {
+        dim_sizes: vec![20, 20, 20, 25],
+        level_cards: vec![vec![2, 2]; 4],
+        valid_cells: 20_000, // 10% of 200k
+        seed: 77,
+        n_measures: 1,
+        independent_last_level: false,
+        layout: AttrLayout::Scattered,
+    }
+    .with_selection_cardinality(v)
+}
+
+fn query1() -> Query {
+    Query::new(vec![DimGrouping::Level(0); 4])
+}
+
+fn query2(sel_level: usize) -> Query {
+    let mut q = query1();
+    for d in 0..4 {
+        q = q.with_selection(d, Selection::eq(AttrRef::Level(sel_level), 1));
+    }
+    q
+}
+
+fn bench_consolidation(c: &mut Criterion) {
+    let harness = Harness {
+        runs: 1,
+        pool_bytes: 16 << 20,
+        in_memory: true,
+    };
+    let spec = small_spec(5);
+    let sel_level = spec.level_cards[0].len() - 1;
+    let fx = harness.build(&spec, &[10, 10, 10, 5]);
+
+    let mut g = c.benchmark_group("query1_20k_cells");
+    g.sample_size(20);
+    for engine in [Engine::Array, Engine::StarJoin, Engine::Bitmap] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(engine.name()),
+            &engine,
+            |b, &e| {
+                let q = query1();
+                b.iter(|| {
+                    fx.pool.clear().unwrap();
+                    std::hint::black_box(harness.run_query(&fx, e, &q).0.wall_ms)
+                })
+            },
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("query2_sel5_20k_cells");
+    g.sample_size(20);
+    for engine in [Engine::Array, Engine::StarJoin, Engine::Bitmap] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(engine.name()),
+            &engine,
+            |b, &e| {
+                let q = query2(sel_level);
+                b.iter(|| {
+                    fx.pool.clear().unwrap();
+                    std::hint::black_box(harness.run_query(&fx, e, &q).0.wall_ms)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_consolidation);
+criterion_main!(benches);

@@ -1,0 +1,229 @@
+//! Criterion micro-benchmarks for the substrate operations the paper's
+//! cost arguments rest on: position-based probes vs value-based hash
+//! lookups, B-tree index-list retrieval, bitmap boolean ops, fact-file
+//! scan throughput, and the two compression codecs.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use molap_array::{lzw, ChunkBuilder};
+use molap_bitmap::{rle, Bitmap, BitmapIndex};
+use molap_btree::{BTree, BTreeConfig};
+use molap_factfile::{FactFile, TupleSchema};
+use molap_storage::{BufferPool, MemDisk};
+
+fn pool(frames: usize) -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(Arc::new(MemDisk::new()), frames))
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.sample_size(20);
+
+    // 100k entries with 100 duplicates per key.
+    let p = pool(4096);
+    let entries: Vec<(i64, u64)> = (0..100_000u64).map(|i| ((i / 100) as i64, i)).collect();
+    let tree = BTree::bulk_load(p, BTreeConfig::default(), entries.iter().copied()).unwrap();
+
+    g.bench_function("get_hit_100k", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 317) % 1000;
+            std::hint::black_box(tree.get(k).unwrap())
+        })
+    });
+    g.bench_function("scan_eq_100dups", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 317) % 1000;
+            std::hint::black_box(tree.scan_eq(k).unwrap())
+        })
+    });
+    g.bench_function("bulk_load_100k", |b| {
+        b.iter_batched(
+            || pool(4096),
+            |p| BTree::bulk_load(p, BTreeConfig::default(), entries.iter().copied()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("insert_10k", |b| {
+        b.iter_batched(
+            || BTree::create(pool(4096)).unwrap(),
+            |mut t| {
+                for i in 0..10_000i64 {
+                    t.insert((i * 37) % 5000, i as u64).unwrap();
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmap");
+    g.sample_size(30);
+    let n = 640_000;
+    let mut a = Bitmap::new(n);
+    let mut bm = Bitmap::new(n);
+    for i in (0..n).step_by(3) {
+        a.set(i);
+    }
+    for i in (0..n).step_by(5) {
+        bm.set(i);
+    }
+
+    g.throughput(Throughput::Bytes((n / 8) as u64));
+    g.bench_function("and_640k", |b| {
+        b.iter_batched(
+            || a.clone(),
+            |mut x| {
+                x.and_assign(&bm);
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("iter_ones_640k", |b| {
+        b.iter(|| {
+            let mut s = 0usize;
+            for i in a.iter_ones() {
+                s += i;
+            }
+            std::hint::black_box(s)
+        })
+    });
+    g.bench_function("rle_compress_sparse", |b| {
+        let mut sparse = Bitmap::new(n);
+        for i in (0..n).step_by(1000) {
+            sparse.set(i);
+        }
+        b.iter(|| std::hint::black_box(rle::compress(&sparse)))
+    });
+    g.bench_function("index_probe", |b| {
+        let mut idx = BitmapIndex::new(n);
+        for t in 0..n {
+            idx.add((t % 10) as i64, t);
+        }
+        let mut v = 0i64;
+        b.iter(|| {
+            v = (v + 1) % 10;
+            std::hint::black_box(idx.get(v).map(|bm| bm.count_ones()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_chunk_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chunk");
+    g.sample_size(30);
+    // An 80 000-cell chunk at 10% density: the paper's probe target.
+    let cells = 80_000u32;
+    let mut b = ChunkBuilder::new(1);
+    for off in (0..cells).step_by(10) {
+        b.add(off, &[off as i64]);
+    }
+    let chunk = b.build().unwrap();
+    let dense = chunk.to_dense(cells as usize);
+
+    g.bench_function("binary_search_probe", |bch| {
+        let mut off = 0u32;
+        bch.iter(|| {
+            off = (off + 7919) % cells;
+            std::hint::black_box(chunk.probe(off))
+        })
+    });
+    g.bench_function("monotonic_probe_from", |bch| {
+        bch.iter(|| {
+            let mut cursor = 0;
+            let mut hits = 0u32;
+            for off in (0..cells).step_by(97) {
+                let (hit, next) = chunk.probe_from(off, cursor);
+                cursor = next;
+                hits += hit.is_some() as u32;
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    g.bench_function("dense_probe", |bch| {
+        let mut off = 0u32;
+        bch.iter(|| {
+            off = (off + 7919) % cells;
+            std::hint::black_box(dense.probe(off))
+        })
+    });
+    g.bench_function("scan_valid_8k", |bch| {
+        bch.iter(|| {
+            let mut s = 0i64;
+            for (_, v) in chunk.iter() {
+                s += v[0];
+            }
+            std::hint::black_box(s)
+        })
+    });
+    g.finish();
+}
+
+fn bench_factfile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("factfile");
+    g.sample_size(20);
+    let p = pool(8192);
+    let mut ff = FactFile::create(p, TupleSchema::new(4, 1), 64).unwrap();
+    for t in 0..100_000u32 {
+        ff.append(
+            &[t % 40, (t / 40) % 40, (t / 1600) % 40, t % 100],
+            &[t as i64],
+        )
+        .unwrap();
+    }
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("scan_100k", |b| {
+        b.iter(|| {
+            let mut s = 0i64;
+            ff.scan(|_, _, m| s += m[0]).unwrap();
+            std::hint::black_box(s)
+        })
+    });
+    g.bench_function("fetch_bitmap_1pct", |b| {
+        let mut bm = Bitmap::new(100_000);
+        for t in (0..100_000).step_by(100) {
+            bm.set(t);
+        }
+        b.iter(|| {
+            let mut s = 0i64;
+            ff.fetch_bitmap(&bm, |_, _, m| s += m[0]).unwrap();
+            std::hint::black_box(s)
+        })
+    });
+    g.finish();
+}
+
+fn bench_lzw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lzw");
+    g.sample_size(20);
+    // A dense-chunk-like byte pattern: zeros with sparse values.
+    let mut data = vec![0u8; 640_000];
+    for i in (0..data.len()).step_by(80) {
+        data[i] = (i % 251) as u8;
+    }
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    let enc = lzw::compress(&data);
+    g.bench_function("compress_640k", |b| {
+        b.iter(|| std::hint::black_box(lzw::compress(&data)))
+    });
+    g.bench_function("decompress_640k", |b| {
+        b.iter(|| std::hint::black_box(lzw::decompress(&enc).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_btree,
+    bench_bitmap,
+    bench_chunk_probe,
+    bench_factfile,
+    bench_lzw
+);
+criterion_main!(benches);

@@ -1,0 +1,290 @@
+//! Word-parallel bitset.
+
+use molap_storage::util::{read_u64, write_u64};
+use molap_storage::{Result, StorageError};
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length bitset over `u64` words.
+///
+/// Bits beyond `nbits` in the last word are kept zero at all times, so
+/// [`Bitmap::count_ones`] and word-wise boolean ops need no masking.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    nbits: usize,
+    words: Vec<u64>,
+}
+
+impl std::fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bitmap({} bits, {} set)", self.nbits, self.count_ones())
+    }
+}
+
+impl Bitmap {
+    /// Creates an all-zero bitmap of `nbits` bits.
+    pub fn new(nbits: usize) -> Self {
+        Bitmap {
+            nbits,
+            words: vec![0; nbits.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Creates an all-ones bitmap of `nbits` bits — the identity for
+    /// AND-chains, as in the paper's "set all bits of ResultBitmap to
+    /// ones" step (§4.5).
+    pub fn all_set(nbits: usize) -> Self {
+        let mut bm = Bitmap {
+            nbits,
+            words: vec![u64::MAX; nbits.div_ceil(WORD_BITS)],
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.nbits % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn nbits(&self) -> usize {
+        self.nbits
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.nbits, "bit {i} out of range ({})", self.nbits);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear_bit(&mut self, i: usize) {
+        assert!(i < self.nbits, "bit {i} out of range ({})", self.nbits);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.nbits, "bit {i} out of range ({})", self.nbits);
+        self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+    }
+
+    /// `self &= other`. Both bitmaps must have equal length.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.nbits, other.nbits, "bitmap length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// `self |= other`. Both bitmaps must have equal length.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.nbits, other.nbits, "bitmap length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Flips every bit in place.
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates set-bit positions in increasing order.
+    ///
+    /// This drives the fact-file fetch: each yielded position is a tuple
+    /// number whose page/offset the fact file computes arithmetically.
+    pub fn iter_ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Serializes as `nbits (u64 LE)` followed by the raw words.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; 8 + self.words.len() * 8];
+        write_u64(&mut out, 0, self.nbits as u64);
+        for (i, &w) in self.words.iter().enumerate() {
+            write_u64(&mut out, 8 + i * 8, w);
+        }
+        out
+    }
+
+    /// Inverse of [`Bitmap::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 8 {
+            return Err(StorageError::Corrupt("bitmap header"));
+        }
+        let nbits = read_u64(bytes, 0) as usize;
+        let nwords = nbits.div_ceil(WORD_BITS);
+        if bytes.len() < 8 + nwords * 8 {
+            return Err(StorageError::Corrupt("bitmap words truncated"));
+        }
+        let words = (0..nwords).map(|i| read_u64(bytes, 8 + i * 8)).collect();
+        let mut bm = Bitmap { nbits, words };
+        bm.mask_tail(); // defensive: never trust persisted tail bits
+        Ok(bm)
+    }
+
+    /// Raw words (read-only; used by the RLE codec).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Constructs from raw parts, masking the tail.
+    pub(crate) fn from_words(nbits: usize, words: Vec<u64>) -> Self {
+        debug_assert_eq!(words.len(), nbits.div_ceil(WORD_BITS));
+        let mut bm = Bitmap { nbits, words };
+        bm.mask_tail();
+        bm
+    }
+}
+
+/// Iterator over set-bit positions; see [`Bitmap::iter_ones`].
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut bm = Bitmap::new(130);
+        assert!(!bm.get(0));
+        bm.set(0);
+        bm.set(64);
+        bm.set(129);
+        assert!(bm.get(0) && bm.get(64) && bm.get(129));
+        assert!(!bm.get(1) && !bm.get(128));
+        bm.clear_bit(64);
+        assert!(!bm.get(64));
+        assert_eq!(bm.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        Bitmap::new(10).set(10);
+    }
+
+    #[test]
+    fn all_set_masks_tail() {
+        let bm = Bitmap::all_set(70);
+        assert_eq!(bm.count_ones(), 70);
+        assert!(bm.get(69));
+        let empty = Bitmap::all_set(0);
+        assert_eq!(empty.count_ones(), 0);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let mut a = Bitmap::new(100);
+        let mut b = Bitmap::new(100);
+        for i in (0..100).step_by(2) {
+            a.set(i);
+        }
+        for i in (0..100).step_by(3) {
+            b.set(i);
+        }
+        let mut and = a.clone();
+        and.and_assign(&b);
+        assert_eq!(
+            and.iter_ones().collect::<Vec<_>>(),
+            (0..100).step_by(6).collect::<Vec<_>>()
+        );
+        let mut or = a.clone();
+        or.or_assign(&b);
+        assert_eq!(or.count_ones(), 50 + 34 - 17);
+        b.not_assign();
+        assert!(!b.get(0) && b.get(1));
+        assert_eq!(b.count_ones(), 100 - 34);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_different_lengths_panics() {
+        Bitmap::new(10).and_assign(&Bitmap::new(11));
+    }
+
+    #[test]
+    fn iter_ones_matches_gets() {
+        let mut bm = Bitmap::new(200);
+        let positions = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        for &p in &positions {
+            bm.set(p);
+        }
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), positions);
+        assert!(Bitmap::new(100).iter_ones().next().is_none());
+        assert!(Bitmap::new(0).iter_ones().next().is_none());
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let mut bm = Bitmap::new(77);
+        for i in (0..77).step_by(5) {
+            bm.set(i);
+        }
+        let restored = Bitmap::from_bytes(&bm.to_bytes()).unwrap();
+        assert_eq!(restored, bm);
+        assert!(Bitmap::from_bytes(&[1, 2, 3]).is_err());
+        // Truncated words are rejected.
+        let mut bytes = bm.to_bytes();
+        bytes.truncate(12);
+        assert!(Bitmap::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn all_ones_identity_for_and() {
+        let mut acc = Bitmap::all_set(50);
+        let mut pred = Bitmap::new(50);
+        pred.set(3);
+        pred.set(47);
+        acc.and_assign(&pred);
+        assert_eq!(acc, pred);
+    }
+}

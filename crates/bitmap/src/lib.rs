@@ -1,0 +1,49 @@
+//! Bitmaps and bitmap join indices.
+//!
+//! Section 4.4 of the paper implements bitmap indices in Paradise "to
+//! speed up the evaluation of consolidation queries with selection": for
+//! every value of a selected dimension attribute there is a *join
+//! bitmap* over fact-tuple positions — bit `t` is set iff fact tuple `t`
+//! joins a dimension row carrying that value. Query evaluation retrieves
+//! the bitmaps for the selected values, ANDs them, and drives a fact-file
+//! fetch with the result (§4.5).
+//!
+//! This crate provides the three layers that workflow needs:
+//!
+//! * [`Bitmap`] — an uncompressed word-parallel bitset with the boolean
+//!   ops (`AND`/`OR`/`NOT`), population count, and a set-bit iterator;
+//! * [`rle`] — a byte-run-length codec used as the *at rest* format, so
+//!   the very sparse join bitmaps of high-cardinality attributes don't
+//!   dominate disk footprint (bitmaps are decompressed for boolean ops,
+//!   as in the era's systems);
+//! * [`BitmapIndex`] / [`StoredBitmapIndex`] — the per-attribute
+//!   value → bitmap map, in its build-time (in-memory) and persisted
+//!   (large-object, buffer-pool-accounted) forms.
+//!
+//! # Example
+//!
+//! ```
+//! use molap_bitmap::{Bitmap, BitmapIndex};
+//!
+//! // Join bitmaps for a 3-valued attribute over 8 fact tuples.
+//! let mut index = BitmapIndex::new(8);
+//! for (tuple, value) in [(0, 10), (1, 20), (2, 10), (3, 30), (4, 10)] {
+//!     index.add(value, tuple);
+//! }
+//! let tens = index.get(10).unwrap();
+//! assert_eq!(tens.iter_ones().collect::<Vec<_>>(), vec![0, 2, 4]);
+//!
+//! // AND with another predicate's bitmap.
+//! let mut only_even = Bitmap::new(8);
+//! for i in [0usize, 2, 4, 6] { only_even.set(i); }
+//! let mut result = tens.clone();
+//! result.and_assign(&only_even);
+//! assert_eq!(result.count_ones(), 3);
+//! ```
+
+mod bitmap;
+mod index;
+pub mod rle;
+
+pub use bitmap::Bitmap;
+pub use index::{BitmapIndex, StoredBitmapIndex};

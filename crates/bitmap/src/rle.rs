@@ -1,0 +1,219 @@
+//! Byte-run-length codec: the at-rest format for join bitmaps.
+//!
+//! A join bitmap for one value of a `v`-valued uniform attribute has
+//! about `1/v` of its bits set; for the paper's selective attributes
+//! (`v` up to 10, fact tables of ~10⁵–10⁶ tuples) whole stretches of the
+//! bitmap are zero bytes. This codec collapses runs of `0x00` / `0xFF`
+//! bytes and stores everything else verbatim:
+//!
+//! ```text
+//! token := 0x00 len:u32            run of `len` zero bytes
+//!        | 0x01 len:u32            run of `len` 0xFF bytes
+//!        | 0x02 len:u32 bytes[len] literal bytes
+//! stream := nbits:u64 token*
+//! ```
+//!
+//! Runs shorter than [`MIN_RUN`] bytes are folded into literals, so the
+//! encoded form is never much larger than the raw bitmap (worst case:
+//! one literal token, +13 bytes total).
+
+use molap_storage::util::{read_u32, read_u64};
+use molap_storage::{Result, StorageError};
+
+use crate::bitmap::Bitmap;
+
+/// Minimum run length (in bytes) worth a dedicated run token.
+pub const MIN_RUN: usize = 8;
+
+const TOKEN_ZEROS: u8 = 0x00;
+const TOKEN_ONES: u8 = 0x01;
+const TOKEN_LITERAL: u8 = 0x02;
+
+fn bitmap_bytes(bm: &Bitmap) -> Vec<u8> {
+    // Words are LE, so the byte stream is the natural bit order.
+    let mut out = Vec::with_capacity(bm.words().len() * 8);
+    for w in bm.words() {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Compresses a bitmap.
+pub fn compress(bm: &Bitmap) -> Vec<u8> {
+    let bytes = bitmap_bytes(bm);
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&(bm.nbits() as u64).to_le_bytes());
+
+    let mut i = 0;
+    let mut lit_start = 0;
+    let flush_literal = |out: &mut Vec<u8>, bytes: &[u8], lo: usize, hi: usize| {
+        if lo < hi {
+            out.push(TOKEN_LITERAL);
+            out.extend_from_slice(&((hi - lo) as u32).to_le_bytes());
+            out.extend_from_slice(&bytes[lo..hi]);
+        }
+    };
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == 0x00 || b == 0xFF {
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] == b {
+                j += 1;
+            }
+            if j - i >= MIN_RUN {
+                flush_literal(&mut out, &bytes, lit_start, i);
+                out.push(if b == 0 { TOKEN_ZEROS } else { TOKEN_ONES });
+                out.extend_from_slice(&((j - i) as u32).to_le_bytes());
+                lit_start = j;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literal(&mut out, &bytes, lit_start, bytes.len());
+    out
+}
+
+/// Decompresses a bitmap produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Bitmap> {
+    if data.len() < 8 {
+        return Err(StorageError::Corrupt("rle bitmap header"));
+    }
+    let nbits = read_u64(data, 0) as usize;
+    let nbytes = nbits.div_ceil(64) * 8;
+    let mut bytes = Vec::with_capacity(nbytes);
+
+    let mut pos = 8;
+    while pos < data.len() {
+        let tag = data[pos];
+        if pos + 5 > data.len() {
+            return Err(StorageError::Corrupt("rle token truncated"));
+        }
+        let len = read_u32(data, pos + 1) as usize;
+        pos += 5;
+        match tag {
+            TOKEN_ZEROS => bytes.resize(bytes.len() + len, 0x00),
+            TOKEN_ONES => bytes.resize(bytes.len() + len, 0xFF),
+            TOKEN_LITERAL => {
+                if pos + len > data.len() {
+                    return Err(StorageError::Corrupt("rle literal truncated"));
+                }
+                bytes.extend_from_slice(&data[pos..pos + len]);
+                pos += len;
+            }
+            _ => return Err(StorageError::Corrupt("rle unknown token")),
+        }
+        if bytes.len() > nbytes {
+            return Err(StorageError::Corrupt("rle overflow"));
+        }
+    }
+    if bytes.len() != nbytes {
+        return Err(StorageError::Corrupt("rle length mismatch"));
+    }
+    let words = bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Ok(Bitmap::from_words(nbits, words))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molap_storage::util::write_u64;
+
+    fn roundtrip(bm: &Bitmap) {
+        let enc = compress(bm);
+        let dec = decompress(&enc).unwrap();
+        assert_eq!(&dec, bm);
+    }
+
+    #[test]
+    fn empty_and_full_compress_tightly() {
+        let zeros = Bitmap::new(1_000_000);
+        let enc = compress(&zeros);
+        assert!(
+            enc.len() < 32,
+            "all-zero bitmap should be ~one token, got {}",
+            enc.len()
+        );
+        roundtrip(&zeros);
+
+        let ones = Bitmap::all_set(1_000_000);
+        // Tail word is partially masked, so the last bytes are literal.
+        let enc = compress(&ones);
+        assert!(enc.len() < 64, "got {}", enc.len());
+        roundtrip(&ones);
+    }
+
+    #[test]
+    fn sparse_bitmap_compresses() {
+        let mut bm = Bitmap::new(100_000);
+        for i in (0..100_000).step_by(5000) {
+            bm.set(i);
+        }
+        let enc = compress(&bm);
+        assert!(
+            enc.len() < bm.to_bytes().len() / 10,
+            "sparse: {} vs raw {}",
+            enc.len(),
+            bm.to_bytes().len()
+        );
+        roundtrip(&bm);
+    }
+
+    #[test]
+    fn dense_random_bitmap_does_not_blow_up() {
+        let mut bm = Bitmap::new(10_000);
+        // Pseudo-random dense pattern: no long runs.
+        let mut x = 0x12345678u64;
+        for i in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if x >> 60 < 8 {
+                bm.set(i);
+            }
+        }
+        let enc = compress(&bm);
+        assert!(enc.len() <= bm.to_bytes().len() + 16);
+        roundtrip(&bm);
+    }
+
+    #[test]
+    fn zero_length_bitmap() {
+        roundtrip(&Bitmap::new(0));
+    }
+
+    #[test]
+    fn non_word_aligned_lengths() {
+        for n in [1usize, 7, 63, 65, 100, 129] {
+            let mut bm = Bitmap::new(n);
+            if n > 0 {
+                bm.set(n - 1);
+                bm.set(0);
+            }
+            roundtrip(&bm);
+        }
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        assert!(decompress(&[1, 2]).is_err());
+        let mut bm = Bitmap::new(128);
+        bm.set(5);
+        let mut enc = compress(&bm);
+        // Unknown token.
+        let n = enc.len();
+        enc[8] = 0x77;
+        assert!(decompress(&enc).is_err());
+        // Truncated literal.
+        let enc2 = compress(&bm)[..n - 3].to_vec();
+        assert!(decompress(&enc2).is_err());
+        // Length mismatch: claim more bits than tokens provide.
+        let mut enc3 = compress(&bm);
+        write_u64(&mut enc3, 0, 4096);
+        assert!(decompress(&enc3).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: bitmaps against a naive `Vec<bool>` model, and the
+//! RLE codec as a lossless roundtrip under arbitrary bit patterns.
+
+use molap_bitmap::{rle, Bitmap, BitmapIndex};
+use proptest::prelude::*;
+
+fn model_bitmap(nbits: usize, set: &[usize]) -> (Bitmap, Vec<bool>) {
+    let mut bm = Bitmap::new(nbits);
+    let mut model = vec![false; nbits];
+    for &i in set {
+        let i = i % nbits.max(1);
+        if nbits > 0 {
+            bm.set(i);
+            model[i] = true;
+        }
+    }
+    (bm, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ops_match_bool_vec(
+        nbits in 1usize..500,
+        a in proptest::collection::vec(0usize..500, 0..100),
+        b in proptest::collection::vec(0usize..500, 0..100),
+    ) {
+        let (mut ba, ma) = model_bitmap(nbits, &a);
+        let (bb, mb) = model_bitmap(nbits, &b);
+
+        // count / get / iter
+        prop_assert_eq!(ba.count_ones() as usize, ma.iter().filter(|&&x| x).count());
+        let ones: Vec<usize> = ba.iter_ones().collect();
+        let expect: Vec<usize> = (0..nbits).filter(|&i| ma[i]).collect();
+        prop_assert_eq!(&ones, &expect);
+
+        // and
+        let mut and = ba.clone();
+        and.and_assign(&bb);
+        for i in 0..nbits {
+            prop_assert_eq!(and.get(i), ma[i] && mb[i]);
+        }
+        // or
+        let mut or = ba.clone();
+        or.or_assign(&bb);
+        for i in 0..nbits {
+            prop_assert_eq!(or.get(i), ma[i] || mb[i]);
+        }
+        // not
+        ba.not_assign();
+        for (i, &m) in ma.iter().enumerate() {
+            prop_assert_eq!(ba.get(i), !m);
+        }
+        prop_assert_eq!(ba.count_ones() as usize, nbits - expect.len());
+    }
+
+    #[test]
+    fn rle_roundtrip_is_lossless(
+        nbits in 0usize..2000,
+        set in proptest::collection::vec(0usize..2000, 0..200),
+    ) {
+        let (bm, _) = model_bitmap(nbits.max(1), &set);
+        let bm = if nbits == 0 { Bitmap::new(0) } else { bm };
+        let decoded = rle::decompress(&rle::compress(&bm)).unwrap();
+        prop_assert_eq!(decoded, bm);
+    }
+
+    #[test]
+    fn raw_bytes_roundtrip_is_lossless(
+        nbits in 0usize..1000,
+        set in proptest::collection::vec(0usize..1000, 0..100),
+    ) {
+        let (bm, _) = model_bitmap(nbits.max(1), &set);
+        let bm = if nbits == 0 { Bitmap::new(0) } else { bm };
+        prop_assert_eq!(Bitmap::from_bytes(&bm.to_bytes()).unwrap(), bm);
+    }
+
+    #[test]
+    fn index_partitions_positions(
+        nbits in 1usize..300,
+        values in proptest::collection::vec(0i64..10, 1..300),
+    ) {
+        // Assign value[t % len] to tuple t: every tuple joins exactly one
+        // value, so the bitmaps partition [0, nbits).
+        let mut idx = BitmapIndex::new(nbits);
+        for t in 0..nbits {
+            idx.add(values[t % values.len()], t);
+        }
+        let mut union = Bitmap::new(nbits);
+        let mut total = 0u64;
+        for (_, bm) in idx.iter() {
+            total += bm.count_ones();
+            union.or_assign(bm);
+        }
+        prop_assert_eq!(total, nbits as u64, "bitmaps must be disjoint");
+        prop_assert_eq!(union.count_ones(), nbits as u64, "bitmaps must cover");
+    }
+}

@@ -1,0 +1,221 @@
+//! Aggregate functions and accumulators.
+//!
+//! The paper's experiments measure SUM; its algorithms "could easily be
+//! extended to aggregates such as count and average" (§4.1), so the
+//! accumulator tracks everything needed for SUM/COUNT/MIN/MAX/AVG and
+//! the query picks which to finalize. AVG is finalized as an exact
+//! rational so results compare exactly across engines.
+
+/// An aggregate function applied to one measure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of the measure (the paper's benchmark aggregate).
+    Sum,
+    /// Count of valid cells / joined tuples.
+    Count,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Average, kept exact as `sum / count`.
+    Avg,
+}
+
+/// Accumulator for one (group, measure) pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AggState {
+    sum: i64,
+    count: u64,
+    min: i64,
+    max: i64,
+}
+
+impl Default for AggState {
+    fn default() -> Self {
+        AggState::new()
+    }
+}
+
+impl AggState {
+    /// An empty accumulator (no values folded yet).
+    pub const fn new() -> Self {
+        AggState {
+            sum: 0,
+            count: 0,
+            min: i64::MAX,
+            max: i64::MIN,
+        }
+    }
+
+    /// Folds one value. SUM uses wrapping arithmetic: totals beyond
+    /// `i64` wrap rather than panic or saturate (all engines share this
+    /// accumulator, so results remain engine-consistent either way).
+    #[inline]
+    pub fn add(&mut self, v: i64) {
+        self.sum = self.sum.wrapping_add(v);
+        self.count += 1;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Merges another accumulator (used by the parallel scan).
+    pub fn merge(&mut self, other: &AggState) {
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// True if no values were folded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of folded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Finalizes under `func`. Empty groups finalize to `None` (they
+    /// should normally be absent from results entirely).
+    pub fn finalize(&self, func: AggFunc) -> Option<AggValue> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(match func {
+            AggFunc::Sum => AggValue::Int(self.sum),
+            AggFunc::Count => AggValue::Int(self.count as i64),
+            AggFunc::Min => AggValue::Int(self.min),
+            AggFunc::Max => AggValue::Int(self.max),
+            AggFunc::Avg => AggValue::Ratio {
+                sum: self.sum,
+                count: self.count,
+            },
+        })
+    }
+}
+
+/// A finalized aggregate value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AggValue {
+    /// An exact integer (Sum/Count/Min/Max).
+    Int(i64),
+    /// An exact rational (Avg), compared exactly.
+    Ratio {
+        /// Numerator (the running sum).
+        sum: i64,
+        /// Denominator (the value count; nonzero).
+        count: u64,
+    },
+}
+
+impl AggValue {
+    /// Numeric value as `f64` (lossy for huge sums; fine for display).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            AggValue::Int(v) => v as f64,
+            AggValue::Ratio { sum, count } => sum as f64 / count as f64,
+        }
+    }
+
+    /// The integer value, if this is an [`AggValue::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match *self {
+            AggValue::Int(v) => Some(v),
+            AggValue::Ratio { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AggValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            AggValue::Int(v) => write!(f, "{v}"),
+            AggValue::Ratio { sum, count } => write!(f, "{}", sum as f64 / count as f64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_all_statistics() {
+        let mut s = AggState::new();
+        for v in [3i64, -1, 7, 0] {
+            s.add(v);
+        }
+        assert_eq!(s.finalize(AggFunc::Sum), Some(AggValue::Int(9)));
+        assert_eq!(s.finalize(AggFunc::Count), Some(AggValue::Int(4)));
+        assert_eq!(s.finalize(AggFunc::Min), Some(AggValue::Int(-1)));
+        assert_eq!(s.finalize(AggFunc::Max), Some(AggValue::Int(7)));
+        assert_eq!(
+            s.finalize(AggFunc::Avg),
+            Some(AggValue::Ratio { sum: 9, count: 4 })
+        );
+    }
+
+    #[test]
+    fn empty_state_finalizes_to_none() {
+        let s = AggState::new();
+        assert!(s.is_empty());
+        for f in [
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+        ] {
+            assert_eq!(s.finalize(f), None);
+        }
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = AggState::new();
+        let mut b = AggState::new();
+        let mut all = AggState::new();
+        for v in [5i64, 2, 9] {
+            a.add(v);
+            all.add(v);
+        }
+        for v in [-3i64, 11] {
+            b.add(v);
+            all.add(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        // Merging an empty state is a no-op.
+        let before = a;
+        a.merge(&AggState::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn agg_value_accessors() {
+        assert_eq!(AggValue::Int(5).as_int(), Some(5));
+        assert_eq!(AggValue::Int(5).as_f64(), 5.0);
+        let r = AggValue::Ratio { sum: 7, count: 2 };
+        assert_eq!(r.as_int(), None);
+        assert_eq!(r.as_f64(), 3.5);
+        assert_eq!(r.to_string(), "3.5");
+        assert_eq!(AggValue::Int(-2).to_string(), "-2");
+    }
+
+    #[test]
+    fn single_value_statistics() {
+        let mut s = AggState::new();
+        s.add(42);
+        assert_eq!(s.finalize(AggFunc::Min), Some(AggValue::Int(42)));
+        assert_eq!(s.finalize(AggFunc::Max), Some(AggValue::Int(42)));
+        assert_eq!(
+            s.finalize(AggFunc::Avg),
+            Some(AggValue::Ratio { sum: 42, count: 1 })
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! The bitmap-index consolidation plan (§4.4–4.5).
+//!
+//! Ahead of query time, a *join bitmap index* is created for each
+//! dimension attribute: for every attribute value, the bitmap of fact
+//! tuple positions whose foreign key joins a dimension row carrying
+//! that value. At query time:
+//!
+//! ```text
+//! Set all bits of ResultBitmap to ones;
+//! foreach selected dimension {
+//!     retrieve the bitmaps for the selected values;
+//!     AND ResultBitmap with the bitmaps;
+//! }
+//! retrieve the tuples for ResultBitmap;   // fact-file positional fetch
+//! aggregate the tuples' measure to the results;
+//! ```
+//!
+//! Group-by values come from the same per-dimension hash tables the
+//! StarJoin builds (without selection filtering — the bitmap already
+//! did the filtering).
+
+use std::sync::Arc;
+
+use molap_bitmap::{Bitmap, BitmapIndex, StoredBitmapIndex};
+use molap_storage::BufferPool;
+
+use crate::aggregate::AggState;
+use crate::error::{Error, Result};
+use crate::query::{AttrRef, Query};
+use crate::result::ConsolidationResult;
+use crate::starjoin::{build_dim_tables, finalize_groups, StarSchema};
+
+/// Pre-built join bitmap indexes for a star schema.
+pub struct JoinBitmapIndexes {
+    /// `levels[dim][level]` — index over that hierarchy attribute.
+    levels: Vec<Vec<StoredBitmapIndex>>,
+    /// `keys[dim]` — index over the dimension key, when requested.
+    keys: Vec<Option<StoredBitmapIndex>>,
+}
+
+impl JoinBitmapIndexes {
+    /// Builds indexes for every hierarchy attribute of every dimension
+    /// (the paper creates them "ahead of time, not as part of the query
+    /// evaluation").
+    pub fn build(pool: Arc<BufferPool>, schema: &StarSchema) -> Result<Self> {
+        Self::build_with_keys(pool, schema, &[])
+    }
+
+    /// Like [`JoinBitmapIndexes::build`], additionally indexing the key
+    /// attribute of the listed dimensions (high cardinality — only
+    /// build what queries need).
+    pub fn build_with_keys(
+        pool: Arc<BufferPool>,
+        schema: &StarSchema,
+        key_dims: &[usize],
+    ) -> Result<Self> {
+        let n_tuples = schema.fact.num_tuples() as usize;
+        let n_dims = schema.dims.len();
+        let mut level_builders: Vec<Vec<BitmapIndex>> = schema
+            .dims
+            .iter()
+            .map(|d| {
+                (0..d.num_levels())
+                    .map(|_| BitmapIndex::new(n_tuples))
+                    .collect()
+            })
+            .collect();
+        let mut key_builders: Vec<Option<BitmapIndex>> = (0..n_dims)
+            .map(|d| key_dims.contains(&d).then(|| BitmapIndex::new(n_tuples)))
+            .collect();
+
+        let mut errored = None;
+        schema.fact.scan(|t, keys, _measures| {
+            if errored.is_some() {
+                return;
+            }
+            for d in 0..n_dims {
+                let dim = &schema.dims[d];
+                let Some(row) = dim.row_of_key(keys[d] as i64) else {
+                    errored = Some(Error::Data(format!(
+                        "fact tuple {t} has unknown key {} in dimension {}",
+                        keys[d],
+                        dim.name()
+                    )));
+                    return;
+                };
+                for (level, builder) in level_builders[d].iter_mut().enumerate() {
+                    let code = dim.attr_at(level, row).expect("level exists");
+                    builder.add(code, t as usize);
+                }
+                if let Some(kb) = &mut key_builders[d] {
+                    kb.add(keys[d] as i64, t as usize);
+                }
+            }
+        })?;
+        if let Some(e) = errored {
+            return Err(e);
+        }
+
+        let levels = level_builders
+            .into_iter()
+            .map(|per_dim| {
+                per_dim
+                    .into_iter()
+                    .map(|b| b.persist(pool.clone()))
+                    .collect::<std::result::Result<Vec<_>, _>>()
+            })
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let keys = key_builders
+            .into_iter()
+            .map(|b| b.map(|b| b.persist(pool.clone())).transpose())
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        Ok(JoinBitmapIndexes { levels, keys })
+    }
+
+    /// On-disk pages across all indexes (compressed).
+    pub fn total_pages(&self) -> u64 {
+        let l: u64 = self
+            .levels
+            .iter()
+            .flat_map(|per_dim| per_dim.iter().map(|i| i.total_pages()))
+            .sum();
+        let k: u64 = self.keys.iter().flatten().map(|i| i.total_pages()).sum();
+        l + k
+    }
+
+    /// Serializes every stored index's metadata for the database
+    /// catalog.
+    pub fn meta_to_bytes(&self) -> Vec<u8> {
+        use crate::dimension::write_blob;
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.levels.len() as u16).to_le_bytes());
+        for (per_dim, key) in self.levels.iter().zip(&self.keys) {
+            out.extend_from_slice(&(per_dim.len() as u16).to_le_bytes());
+            for idx in per_dim {
+                write_blob(&mut out, &idx.meta_to_bytes());
+            }
+            match key {
+                None => out.push(0),
+                Some(idx) => {
+                    out.push(1);
+                    write_blob(&mut out, &idx.meta_to_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`JoinBitmapIndexes::meta_to_bytes`], over the same
+    /// pool.
+    pub fn from_meta_bytes(pool: Arc<BufferPool>, bytes: &[u8]) -> Result<Self> {
+        use crate::dimension::Reader;
+        let mut r = Reader::new(bytes);
+        let n_dims = r.u16()? as usize;
+        let mut levels = Vec::with_capacity(n_dims);
+        let mut keys = Vec::with_capacity(n_dims);
+        for _ in 0..n_dims {
+            let n_levels = r.u16()? as usize;
+            let per_dim = (0..n_levels)
+                .map(|_| Ok(StoredBitmapIndex::from_meta_bytes(pool.clone(), r.blob()?)?))
+                .collect::<Result<Vec<_>>>()?;
+            levels.push(per_dim);
+            keys.push(match r.u8()? {
+                0 => None,
+                1 => Some(StoredBitmapIndex::from_meta_bytes(pool.clone(), r.blob()?)?),
+                _ => return Err(Error::Data("bitmap index meta: bad key tag".into())),
+            });
+        }
+        Ok(JoinBitmapIndexes { levels, keys })
+    }
+
+    fn index_for(&self, dim: usize, attr: AttrRef) -> Result<&StoredBitmapIndex> {
+        match attr {
+            AttrRef::Key => self.keys.get(dim).and_then(|k| k.as_ref()).ok_or_else(|| {
+                Error::Query(format!("no key bitmap index built for dimension {dim}"))
+            }),
+            AttrRef::Level(l) => self
+                .levels
+                .get(dim)
+                .and_then(|per| per.get(l))
+                .ok_or_else(|| {
+                    Error::Query(format!("no bitmap index for dimension {dim} level {l}"))
+                }),
+        }
+    }
+}
+
+/// The §4.5 algorithm: AND the selected values' join bitmaps, fetch the
+/// surviving tuples positionally, and aggregate.
+pub fn bitmap_consolidate(
+    schema: &StarSchema,
+    indexes: &JoinBitmapIndexes,
+    query: &Query,
+) -> Result<ConsolidationResult> {
+    query.validate(&schema.dims, schema.fact.schema().n_measures)?;
+    let n_tuples = schema.fact.num_tuples() as usize;
+
+    // Set all bits of ResultBitmap to ones, then AND in each predicate.
+    let mut result_bitmap = Bitmap::all_set(n_tuples);
+    for (d, sels) in query.selections.iter().enumerate() {
+        for sel in sels {
+            let index = indexes.index_for(d, sel.attr)?;
+            let bm = match &sel.pred {
+                crate::query::Pred::In(values) => index.fetch_any(values)?,
+                crate::query::Pred::Range { lo, hi } => index.fetch_range(*lo, *hi)?,
+            };
+            result_bitmap.and_assign(&bm);
+        }
+    }
+
+    // Group-by side: dimension hash tables without selection filtering.
+    let tables = build_dim_tables(schema, query, false)?;
+    let grouped: Vec<(usize, &crate::starjoin::DimHashTable)> = tables
+        .iter()
+        .enumerate()
+        .filter_map(|(d, t)| t.as_ref().filter(|t| t.grouped).map(|t| (d, t)))
+        .collect();
+    let columns: Vec<String> = grouped.iter().map(|(_, t)| t.column.clone()).collect();
+
+    let mut groups: std::collections::HashMap<
+        Box<[i64]>,
+        Vec<AggState>,
+        std::hash::BuildHasherDefault<crate::util::FxHasher>,
+    > = Default::default();
+    let n_measures = schema.fact.schema().n_measures;
+    let mut group_key = vec![0i64; grouped.len()];
+
+    schema
+        .fact
+        .fetch_bitmap(&result_bitmap, |_t, dims, measures| {
+            for (g, &(d, table)) in grouped.iter().enumerate() {
+                group_key[g] = *table
+                    .table
+                    .get(&dims[d])
+                    .expect("fact key joined at build time");
+            }
+            let states = match groups.get_mut(group_key.as_slice()) {
+                Some(s) => s,
+                None => groups
+                    .entry(group_key.clone().into_boxed_slice())
+                    .or_insert_with(|| vec![AggState::new(); n_measures]),
+            };
+            for (s, &v) in states.iter_mut().zip(measures) {
+                s.add(v);
+            }
+        })?;
+
+    finalize_groups(columns, groups, query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggValue;
+    use crate::dimension::DimensionTable;
+    use crate::query::{DimGrouping, Selection};
+    use crate::starjoin::starjoin_consolidate;
+    use molap_storage::MemDisk;
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 4096))
+    }
+
+    fn schema(pool: Arc<BufferPool>) -> StarSchema {
+        let dims = vec![
+            DimensionTable::build(
+                "store",
+                &[0, 1, 2, 3],
+                vec![("city", vec![10, 10, 11, 12]), ("region", vec![5, 5, 5, 6])],
+            )
+            .unwrap(),
+            DimensionTable::build("product", &[0, 1, 2], vec![("type", vec![7, 8, 7])]).unwrap(),
+        ];
+        let cells = vec![
+            (vec![0, 0], vec![1]),
+            (vec![0, 1], vec![2]),
+            (vec![1, 0], vec![4]),
+            (vec![2, 2], vec![8]),
+            (vec![3, 1], vec![16]),
+            (vec![3, 2], vec![32]),
+        ];
+        StarSchema::build(pool, dims, cells, 1).unwrap()
+    }
+
+    #[test]
+    fn matches_starjoin_on_selection_queries() {
+        let p = pool();
+        let s = schema(p.clone());
+        let idx = JoinBitmapIndexes::build(p, &s).unwrap();
+        let queries = vec![
+            Query::new(vec![DimGrouping::Level(1), DimGrouping::Level(0)])
+                .with_selection(0, Selection::eq(AttrRef::Level(0), 10)),
+            Query::new(vec![DimGrouping::Drop, DimGrouping::Level(0)])
+                .with_selection(0, Selection::in_list(AttrRef::Level(1), vec![5]))
+                .with_selection(1, Selection::eq(AttrRef::Level(0), 7)),
+            Query::new(vec![DimGrouping::Level(0), DimGrouping::Drop]),
+            Query::new(vec![DimGrouping::Drop, DimGrouping::Drop])
+                .with_selection(0, Selection::eq(AttrRef::Level(0), 999)),
+        ];
+        for q in queries {
+            let a = bitmap_consolidate(&s, &idx, &q).unwrap();
+            let b = starjoin_consolidate(&s, &q).unwrap();
+            assert_eq!(a, b, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn key_selection_requires_key_index() {
+        let p = pool();
+        let s = schema(p.clone());
+        let q = Query::new(vec![DimGrouping::Drop, DimGrouping::Drop])
+            .with_selection(0, Selection::eq(AttrRef::Key, 2));
+        let without = JoinBitmapIndexes::build(p.clone(), &s).unwrap();
+        assert!(bitmap_consolidate(&s, &without, &q).is_err());
+        let with = JoinBitmapIndexes::build_with_keys(p, &s, &[0]).unwrap();
+        let res = bitmap_consolidate(&s, &with, &q).unwrap();
+        assert_eq!(res.rows()[0].values[0], AggValue::Int(8));
+    }
+
+    #[test]
+    fn pure_consolidation_scans_everything() {
+        let p = pool();
+        let s = schema(p.clone());
+        let idx = JoinBitmapIndexes::build(p, &s).unwrap();
+        let q = Query::new(vec![DimGrouping::Drop, DimGrouping::Drop]);
+        let res = bitmap_consolidate(&s, &idx, &q).unwrap();
+        assert_eq!(res.rows()[0].values[0], AggValue::Int(63));
+    }
+
+    #[test]
+    fn index_pages_are_accounted() {
+        let p = pool();
+        let s = schema(p.clone());
+        let idx = JoinBitmapIndexes::build(p, &s).unwrap();
+        assert!(idx.total_pages() >= 1);
+    }
+}

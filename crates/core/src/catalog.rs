@@ -1,0 +1,546 @@
+//! The database catalog: named, persistent OLAP objects in one store.
+//!
+//! Paradise is a full DBMS; its catalog knows every table, index, and
+//! ADT instance. This module provides the equivalent for the
+//! reproduction: a [`Database`] owns one page store and a catalog of
+//! named objects — OLAP arrays, star schemas, bitmap index sets — that
+//! survive process restarts.
+//!
+//! On-disk layout: page 0 is the catalog root, holding a header that
+//! points at the current catalog blob (a snapshot of every object's
+//! serialized metadata). [`Database::save`]-type calls rewrite the blob
+//! to a fresh extent and flip the root pointer, then flush — a
+//! shadow-root commit, so a crash between writes leaves the previous
+//! catalog intact. Object *data* pages (chunks, B-tree nodes, bitmaps)
+//! are written in place; the catalog only stores their metadata.
+//!
+//! ```no_run
+//! use molap_core::{Database, OlapArray};
+//! # fn demo(adt: &OlapArray) -> molap_core::Result<()> {
+//! let db = Database::create("/tmp/sales.molap", 16 << 20)?;
+//! // ... build an OlapArray / StarSchema on db.pool() ...
+//! db.save_olap_array("sales", adt)?;
+//! db.checkpoint()?;
+//! drop(db);
+//!
+//! let db = Database::open("/tmp/sales.molap", 16 << 20)?;
+//! let sales = db.open_olap_array("sales")?;
+//! # Ok(()) }
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use molap_storage::util::{read_u32, read_u64, write_u32, write_u64};
+use molap_storage::{BufferPool, FileDisk, PageId, Wal, PAGE_SIZE};
+use parking_lot::Mutex;
+
+use crate::adt::OlapArray;
+use crate::bitmapjoin::JoinBitmapIndexes;
+use crate::dimension::{write_blob, Reader};
+use crate::error::{Error, Result};
+use crate::starjoin::StarSchema;
+
+const MAGIC: u32 = 0x4D4F_4C41; // "MOLA"
+const VERSION: u32 = 1;
+
+/// The WAL lives next to the database file.
+fn wal_path(db: &Path) -> std::path::PathBuf {
+    let mut p = db.as_os_str().to_owned();
+    p.push(".wal");
+    std::path::PathBuf::from(p)
+}
+
+/// Kind tag of a cataloged object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// An [`OlapArray`].
+    OlapArray,
+    /// A [`StarSchema`].
+    StarSchema,
+    /// A [`JoinBitmapIndexes`] set.
+    BitmapIndexes,
+}
+
+impl ObjectKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            ObjectKind::OlapArray => 0,
+            ObjectKind::StarSchema => 1,
+            ObjectKind::BitmapIndexes => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            0 => Ok(ObjectKind::OlapArray),
+            1 => Ok(ObjectKind::StarSchema),
+            2 => Ok(ObjectKind::BitmapIndexes),
+            _ => Err(Error::Data(format!("unknown catalog object kind {v}"))),
+        }
+    }
+}
+
+struct CatalogState {
+    objects: BTreeMap<String, (ObjectKind, Vec<u8>)>,
+    dirty: bool,
+}
+
+/// A persistent store of named OLAP objects.
+pub struct Database {
+    pool: Arc<BufferPool>,
+    catalog: Mutex<CatalogState>,
+}
+
+impl Database {
+    /// Creates a new database file (truncating any existing one) with a
+    /// buffer pool of `pool_bytes`. A redo WAL is created alongside at
+    /// `<path>.wal`; [`Database::checkpoint`] journals each flush so a
+    /// crash mid-checkpoint is recoverable on the next open.
+    pub fn create<P: AsRef<Path>>(path: P, pool_bytes: usize) -> Result<Self> {
+        let path = path.as_ref();
+        let disk = FileDisk::create(path)?;
+        let wal = Wal::create(wal_path(path))?;
+        let frames = (pool_bytes / PAGE_SIZE).max(1);
+        let pool = Arc::new(BufferPool::new_with_wal(Arc::new(disk), frames, wal));
+        let root = pool.allocate_pages(1)?;
+        debug_assert_eq!(root, PageId(0));
+        {
+            let mut page = pool.create_page(root)?;
+            write_u32(&mut page[..], 0, MAGIC);
+            write_u32(&mut page[..], 4, VERSION);
+            write_u64(&mut page[..], 8, u64::MAX); // no catalog blob yet
+        }
+        pool.flush_all()?;
+        Ok(Database {
+            pool,
+            catalog: Mutex::new(CatalogState {
+                objects: BTreeMap::new(),
+                dirty: false,
+            }),
+        })
+    }
+
+    /// Opens an existing database file and loads its catalog, first
+    /// replaying any WAL records a crashed run left behind.
+    pub fn open<P: AsRef<Path>>(path: P, pool_bytes: usize) -> Result<Self> {
+        let path = path.as_ref();
+        let disk = FileDisk::open(path)?;
+        let wal = Wal::open(wal_path(path))?;
+        if !wal.is_empty() {
+            wal.recover(&disk)?;
+        }
+        let frames = (pool_bytes / PAGE_SIZE).max(1);
+        let pool = Arc::new(BufferPool::new_with_wal(Arc::new(disk), frames, wal));
+        let (blob_start, blob_len) = {
+            let page = pool.fetch(PageId(0))?;
+            if read_u32(&page[..], 0) != MAGIC {
+                return Err(Error::Data("not a molap database (bad magic)".into()));
+            }
+            if read_u32(&page[..], 4) != VERSION {
+                return Err(Error::Data("unsupported database version".into()));
+            }
+            (read_u64(&page[..], 8), read_u64(&page[..], 16))
+        };
+        let mut objects = BTreeMap::new();
+        if blob_start != u64::MAX {
+            let mut blob = Vec::with_capacity(blob_len as usize);
+            let npages = blob_len.div_ceil(PAGE_SIZE as u64);
+            for i in 0..npages {
+                let page = pool.fetch(PageId(blob_start + i))?;
+                let take = (blob_len as usize - blob.len()).min(PAGE_SIZE);
+                blob.extend_from_slice(&page[..take]);
+            }
+            let mut r = Reader::new(&blob);
+            let n = r.u32()? as usize;
+            for _ in 0..n {
+                let name = r.str()?;
+                let kind = ObjectKind::from_u8(r.u8()?)?;
+                let meta = r.blob()?.to_vec();
+                objects.insert(name, (kind, meta));
+            }
+        }
+        Ok(Database {
+            pool,
+            catalog: Mutex::new(CatalogState {
+                objects,
+                dirty: false,
+            }),
+        })
+    }
+
+    /// The database's buffer pool: build objects on this pool so their
+    /// pages live in the database file.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Lists cataloged objects as `(name, kind)`.
+    pub fn list(&self) -> Vec<(String, ObjectKind)> {
+        self.catalog
+            .lock()
+            .objects
+            .iter()
+            .map(|(n, (k, _))| (n.clone(), *k))
+            .collect()
+    }
+
+    /// True if `name` is cataloged.
+    pub fn contains(&self, name: &str) -> bool {
+        self.catalog.lock().objects.contains_key(name)
+    }
+
+    /// Removes `name` from the catalog (object pages are not reclaimed).
+    pub fn remove(&self, name: &str) -> bool {
+        let mut cat = self.catalog.lock();
+        let removed = cat.objects.remove(name).is_some();
+        cat.dirty |= removed;
+        removed
+    }
+
+    fn put(&self, name: &str, kind: ObjectKind, meta: Vec<u8>) {
+        let mut cat = self.catalog.lock();
+        cat.objects.insert(name.to_string(), (kind, meta));
+        cat.dirty = true;
+    }
+
+    fn get(&self, name: &str, kind: ObjectKind) -> Result<Vec<u8>> {
+        let cat = self.catalog.lock();
+        match cat.objects.get(name) {
+            Some((k, meta)) if *k == kind => Ok(meta.clone()),
+            Some((k, _)) => Err(Error::Query(format!(
+                "object {name:?} is a {k:?}, not a {kind:?}"
+            ))),
+            None => Err(Error::Query(format!("no object named {name:?}"))),
+        }
+    }
+
+    /// Catalogs an [`OlapArray`] under `name` (replacing any previous
+    /// entry). Call [`Database::checkpoint`] to persist.
+    pub fn save_olap_array(&self, name: &str, adt: &OlapArray) -> Result<()> {
+        self.put(name, ObjectKind::OlapArray, adt.meta_to_bytes());
+        Ok(())
+    }
+
+    /// Reopens a cataloged [`OlapArray`].
+    pub fn open_olap_array(&self, name: &str) -> Result<OlapArray> {
+        let meta = self.get(name, ObjectKind::OlapArray)?;
+        OlapArray::from_meta_bytes(self.pool.clone(), &meta)
+    }
+
+    /// Catalogs a [`StarSchema`] under `name`.
+    pub fn save_star_schema(&self, name: &str, schema: &StarSchema) -> Result<()> {
+        self.put(name, ObjectKind::StarSchema, schema.meta_to_bytes());
+        Ok(())
+    }
+
+    /// Reopens a cataloged [`StarSchema`].
+    pub fn open_star_schema(&self, name: &str) -> Result<StarSchema> {
+        let meta = self.get(name, ObjectKind::StarSchema)?;
+        StarSchema::from_meta_bytes(self.pool.clone(), &meta)
+    }
+
+    /// Catalogs a [`JoinBitmapIndexes`] set under `name`.
+    pub fn save_bitmap_indexes(&self, name: &str, indexes: &JoinBitmapIndexes) -> Result<()> {
+        self.put(name, ObjectKind::BitmapIndexes, indexes.meta_to_bytes());
+        Ok(())
+    }
+
+    /// Reopens a cataloged [`JoinBitmapIndexes`] set.
+    pub fn open_bitmap_indexes(&self, name: &str) -> Result<JoinBitmapIndexes> {
+        let meta = self.get(name, ObjectKind::BitmapIndexes)?;
+        JoinBitmapIndexes::from_meta_bytes(self.pool.clone(), &meta)
+    }
+
+    /// Persists the catalog and flushes every dirty page — the commit
+    /// point. Writes the catalog blob to a fresh extent, then flips the
+    /// root pointer (shadow-root: a crash mid-checkpoint keeps the old
+    /// catalog). Each checkpoint allocates a new blob extent; the
+    /// previous one is not reclaimed, so checkpoint-heavy workloads
+    /// grow the file by the catalog's size per checkpoint.
+    pub fn checkpoint(&self) -> Result<()> {
+        let blob = {
+            let cat = self.catalog.lock();
+            let mut blob = Vec::new();
+            blob.extend_from_slice(&(cat.objects.len() as u32).to_le_bytes());
+            for (name, (kind, meta)) in &cat.objects {
+                blob.extend_from_slice(&(name.len() as u16).to_le_bytes());
+                blob.extend_from_slice(name.as_bytes());
+                blob.push(kind.to_u8());
+                write_blob(&mut blob, meta);
+            }
+            blob
+        };
+        let npages = (blob.len() as u64).div_ceil(PAGE_SIZE as u64).max(1);
+        let start = self.pool.allocate_pages(npages)?;
+        for i in 0..npages {
+            let mut page = self.pool.create_page(start.offset(i))?;
+            let lo = (i as usize) * PAGE_SIZE;
+            let hi = blob.len().min(lo + PAGE_SIZE);
+            if lo < blob.len() {
+                page[..hi - lo].copy_from_slice(&blob[lo..hi]);
+            }
+        }
+        // Data first (journaled + durable), then the root flip. Either
+        // flush is redoable from the WAL if a crash interrupts it.
+        self.pool.checkpoint()?;
+        {
+            let mut page = self.pool.fetch_mut(PageId(0))?;
+            write_u64(&mut page[..], 8, start.0);
+            write_u64(&mut page[..], 16, blob.len() as u64);
+        }
+        self.pool.checkpoint()?;
+        self.catalog.lock().dirty = false;
+        Ok(())
+    }
+
+    /// True if the in-memory catalog has changes not yet checkpointed.
+    pub fn is_dirty(&self) -> bool {
+        self.catalog.lock().dirty
+    }
+
+    /// Runs a SQL consolidation statement against a cataloged object.
+    ///
+    /// The `FROM` name picks the object *and the engine*: an
+    /// [`OlapArray`] runs the array algorithms, a [`StarSchema`] runs
+    /// the StarJoin — the storage transparency the paper's future work
+    /// asks for. `measures` names the cube's measure columns in order
+    /// (e.g. `&["volume"]`).
+    pub fn sql(&self, statement: &str, measures: &[&str]) -> Result<crate::ConsolidationResult> {
+        let name = crate::sql::extract_from(statement)?;
+        let kind = {
+            let cat = self.catalog.lock();
+            cat.objects
+                .get(&name)
+                .map(|(k, _)| *k)
+                .ok_or_else(|| Error::Query(format!("no object named {name:?}")))?
+        };
+        match kind {
+            ObjectKind::OlapArray => {
+                let adt = self.open_olap_array(&name)?;
+                let stmt = crate::sql::parse_query(statement, adt.dims(), measures)?;
+                adt.consolidate(&stmt.query)
+            }
+            ObjectKind::StarSchema => {
+                let schema = self.open_star_schema(&name)?;
+                let stmt = crate::sql::parse_query(statement, &schema.dims, measures)?;
+                crate::starjoin::starjoin_consolidate(&schema, &stmt.query)
+            }
+            ObjectKind::BitmapIndexes => Err(Error::Query(format!(
+                "{name:?} is a bitmap index set; query its star schema instead"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::DimensionTable;
+    use crate::query::{DimGrouping, Query};
+    use crate::starjoin::starjoin_consolidate;
+    use molap_array::ChunkFormat;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("molap-db-{}-{tag}.db", std::process::id()))
+    }
+
+    fn dims() -> Vec<DimensionTable> {
+        let mut store =
+            DimensionTable::build("store", &[0, 1, 2, 3], vec![("region", vec![0, 0, 1, 1])])
+                .unwrap();
+        store
+            .set_labels(0, vec!["midwest".into(), "west".into()])
+            .unwrap();
+        vec![
+            store,
+            DimensionTable::build("product", &[0, 1, 2], vec![("ptype", vec![5, 6, 5])]).unwrap(),
+        ]
+    }
+
+    fn cells() -> Vec<(Vec<i64>, Vec<i64>)> {
+        vec![
+            (vec![0, 0], vec![10]),
+            (vec![1, 2], vec![20]),
+            (vec![2, 1], vec![30]),
+            (vec![3, 0], vec![40]),
+        ]
+    }
+
+    #[test]
+    fn full_lifecycle_across_reopen() {
+        let path = temp_path("lifecycle");
+        let query = Query::new(vec![DimGrouping::Level(0), DimGrouping::Level(0)]);
+        let expected;
+        {
+            let db = Database::create(&path, 1 << 20).unwrap();
+            let adt = OlapArray::build(
+                db.pool().clone(),
+                dims(),
+                &[2, 2],
+                ChunkFormat::ChunkOffset,
+                cells(),
+                1,
+            )
+            .unwrap();
+            let schema = StarSchema::build(db.pool().clone(), dims(), cells(), 1).unwrap();
+            let indexes = JoinBitmapIndexes::build(db.pool().clone(), &schema).unwrap();
+            expected = adt.consolidate(&query).unwrap();
+
+            db.save_olap_array("sales", &adt).unwrap();
+            db.save_star_schema("sales_rel", &schema).unwrap();
+            db.save_bitmap_indexes("sales_bm", &indexes).unwrap();
+            assert!(db.is_dirty());
+            db.checkpoint().unwrap();
+            assert!(!db.is_dirty());
+        }
+
+        let db = Database::open(&path, 1 << 20).unwrap();
+        let mut names: Vec<String> = db.list().into_iter().map(|(n, _)| n).collect();
+        names.sort();
+        assert_eq!(names, vec!["sales", "sales_bm", "sales_rel"]);
+
+        let adt = db.open_olap_array("sales").unwrap();
+        assert_eq!(adt.consolidate(&query).unwrap(), expected);
+        assert_eq!(adt.get_by_keys(&[1, 2]).unwrap(), Some(vec![20]));
+        // Labels survived.
+        assert_eq!(adt.dims()[0].label(0, 1), "west");
+
+        let schema = db.open_star_schema("sales_rel").unwrap();
+        assert_eq!(starjoin_consolidate(&schema, &query).unwrap(), expected);
+
+        let indexes = db.open_bitmap_indexes("sales_bm").unwrap();
+        assert_eq!(
+            crate::bitmapjoin::bitmap_consolidate(&schema, &indexes, &query).unwrap(),
+            expected
+        );
+
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_file(wal_path(&path));
+    }
+
+    #[test]
+    fn type_confusion_and_missing_names_rejected() {
+        let path = temp_path("types");
+        let db = Database::create(&path, 1 << 20).unwrap();
+        let schema = StarSchema::build(db.pool().clone(), dims(), cells(), 1).unwrap();
+        db.save_star_schema("rel", &schema).unwrap();
+        assert!(db.open_olap_array("rel").is_err(), "wrong kind");
+        assert!(db.open_star_schema("nope").is_err(), "missing");
+        assert!(db.contains("rel"));
+        assert!(!db.contains("nope"));
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_file(wal_path(&path));
+    }
+
+    #[test]
+    fn remove_and_replace() {
+        let path = temp_path("remove");
+        let db = Database::create(&path, 1 << 20).unwrap();
+        let schema = StarSchema::build(db.pool().clone(), dims(), cells(), 1).unwrap();
+        db.save_star_schema("a", &schema).unwrap();
+        db.checkpoint().unwrap();
+        assert!(db.remove("a"));
+        assert!(!db.remove("a"));
+        db.checkpoint().unwrap();
+        drop(db);
+        let db = Database::open(&path, 1 << 20).unwrap();
+        assert!(db.list().is_empty());
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_file(wal_path(&path));
+    }
+
+    #[test]
+    fn reopen_without_checkpoint_sees_old_catalog() {
+        let path = temp_path("shadow");
+        {
+            let db = Database::create(&path, 1 << 20).unwrap();
+            let schema = StarSchema::build(db.pool().clone(), dims(), cells(), 1).unwrap();
+            db.save_star_schema("committed", &schema).unwrap();
+            db.checkpoint().unwrap();
+            db.save_star_schema("uncommitted", &schema).unwrap();
+            // No checkpoint: the entry must not survive.
+            db.pool().flush_all().unwrap();
+        }
+        let db = Database::open(&path, 1 << 20).unwrap();
+        assert!(db.contains("committed"));
+        assert!(!db.contains("uncommitted"));
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_file(wal_path(&path));
+    }
+
+    #[test]
+    fn sql_routes_by_object_kind() {
+        let path = temp_path("sql");
+        let db = Database::create(&path, 1 << 20).unwrap();
+        let adt = OlapArray::build(
+            db.pool().clone(),
+            dims(),
+            &[2, 2],
+            ChunkFormat::ChunkOffset,
+            cells(),
+            1,
+        )
+        .unwrap();
+        let schema = StarSchema::build(db.pool().clone(), dims(), cells(), 1).unwrap();
+        let indexes = JoinBitmapIndexes::build(db.pool().clone(), &schema).unwrap();
+        db.save_olap_array("sales", &adt).unwrap();
+        db.save_star_schema("sales_rel", &schema).unwrap();
+        db.save_bitmap_indexes("sales_bm", &indexes).unwrap();
+
+        let q = "SELECT SUM(volume), store.region FROM sales GROUP BY store.region";
+        let via_array = db.sql(q, &["volume"]).unwrap();
+        let via_rel = db
+            .sql(
+                "SELECT SUM(volume), store.region FROM sales_rel GROUP BY store.region",
+                &["volume"],
+            )
+            .unwrap();
+        assert_eq!(via_array, via_rel);
+        assert_eq!(via_array.rows().len(), 2);
+        // region 0 = keys 0,1 -> volumes 10 + 20 = 30.
+        assert_eq!(via_array.rows()[0].values[0].as_int(), Some(30));
+
+        // Labels resolve in WHERE.
+        let filtered = db
+            .sql(
+                "SELECT SUM(volume) FROM sales WHERE store.region = 'west'",
+                &["volume"],
+            )
+            .unwrap();
+        assert_eq!(filtered.rows()[0].values[0].as_int(), Some(70));
+
+        assert!(db
+            .sql("SELECT SUM(volume) FROM sales_bm", &["volume"])
+            .is_err());
+        assert!(db
+            .sql("SELECT SUM(volume) FROM nothing", &["volume"])
+            .is_err());
+        assert!(db.sql("nonsense", &["volume"]).is_err());
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_file(wal_path(&path));
+    }
+
+    #[test]
+    fn open_rejects_non_database_files() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
+        assert!(Database::open(&path, 1 << 20).is_err());
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_file(wal_path(&path));
+    }
+
+    #[test]
+    fn empty_database_roundtrip() {
+        let path = temp_path("empty");
+        {
+            let db = Database::create(&path, 1 << 20).unwrap();
+            db.checkpoint().unwrap();
+        }
+        let db = Database::open(&path, 1 << 20).unwrap();
+        assert!(db.list().is_empty());
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_file(wal_path(&path));
+    }
+}

@@ -1,0 +1,425 @@
+//! Dimension tables.
+//!
+//! A dimension `Dᵢ` has a key attribute and `kᵢ - 1` further attributes
+//! describing it, typically forming a hierarchy (§2): in the paper's
+//! test schema, `dimX(dX int, hX1 string, hX2 string)`. Attribute values
+//! are stored dictionary-encoded as `i64` codes; an optional string
+//! dictionary keeps the human-readable labels ("AA1", …) for display.
+//!
+//! Row order matters: row `r` of a dimension table is, by construction,
+//! the dimension's *array index* `r` in the OLAP array. The key B-tree
+//! in the ADT maintains the key → array index mapping so that nothing in
+//! the query path relies on keys being dense or sorted.
+
+use crate::error::{Error, Result};
+use crate::util::FxHashMap;
+
+/// One non-key attribute column (hierarchy level) of a dimension.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct AttrColumn {
+    name: String,
+    codes: Vec<i64>,
+    /// `labels[code]` when values are dictionary-encoded strings.
+    labels: Option<Vec<String>>,
+}
+
+/// A dimension table: keys plus attribute (hierarchy) columns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DimensionTable {
+    name: String,
+    keys: Vec<i64>,
+    attrs: Vec<AttrColumn>,
+    key_to_row: FxHashMap<i64, u32>,
+}
+
+impl DimensionTable {
+    /// Builds a dimension from its key column and named attribute
+    /// columns (already dictionary-encoded). Keys must be unique and
+    /// every attribute column must match the key column's length.
+    pub fn build(name: &str, keys: &[i64], attrs: Vec<(&str, Vec<i64>)>) -> Result<Self> {
+        let mut key_to_row = FxHashMap::default();
+        key_to_row.reserve(keys.len());
+        for (row, &k) in keys.iter().enumerate() {
+            if key_to_row.insert(k, row as u32).is_some() {
+                return Err(Error::Data(format!("dimension {name}: duplicate key {k}")));
+            }
+        }
+        let attrs = attrs
+            .into_iter()
+            .map(|(attr_name, codes)| {
+                if codes.len() != keys.len() {
+                    return Err(Error::Data(format!(
+                        "dimension {name}: attribute {attr_name} has {} values for {} keys",
+                        codes.len(),
+                        keys.len()
+                    )));
+                }
+                Ok(AttrColumn {
+                    name: attr_name.to_string(),
+                    codes,
+                    labels: None,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(DimensionTable {
+            name: name.to_string(),
+            keys: keys.to_vec(),
+            attrs,
+            key_to_row,
+        })
+    }
+
+    /// Attaches a string dictionary to attribute `level`:
+    /// `labels[code]` is the display string for that code.
+    pub fn set_labels(&mut self, level: usize, labels: Vec<String>) -> Result<()> {
+        let attr = self
+            .attrs
+            .get_mut(level)
+            .ok_or_else(|| Error::Query(format!("no attribute level {level}")))?;
+        attr.labels = Some(labels);
+        Ok(())
+    }
+
+    /// Dimension name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows (= dimension size = array extent).
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the dimension has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Number of non-key attribute columns.
+    pub fn num_levels(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Name of attribute `level`.
+    pub fn level_name(&self, level: usize) -> Option<&str> {
+        self.attrs.get(level).map(|a| a.name.as_str())
+    }
+
+    /// The key column.
+    pub fn keys(&self) -> &[i64] {
+        &self.keys
+    }
+
+    /// The codes of attribute `level`.
+    pub fn attr_codes(&self, level: usize) -> Result<&[i64]> {
+        self.attrs
+            .get(level)
+            .map(|a| a.codes.as_slice())
+            .ok_or_else(|| {
+                Error::Query(format!(
+                    "dimension {} has no attribute level {level}",
+                    self.name
+                ))
+            })
+    }
+
+    /// Row position of `key`, if present. This is the dimension's array
+    /// index for that key.
+    pub fn row_of_key(&self, key: i64) -> Option<u32> {
+        self.key_to_row.get(&key).copied()
+    }
+
+    /// Attribute code at (`level`, `row`).
+    pub fn attr_at(&self, level: usize, row: u32) -> Result<i64> {
+        let codes = self.attr_codes(level)?;
+        codes
+            .get(row as usize)
+            .copied()
+            .ok_or_else(|| Error::Data(format!("dimension {}: row {row} out of range", self.name)))
+    }
+
+    /// Display label for `code` of attribute `level`; falls back to the
+    /// numeric code when no dictionary is attached.
+    pub fn label(&self, level: usize, code: i64) -> String {
+        self.attrs
+            .get(level)
+            .and_then(|a| a.labels.as_ref())
+            .and_then(|labels| usize::try_from(code).ok().and_then(|c| labels.get(c)))
+            .cloned()
+            .unwrap_or_else(|| code.to_string())
+    }
+
+    /// The label dictionary of attribute `level`, if one is attached
+    /// (`labels[code]` is the display string for that code).
+    pub fn labels(&self, level: usize) -> Option<&[String]> {
+        self.attrs.get(level)?.labels.as_deref()
+    }
+
+    /// Code for display label `label` of attribute `level`, if the
+    /// dictionary knows it.
+    pub fn code_of_label(&self, level: usize, label: &str) -> Option<i64> {
+        let labels = self.attrs.get(level)?.labels.as_ref()?;
+        labels.iter().position(|l| l == label).map(|p| p as i64)
+    }
+
+    /// Sorted distinct codes of attribute `level`.
+    pub fn distinct_codes(&self, level: usize) -> Result<Vec<i64>> {
+        let mut v = self.attr_codes(level)?.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        Ok(v)
+    }
+
+    /// Serializes the table (keys, attributes, dictionaries) for the
+    /// database catalog.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_str(&mut out, &self.name);
+        out.extend_from_slice(&(self.keys.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.attrs.len() as u16).to_le_bytes());
+        for &k in &self.keys {
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+        for attr in &self.attrs {
+            write_str(&mut out, &attr.name);
+            for &c in &attr.codes {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+            match &attr.labels {
+                None => out.push(0),
+                Some(labels) => {
+                    out.push(1);
+                    out.extend_from_slice(&(labels.len() as u32).to_le_bytes());
+                    for l in labels {
+                        write_str(&mut out, l);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`DimensionTable::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let name = r.str()?;
+        let n_rows = r.u32()? as usize;
+        let n_attrs = r.u16()? as usize;
+        let keys: Vec<i64> = (0..n_rows).map(|_| r.i64()).collect::<Result<_>>()?;
+        let mut attrs = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            let attr_name = r.str()?;
+            let codes: Vec<i64> = (0..n_rows).map(|_| r.i64()).collect::<Result<_>>()?;
+            let labels = match r.u8()? {
+                0 => None,
+                1 => {
+                    let n = r.u32()? as usize;
+                    Some((0..n).map(|_| r.str()).collect::<Result<Vec<_>>>()?)
+                }
+                _ => return Err(Error::Data("dimension table: bad label tag".into())),
+            };
+            attrs.push((attr_name, codes, labels));
+        }
+        let mut table = DimensionTable::build(
+            &name,
+            &keys,
+            attrs
+                .iter()
+                .map(|(n, c, _)| (n.as_str(), c.clone()))
+                .collect(),
+        )?;
+        for (level, (_, _, labels)) in attrs.into_iter().enumerate() {
+            if let Some(labels) = labels {
+                table.set_labels(level, labels)?;
+            }
+        }
+        Ok(table)
+    }
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked little-endian cursor over serialized bytes.
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(Error::Data("serialized data truncated".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    #[allow(dead_code)] // kept for format symmetry with the writers
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn str(&mut self) -> Result<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::Data("serialized string not utf-8".into()))
+    }
+
+    /// Length-prefixed (`u32`) byte blob.
+    pub fn blob(&mut self) -> Result<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+}
+
+/// Writes a `u32`-length-prefixed blob (pairs with [`Reader::blob`]).
+pub(crate) fn write_blob(out: &mut Vec<u8>, blob: &[u8]) {
+    out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+    out.extend_from_slice(blob);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DimensionTable {
+        DimensionTable::build(
+            "store",
+            &[100, 200, 300, 400],
+            vec![("city", vec![0, 0, 1, 2]), ("region", vec![0, 0, 0, 1])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_accessors() {
+        let d = sample();
+        assert_eq!(d.name(), "store");
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.num_levels(), 2);
+        assert_eq!(d.level_name(0), Some("city"));
+        assert_eq!(d.level_name(2), None);
+        assert_eq!(d.keys(), &[100, 200, 300, 400]);
+        assert_eq!(d.attr_codes(1).unwrap(), &[0, 0, 0, 1]);
+        assert!(d.attr_codes(2).is_err());
+    }
+
+    #[test]
+    fn key_lookup_is_row_position() {
+        let d = sample();
+        assert_eq!(d.row_of_key(100), Some(0));
+        assert_eq!(d.row_of_key(400), Some(3));
+        assert_eq!(d.row_of_key(999), None);
+        assert_eq!(d.attr_at(0, 2).unwrap(), 1);
+        assert!(d.attr_at(0, 9).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        assert!(matches!(
+            DimensionTable::build("d", &[1, 1], vec![]),
+            Err(Error::Data(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_column_length_rejected() {
+        assert!(DimensionTable::build("d", &[1, 2], vec![("a", vec![0])]).is_err());
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let mut d = sample();
+        d.set_labels(0, vec!["Madison".into(), "Chicago".into(), "NYC".into()])
+            .unwrap();
+        assert_eq!(d.label(0, 1), "Chicago");
+        assert_eq!(d.label(0, 7), "7", "unknown code falls back to number");
+        assert_eq!(d.label(1, 0), "0", "level without dictionary");
+        assert_eq!(d.code_of_label(0, "NYC"), Some(2));
+        assert_eq!(d.code_of_label(0, "LA"), None);
+        assert_eq!(d.code_of_label(1, "x"), None);
+        assert!(d.set_labels(5, vec![]).is_err());
+    }
+
+    #[test]
+    fn distinct_codes_sorted() {
+        let d = sample();
+        assert_eq!(d.distinct_codes(0).unwrap(), vec![0, 1, 2]);
+        assert_eq!(d.distinct_codes(1).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn bytes_roundtrip_with_labels() {
+        let mut d = sample();
+        d.set_labels(0, vec!["Madison".into(), "Chicago".into(), "NYC".into()])
+            .unwrap();
+        let restored = DimensionTable::from_bytes(&d.to_bytes()).unwrap();
+        assert_eq!(restored, d);
+        assert_eq!(restored.label(0, 2), "NYC");
+        assert_eq!(restored.row_of_key(300), Some(2));
+    }
+
+    #[test]
+    fn bytes_roundtrip_without_labels() {
+        let d = DimensionTable::build("empty", &[], vec![("a", vec![])]).unwrap();
+        assert_eq!(DimensionTable::from_bytes(&d.to_bytes()).unwrap(), d);
+        let d = sample();
+        assert_eq!(DimensionTable::from_bytes(&d.to_bytes()).unwrap(), d);
+    }
+
+    #[test]
+    fn truncated_bytes_rejected() {
+        let d = sample();
+        let bytes = d.to_bytes();
+        for cut in [0, 3, 10, bytes.len() - 1] {
+            assert!(
+                DimensionTable::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn reader_primitives() {
+        let mut out = Vec::new();
+        out.push(7u8);
+        out.extend_from_slice(&0xBEEFu16.to_le_bytes());
+        out.extend_from_slice(&0xCAFEBABEu32.to_le_bytes());
+        out.extend_from_slice(&(-5i64).to_le_bytes());
+        out.extend_from_slice(&42u64.to_le_bytes());
+        write_blob(&mut out, b"xyz");
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xCAFEBABE);
+        assert_eq!(r.i64().unwrap(), -5);
+        assert_eq!(r.u64().unwrap(), 42);
+        assert_eq!(r.blob().unwrap(), b"xyz");
+        assert!(r.u8().is_err(), "exhausted reader errors");
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for query construction and evaluation.
+
+use std::fmt;
+
+/// Errors raised by the OLAP core.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying paged storage failed.
+    Storage(molap_storage::StorageError),
+    /// Array construction or access failed.
+    Array(molap_array::ArrayError),
+    /// A query referenced a dimension, level, or key that does not
+    /// exist, or is otherwise malformed.
+    Query(String),
+    /// Input data violated the data model (arity mismatch, unknown
+    /// dimension key, duplicate cell).
+    Data(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Storage(e) => write!(f, "storage error: {e}"),
+            Error::Array(e) => write!(f, "array error: {e}"),
+            Error::Query(msg) => write!(f, "invalid query: {msg}"),
+            Error::Data(msg) => write!(f, "invalid data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Storage(e) => Some(e),
+            Error::Array(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<molap_storage::StorageError> for Error {
+    fn from(e: molap_storage::StorageError) -> Self {
+        Error::Storage(e)
+    }
+}
+
+impl From<molap_array::ArrayError> for Error {
+    fn from(e: molap_array::ArrayError) -> Self {
+        Error::Array(e)
+    }
+}
+
+/// Convenience alias used throughout the core crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = Error::Query("bad level".into());
+        assert!(e.to_string().contains("bad level"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e: Error = molap_storage::StorageError::PoolExhausted.into();
+        assert!(e.to_string().contains("storage"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: Error = molap_array::ArrayError::Corrupt("x").into();
+        assert!(e.to_string().contains("array"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

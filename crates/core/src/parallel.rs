@@ -1,0 +1,175 @@
+//! Parallel array consolidation — the paper's future work (§6):
+//! "we believe that the large OLAP data set sizes require parallel
+//! computing and we would like to investigate parallelization of OLAP
+//! data structures and key OLAP operations".
+//!
+//! The array consolidation algorithm parallelizes naturally: chunks are
+//! independent, the IndexToIndex mapping is read-only, and aggregation
+//! into a *private* result cube per worker needs no synchronization —
+//! cubes merge associatively at the end ([`crate::ResultCube::merge`]).
+//! Workers share the buffer pool (frames are individually latched), so
+//! this is intra-operator parallelism on one store, not partitioned
+//! data.
+//!
+//! Selection queries keep the sequential §4.2 path: their cost is
+//! dominated by the chunk-ordered probe whose monotonic cursor is
+//! inherently sequential per chunk, and the paper's selective queries
+//! touch little data anyway.
+
+use crate::adt::OlapArray;
+use crate::consolidate::{make_cube, phase1};
+use crate::error::{Error, Result};
+use crate::query::Query;
+use crate::result::ConsolidationResult;
+
+/// Like [`OlapArray::consolidate`] for selection-free queries, but
+/// scanning chunks with `threads` workers. Results are identical to the
+/// sequential algorithm.
+pub fn consolidate_parallel(
+    adt: &OlapArray,
+    query: &Query,
+    threads: usize,
+) -> Result<ConsolidationResult> {
+    query.validate(adt.dims(), adt.n_measures())?;
+    if query.has_selection() {
+        return Err(Error::Query(
+            "parallel consolidation does not support selections; use consolidate()".into(),
+        ));
+    }
+    let threads = threads.max(1);
+    let (maps, _result_btrees) = phase1(adt, query)?;
+    let num_chunks = adt.array().shape().num_chunks();
+
+    // Contiguous chunk spans per worker (chunk order = disk order, so
+    // each worker reads sequentially within its span).
+    let span = num_chunks.div_ceil(threads as u64).max(1);
+    let cubes = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..threads as u64 {
+            let lo = w * span;
+            let hi = ((w + 1) * span).min(num_chunks);
+            if lo >= hi {
+                break;
+            }
+            let maps = &maps;
+            handles.push(scope.spawn(move |_| -> Result<crate::result::ResultCube> {
+                let mut cube = make_cube(maps, adt.n_measures());
+                let shape = adt.array().shape();
+                let mut coords = vec![0u32; shape.n_dims()];
+                let mut ranks = vec![0u32; maps.len()];
+                for chunk_no in lo..hi {
+                    let chunk = adt.array().read_chunk(chunk_no)?;
+                    chunk.for_each_valid(|offset, values| {
+                        shape.decode(chunk_no, offset, &mut coords);
+                        for (g, map) in maps.iter().enumerate() {
+                            ranks[g] = map.i2i[coords[map.dim] as usize];
+                        }
+                        cube.add(&ranks, values);
+                    });
+                }
+                Ok(cube)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Result<Vec<_>>>()
+    })
+    .expect("scope panicked")?;
+
+    let mut iter = cubes.into_iter();
+    let mut total = iter
+        .next()
+        .unwrap_or_else(|| make_cube(&maps, adt.n_measures()));
+    for cube in iter {
+        total.merge(&cube)?;
+    }
+    total.into_result(&query.aggs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::DimensionTable;
+    use crate::query::{AttrRef, DimGrouping, Selection};
+    use molap_array::ChunkFormat;
+    use molap_storage::{BufferPool, MemDisk};
+    use std::sync::Arc;
+
+    fn build(cells: usize) -> OlapArray {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 4096));
+        let dims = vec![
+            DimensionTable::build(
+                "a",
+                &(0..30i64).collect::<Vec<_>>(),
+                vec![("h", (0..30i64).map(|k| k / 10).collect())],
+            )
+            .unwrap(),
+            DimensionTable::build(
+                "b",
+                &(0..20i64).collect::<Vec<_>>(),
+                vec![("h", (0..20i64).map(|k| k % 4).collect())],
+            )
+            .unwrap(),
+        ];
+        let all: Vec<(Vec<i64>, Vec<i64>)> = (0..30i64)
+            .flat_map(|x| (0..20i64).map(move |y| (vec![x, y], vec![x * 31 + y])))
+            .filter(|(k, _)| (k[0] * 13 + k[1] * 7) % 3 != 0)
+            .take(cells)
+            .collect();
+        OlapArray::build(pool, dims, &[7, 6], ChunkFormat::ChunkOffset, all, 1).unwrap()
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_all_thread_counts() {
+        let adt = build(300);
+        for group_by in [
+            vec![DimGrouping::Level(0), DimGrouping::Level(0)],
+            vec![DimGrouping::Key, DimGrouping::Drop],
+            vec![DimGrouping::Drop, DimGrouping::Drop],
+        ] {
+            let q = Query::new(group_by);
+            let sequential = adt.consolidate(&q).unwrap();
+            for threads in [1, 2, 3, 8, 64] {
+                let parallel = consolidate_parallel(&adt, &q, threads).unwrap();
+                assert_eq!(parallel, sequential, "{threads} threads, {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_workers_than_chunks_is_fine() {
+        let adt = build(10);
+        let q = Query::new(vec![DimGrouping::Drop, DimGrouping::Drop]);
+        let res = consolidate_parallel(&adt, &q, 1000).unwrap();
+        assert_eq!(res, adt.consolidate(&q).unwrap());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let adt = build(50);
+        let q = Query::new(vec![DimGrouping::Level(0), DimGrouping::Drop]);
+        assert_eq!(
+            consolidate_parallel(&adt, &q, 0).unwrap(),
+            adt.consolidate(&q).unwrap()
+        );
+    }
+
+    #[test]
+    fn selections_are_rejected() {
+        let adt = build(50);
+        let q = Query::new(vec![DimGrouping::Drop, DimGrouping::Drop])
+            .with_selection(0, Selection::eq(AttrRef::Level(0), 1));
+        assert!(matches!(
+            consolidate_parallel(&adt, &q, 2),
+            Err(Error::Query(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected() {
+        let adt = build(50);
+        let q = Query::new(vec![DimGrouping::Drop]); // wrong arity
+        assert!(consolidate_parallel(&adt, &q, 2).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! The consolidation query model.
+//!
+//! A generalized consolidation (§2.1) is a star join of the cube with
+//! its dimension tables, a conjunction of per-dimension selections
+//! `φ(Dᵢ)`, a GROUP BY over dimension attributes, and per-measure
+//! aggregates. [`Query`] captures exactly that, engine-neutrally:
+//!
+//! * one [`DimGrouping`] per dimension — group by the key itself, by a
+//!   hierarchy attribute, or aggregate the dimension away;
+//! * per dimension, zero or more conjunctive [`Selection`]s, each an
+//!   IN-list over the key or an attribute (the paper's `Dᵢ(Aᵢⱼ) = vᵢⱼ`
+//!   is a one-element list);
+//! * one [`AggFunc`] per measure.
+
+use crate::aggregate::AggFunc;
+use crate::dimension::DimensionTable;
+use crate::error::{Error, Result};
+
+/// Which column of a dimension a selection references.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttrRef {
+    /// The dimension's key attribute.
+    Key,
+    /// Hierarchy attribute at this level (0-based column index).
+    Level(usize),
+}
+
+/// How one dimension participates in the GROUP BY.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DimGrouping {
+    /// The dimension is aggregated away (not in the GROUP BY).
+    Drop,
+    /// Group by the dimension key (finest granularity).
+    Key,
+    /// Group by hierarchy attribute `level`.
+    Level(usize),
+}
+
+/// The value set a selection accepts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pred {
+    /// Membership in an explicit list (the paper's `attr = v` is a
+    /// one-element list). An empty list selects nothing.
+    In(Vec<i64>),
+    /// Inclusive range `lo <= value <= hi` (an empty range selects
+    /// nothing).
+    Range {
+        /// Lower bound, inclusive.
+        lo: i64,
+        /// Upper bound, inclusive.
+        hi: i64,
+    },
+}
+
+impl Pred {
+    /// True if `value` satisfies the predicate.
+    #[inline]
+    pub fn accepts(&self, value: i64) -> bool {
+        match self {
+            Pred::In(values) => values.contains(&value),
+            Pred::Range { lo, hi } => *lo <= value && value <= *hi,
+        }
+    }
+}
+
+/// A conjunctive predicate on one dimension column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Selection {
+    /// The referenced column.
+    pub attr: AttrRef,
+    /// The accepted values.
+    pub pred: Pred,
+}
+
+impl Selection {
+    /// `attr = value` (the paper's equality predicate).
+    pub fn eq(attr: AttrRef, value: i64) -> Self {
+        Selection {
+            attr,
+            pred: Pred::In(vec![value]),
+        }
+    }
+
+    /// `attr IN (values)`.
+    pub fn in_list(attr: AttrRef, values: Vec<i64>) -> Self {
+        Selection {
+            attr,
+            pred: Pred::In(values),
+        }
+    }
+
+    /// `attr BETWEEN lo AND hi` (inclusive).
+    pub fn range(attr: AttrRef, lo: i64, hi: i64) -> Self {
+        Selection {
+            attr,
+            pred: Pred::Range { lo, hi },
+        }
+    }
+}
+
+/// A consolidation query over an n-dimensional cube.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// One grouping per dimension.
+    pub group_by: Vec<DimGrouping>,
+    /// Conjunctive selections per dimension (outer index = dimension).
+    pub selections: Vec<Vec<Selection>>,
+    /// Aggregate per measure; defaults to SUM for every measure.
+    pub aggs: Vec<AggFunc>,
+}
+
+impl Query {
+    /// A pure consolidation (no selections, SUM for one measure).
+    pub fn new(group_by: Vec<DimGrouping>) -> Self {
+        let n = group_by.len();
+        Query {
+            group_by,
+            selections: vec![Vec::new(); n],
+            aggs: vec![AggFunc::Sum],
+        }
+    }
+
+    /// Adds a selection on dimension `dim` (builder style).
+    pub fn with_selection(mut self, dim: usize, sel: Selection) -> Self {
+        assert!(dim < self.selections.len(), "dimension out of range");
+        self.selections[dim].push(sel);
+        self
+    }
+
+    /// Replaces the per-measure aggregate list (builder style).
+    pub fn with_aggs(mut self, aggs: Vec<AggFunc>) -> Self {
+        self.aggs = aggs;
+        self
+    }
+
+    /// Number of dimensions the query addresses.
+    pub fn n_dims(&self) -> usize {
+        self.group_by.len()
+    }
+
+    /// True if any dimension carries a selection.
+    pub fn has_selection(&self) -> bool {
+        self.selections.iter().any(|s| !s.is_empty())
+    }
+
+    /// Dimensions that appear in the GROUP BY, in dimension order.
+    pub fn grouped_dims(&self) -> Vec<usize> {
+        self.group_by
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !matches!(g, DimGrouping::Drop))
+            .map(|(d, _)| d)
+            .collect()
+    }
+
+    /// Validates the query against a set of dimension tables and the
+    /// measure count of the cube.
+    pub fn validate(&self, dims: &[DimensionTable], n_measures: usize) -> Result<()> {
+        if self.group_by.len() != dims.len() {
+            return Err(Error::Query(format!(
+                "query addresses {} dimensions, cube has {}",
+                self.group_by.len(),
+                dims.len()
+            )));
+        }
+        if self.selections.len() != dims.len() {
+            return Err(Error::Query("selections arity mismatch".into()));
+        }
+        if self.aggs.len() != n_measures {
+            return Err(Error::Query(format!(
+                "{} aggregates for {} measures",
+                self.aggs.len(),
+                n_measures
+            )));
+        }
+        for (d, g) in self.group_by.iter().enumerate() {
+            if let DimGrouping::Level(l) = g {
+                if *l >= dims[d].num_levels() {
+                    return Err(Error::Query(format!(
+                        "dimension {} has no level {l}",
+                        dims[d].name()
+                    )));
+                }
+            }
+        }
+        for (d, sels) in self.selections.iter().enumerate() {
+            for sel in sels {
+                if let AttrRef::Level(l) = sel.attr {
+                    if l >= dims[d].num_levels() {
+                        return Err(Error::Query(format!(
+                            "selection on dimension {} level {l} out of range",
+                            dims[d].name()
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> Vec<DimensionTable> {
+        vec![
+            DimensionTable::build("a", &[0, 1], vec![("h1", vec![0, 0])]).unwrap(),
+            DimensionTable::build("b", &[0, 1, 2], vec![("h1", vec![0, 1, 1])]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let q = Query::new(vec![DimGrouping::Level(0), DimGrouping::Drop])
+            .with_selection(1, Selection::eq(AttrRef::Level(0), 1));
+        assert_eq!(q.n_dims(), 2);
+        assert!(q.has_selection());
+        assert_eq!(q.grouped_dims(), vec![0]);
+        assert_eq!(q.aggs, vec![AggFunc::Sum]);
+        let q2 = Query::new(vec![DimGrouping::Key, DimGrouping::Key]);
+        assert!(!q2.has_selection());
+        assert_eq!(q2.grouped_dims(), vec![0, 1]);
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        let d = dims();
+        assert!(Query::new(vec![DimGrouping::Drop]).validate(&d, 1).is_err());
+        assert!(Query::new(vec![DimGrouping::Level(5), DimGrouping::Drop])
+            .validate(&d, 1)
+            .is_err());
+        assert!(Query::new(vec![DimGrouping::Drop, DimGrouping::Drop])
+            .with_selection(0, Selection::eq(AttrRef::Level(9), 0))
+            .validate(&d, 1)
+            .is_err());
+        assert!(Query::new(vec![DimGrouping::Drop, DimGrouping::Drop])
+            .validate(&d, 2)
+            .is_err());
+        assert!(Query::new(vec![DimGrouping::Level(0), DimGrouping::Key])
+            .with_selection(1, Selection::eq(AttrRef::Key, 2))
+            .validate(&d, 1)
+            .is_ok());
+    }
+
+    #[test]
+    fn selection_constructors() {
+        let s = Selection::eq(AttrRef::Key, 7);
+        assert_eq!(s.pred, Pred::In(vec![7]));
+        let s = Selection::in_list(AttrRef::Level(1), vec![1, 2, 3]);
+        assert!(s.pred.accepts(2) && !s.pred.accepts(4));
+        let s = Selection::range(AttrRef::Key, 3, 5);
+        assert!(s.pred.accepts(3) && s.pred.accepts(5));
+        assert!(!s.pred.accepts(2) && !s.pred.accepts(6));
+        // Degenerate predicates accept nothing.
+        assert!(!Pred::In(vec![]).accepts(0));
+        assert!(!Pred::Range { lo: 5, hi: 4 }.accepts(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension out of range")]
+    fn with_selection_bounds_checked() {
+        let _ =
+            Query::new(vec![DimGrouping::Drop]).with_selection(3, Selection::eq(AttrRef::Key, 0));
+    }
+}

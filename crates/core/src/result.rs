@@ -1,0 +1,379 @@
+//! Query results: the positional result cube and the normalized rows.
+//!
+//! The array engine aggregates *positionally* into a dense in-memory
+//! result cube — the paper's "result OLAP Array object", which "fits
+//! into memory" by the §4.1 assumption. The relational engines
+//! aggregate into hash tables keyed by group values. [`ResultCube`] and
+//! the hash tables both normalize into a [`ConsolidationResult`] —
+//! rows of (group codes, finalized aggregates) in group-code order — so
+//! engines can be compared with `==`.
+
+use crate::aggregate::{AggFunc, AggState, AggValue};
+use crate::error::{Error, Result};
+
+/// Metadata of one grouped dimension in a result cube.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupedDim {
+    /// Index of the source dimension in the cube.
+    pub dim: usize,
+    /// Column header, e.g. `"store.region"`.
+    pub column: String,
+    /// Group code for each rank: `codes[rank]` is the attribute value
+    /// the rank stands for. Sorted ascending.
+    pub codes: Vec<i64>,
+}
+
+/// A dense, memory-resident result array with one [`AggState`] per
+/// (group cell, measure).
+#[derive(Clone, Debug)]
+pub struct ResultCube {
+    dims: Vec<GroupedDim>,
+    shape: Vec<u32>,
+    strides: Vec<usize>,
+    n_measures: usize,
+    states: Vec<AggState>,
+}
+
+impl ResultCube {
+    /// Creates an empty cube over the given grouped dimensions.
+    pub fn new(dims: Vec<GroupedDim>, n_measures: usize) -> Self {
+        let shape: Vec<u32> = dims.iter().map(|d| d.codes.len() as u32).collect();
+        let mut strides = vec![1usize; shape.len()];
+        for i in (0..shape.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * shape[i + 1] as usize;
+        }
+        let cells: usize = shape.iter().map(|&s| s as usize).product::<usize>().max(1);
+        ResultCube {
+            dims,
+            shape,
+            strides,
+            n_measures,
+            states: vec![AggState::new(); cells * n_measures],
+        }
+    }
+
+    /// The grouped dimensions.
+    pub fn dims(&self) -> &[GroupedDim] {
+        &self.dims
+    }
+
+    /// Number of group cells (1 for a global aggregate).
+    pub fn num_cells(&self) -> usize {
+        self.states.len() / self.n_measures
+    }
+
+    /// Linear cell index for a rank vector.
+    #[inline]
+    pub fn linear(&self, ranks: &[u32]) -> usize {
+        debug_assert_eq!(ranks.len(), self.shape.len());
+        let mut idx = 0usize;
+        for (d, &r) in ranks.iter().enumerate() {
+            debug_assert!(r < self.shape[d]);
+            idx += r as usize * self.strides[d];
+        }
+        idx
+    }
+
+    /// Folds one cell's measures into the group at `ranks`.
+    #[inline]
+    pub fn add(&mut self, ranks: &[u32], values: &[i64]) {
+        debug_assert_eq!(values.len(), self.n_measures);
+        let base = self.linear(ranks) * self.n_measures;
+        for (i, &v) in values.iter().enumerate() {
+            self.states[base + i].add(v);
+        }
+    }
+
+    /// Folds one cell's measures given a precomputed linear index.
+    #[inline]
+    pub fn add_linear(&mut self, cell: usize, values: &[i64]) {
+        let base = cell * self.n_measures;
+        for (i, &v) in values.iter().enumerate() {
+            self.states[base + i].add(v);
+        }
+    }
+
+    /// Merges another cube (same geometry) into this one — used by the
+    /// parallel scan extension.
+    pub fn merge(&mut self, other: &ResultCube) -> Result<()> {
+        if self.shape != other.shape || self.n_measures != other.n_measures {
+            return Err(Error::Query("cannot merge differently-shaped cubes".into()));
+        }
+        for (a, b) in self.states.iter_mut().zip(&other.states) {
+            a.merge(b);
+        }
+        Ok(())
+    }
+
+    /// Aggregates away the dimensions where `keep` is false, producing
+    /// the coarser cube. [`AggState`]s merge associatively, so a
+    /// projection of a finer result equals recomputing from scratch —
+    /// the "compute from smallest parent" property the CUBE operator
+    /// builds on.
+    pub fn project(&self, keep: &[bool]) -> Result<ResultCube> {
+        if keep.len() != self.shape.len() {
+            return Err(Error::Query(format!(
+                "projection mask has {} entries for {} dimensions",
+                keep.len(),
+                self.shape.len()
+            )));
+        }
+        let kept: Vec<usize> = (0..keep.len()).filter(|&d| keep[d]).collect();
+        let mut out = ResultCube::new(
+            kept.iter().map(|&d| self.dims[d].clone()).collect(),
+            self.n_measures,
+        );
+        let n = self.shape.len();
+        let mut out_ranks = vec![0u32; kept.len()];
+        for cell in 0..self.num_cells() {
+            let base = cell * self.n_measures;
+            if self.states[base].is_empty() {
+                continue;
+            }
+            let mut rem = cell;
+            let mut k = 0;
+            for (d, &keep_d) in keep.iter().enumerate().take(n) {
+                let rank = (rem / self.strides[d]) as u32;
+                rem %= self.strides[d];
+                if keep_d {
+                    out_ranks[k] = rank;
+                    k += 1;
+                }
+            }
+            let out_base = out.linear(&out_ranks) * self.n_measures;
+            for m in 0..self.n_measures {
+                out.states[out_base + m].merge(&self.states[base + m]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Finalizes into normalized rows, skipping empty groups (borrowing
+    /// variant of [`ResultCube::into_result`]).
+    pub fn to_result(&self, aggs: &[AggFunc]) -> Result<ConsolidationResult> {
+        self.clone().into_result(aggs)
+    }
+
+    /// Finalizes into normalized rows, skipping empty groups.
+    pub fn into_result(self, aggs: &[AggFunc]) -> Result<ConsolidationResult> {
+        if aggs.len() != self.n_measures {
+            return Err(Error::Query(format!(
+                "{} aggregates for {} measures",
+                aggs.len(),
+                self.n_measures
+            )));
+        }
+        let columns: Vec<String> = self.dims.iter().map(|d| d.column.clone()).collect();
+        let mut rows = Vec::new();
+        let n = self.shape.len();
+        let mut ranks = vec![0u32; n];
+        for cell in 0..self.num_cells() {
+            let base = cell * self.n_measures;
+            if self.states[base].is_empty() {
+                continue;
+            }
+            // Decode ranks from the linear index.
+            let mut rem = cell;
+            for (d, rank) in ranks.iter_mut().enumerate().take(n) {
+                *rank = (rem / self.strides[d]) as u32;
+                rem %= self.strides[d];
+            }
+            let keys: Vec<i64> = (0..n)
+                .map(|d| self.dims[d].codes[ranks[d] as usize])
+                .collect();
+            let values: Vec<AggValue> = (0..self.n_measures)
+                .map(|m| {
+                    self.states[base + m]
+                        .finalize(aggs[m])
+                        .expect("non-empty state finalizes")
+                })
+                .collect();
+            rows.push(Row { keys, values });
+        }
+        // Linear order over sorted per-dim codes is already key order,
+        // but sort defensively so equality never depends on layout.
+        rows.sort_unstable_by(|a, b| a.keys.cmp(&b.keys));
+        Ok(ConsolidationResult { columns, rows })
+    }
+}
+
+/// One output row: group codes in grouped-dimension order, then one
+/// finalized aggregate per measure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Group-by attribute codes.
+    pub keys: Vec<i64>,
+    /// Finalized aggregates, one per measure.
+    pub values: Vec<AggValue>,
+}
+
+/// A normalized consolidation result: rows sorted by group codes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConsolidationResult {
+    columns: Vec<String>,
+    rows: Vec<Row>,
+}
+
+impl ConsolidationResult {
+    /// Builds a result from unsorted rows (relational engines).
+    pub fn from_rows(columns: Vec<String>, mut rows: Vec<Row>) -> Self {
+        rows.sort_unstable_by(|a, b| a.keys.cmp(&b.keys));
+        ConsolidationResult { columns, rows }
+    }
+
+    /// Group-by column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The rows, sorted by group codes.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Sum of first-measure integer values across rows (handy check).
+    pub fn total(&self) -> i64 {
+        self.rows
+            .iter()
+            .filter_map(|r| r.values.first().and_then(|v| v.as_int()))
+            .sum()
+    }
+
+    /// Renders as an aligned text table (for the examples and harness).
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "{} | value(s)", self.columns.join(" | ")).unwrap();
+        for row in &self.rows {
+            let keys: Vec<String> = row.keys.iter().map(|k| k.to_string()).collect();
+            let vals: Vec<String> = row.values.iter().map(|v| v.to_string()).collect();
+            writeln!(out, "{} | {}", keys.join(" | "), vals.join(" | ")).unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_dim_cube() -> ResultCube {
+        ResultCube::new(
+            vec![
+                GroupedDim {
+                    dim: 0,
+                    column: "a.h1".into(),
+                    codes: vec![10, 20],
+                },
+                GroupedDim {
+                    dim: 1,
+                    column: "b.h1".into(),
+                    codes: vec![5, 6, 7],
+                },
+            ],
+            1,
+        )
+    }
+
+    #[test]
+    fn add_and_finalize() {
+        let mut cube = two_dim_cube();
+        cube.add(&[0, 0], &[3]);
+        cube.add(&[0, 0], &[4]);
+        cube.add(&[1, 2], &[10]);
+        let res = cube.into_result(&[AggFunc::Sum]).unwrap();
+        assert_eq!(res.columns(), &["a.h1".to_string(), "b.h1".to_string()]);
+        assert_eq!(
+            res.rows(),
+            &[
+                Row {
+                    keys: vec![10, 5],
+                    values: vec![AggValue::Int(7)]
+                },
+                Row {
+                    keys: vec![20, 7],
+                    values: vec![AggValue::Int(10)]
+                },
+            ]
+        );
+        assert_eq!(res.total(), 17);
+    }
+
+    #[test]
+    fn scalar_cube_for_global_aggregate() {
+        let mut cube = ResultCube::new(vec![], 2);
+        assert_eq!(cube.num_cells(), 1);
+        cube.add(&[], &[5, -1]);
+        cube.add(&[], &[3, -2]);
+        let res = cube.into_result(&[AggFunc::Sum, AggFunc::Min]).unwrap();
+        assert_eq!(res.rows().len(), 1);
+        assert_eq!(
+            res.rows()[0].values,
+            vec![AggValue::Int(8), AggValue::Int(-2)]
+        );
+    }
+
+    #[test]
+    fn empty_groups_are_skipped() {
+        let cube = two_dim_cube();
+        let res = cube.into_result(&[AggFunc::Sum]).unwrap();
+        assert!(res.rows().is_empty());
+        assert_eq!(res.total(), 0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let mut a = two_dim_cube();
+        let mut b = two_dim_cube();
+        let mut seq = two_dim_cube();
+        a.add(&[0, 1], &[2]);
+        seq.add(&[0, 1], &[2]);
+        b.add(&[0, 1], &[3]);
+        seq.add(&[0, 1], &[3]);
+        b.add(&[1, 0], &[9]);
+        seq.add(&[1, 0], &[9]);
+        a.merge(&b).unwrap();
+        assert_eq!(
+            a.into_result(&[AggFunc::Sum]).unwrap(),
+            seq.into_result(&[AggFunc::Sum]).unwrap()
+        );
+        // Shape mismatch is rejected.
+        let mut c = two_dim_cube();
+        assert!(c.merge(&ResultCube::new(vec![], 1)).is_err());
+    }
+
+    #[test]
+    fn from_rows_sorts() {
+        let r = ConsolidationResult::from_rows(
+            vec!["k".into()],
+            vec![
+                Row {
+                    keys: vec![3],
+                    values: vec![AggValue::Int(1)],
+                },
+                Row {
+                    keys: vec![1],
+                    values: vec![AggValue::Int(2)],
+                },
+            ],
+        );
+        assert_eq!(r.rows()[0].keys, vec![1]);
+        assert_eq!(r.rows()[1].keys, vec![3]);
+    }
+
+    #[test]
+    fn agg_arity_checked() {
+        let cube = two_dim_cube();
+        assert!(cube.into_result(&[AggFunc::Sum, AggFunc::Sum]).is_err());
+    }
+
+    #[test]
+    fn table_rendering() {
+        let mut cube = two_dim_cube();
+        cube.add(&[0, 1], &[5]);
+        let res = cube.into_result(&[AggFunc::Sum]).unwrap();
+        let table = res.to_table();
+        assert!(table.contains("a.h1 | b.h1"));
+        assert!(table.contains("10 | 6 | 5"));
+    }
+}

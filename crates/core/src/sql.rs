@@ -1,0 +1,617 @@
+//! A small SQL front end for consolidation queries.
+//!
+//! The paper's future work (§1, §6) is making the OLAP Array usable
+//! "transparently" from SQL — its experiments invoked ADT methods
+//! directly. This module closes that gap for the consolidation dialect
+//! the paper studies (§2.1):
+//!
+//! ```sql
+//! SELECT SUM(volume), dim0.h01, dim1.h11
+//! FROM sales
+//! WHERE dim2.h22 = 'AB1' AND dim3.h31 IN (0, 2) AND dim0.key = 7
+//! GROUP BY dim0.h01, dim1.h11
+//! ```
+//!
+//! * columns are `dimension.attribute`; `dimension.key` names the key
+//!   attribute;
+//! * literals are integers or `'strings'` (resolved through the
+//!   dimension's label dictionary);
+//! * aggregates are `SUM|COUNT|MIN|MAX|AVG(measure)` with measure names
+//!   supplied by the caller (the paper's schema has one: `volume`);
+//! * the WHERE clause is the paper's conjunction of per-dimension
+//!   IN-list/equality predicates — no OR, no joins beyond the star.
+//!
+//! [`parse_query`] produces the engine-neutral [`Query`] plus the cube
+//! name from `FROM`; [`crate::Database::sql`] resolves that name in the
+//! catalog and routes to the array engine or the StarJoin automatically
+//! — the "storage transparency" the paper calls for.
+
+use crate::aggregate::AggFunc;
+use crate::dimension::DimensionTable;
+use crate::error::{Error, Result};
+use crate::query::{AttrRef, DimGrouping, Query, Selection};
+
+/// A parsed statement: which cube to query and what to compute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SqlStatement {
+    /// The `FROM` object name.
+    pub cube: String,
+    /// The engine-neutral query.
+    pub query: Query,
+}
+
+// ------------------------------------------------------------- lexer
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Eq,
+    Star,
+    End,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            chars: src.char_indices().peekable(),
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        while let Some(&(_, c)) = self.chars.peek() {
+            if c.is_whitespace() {
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        let Some(&(start, c)) = self.chars.peek() else {
+            return Ok(Token::End);
+        };
+        match c {
+            '(' => {
+                self.chars.next();
+                Ok(Token::LParen)
+            }
+            ')' => {
+                self.chars.next();
+                Ok(Token::RParen)
+            }
+            ',' => {
+                self.chars.next();
+                Ok(Token::Comma)
+            }
+            '.' => {
+                self.chars.next();
+                Ok(Token::Dot)
+            }
+            '=' => {
+                self.chars.next();
+                Ok(Token::Eq)
+            }
+            '*' => {
+                self.chars.next();
+                Ok(Token::Star)
+            }
+            '\'' => {
+                self.chars.next();
+                let mut s = String::new();
+                loop {
+                    match self.chars.next() {
+                        Some((_, '\'')) => return Ok(Token::Str(s)),
+                        Some((_, ch)) => s.push(ch),
+                        None => return Err(Error::Query("unterminated string literal".into())),
+                    }
+                }
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                self.chars.next();
+                let mut end = start + c.len_utf8();
+                while let Some(&(i, ch)) = self.chars.peek() {
+                    if ch.is_ascii_digit() {
+                        end = i + ch.len_utf8();
+                        self.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let text = &self.src[start..end];
+                text.parse::<i64>()
+                    .map(Token::Int)
+                    .map_err(|_| Error::Query(format!("bad integer literal {text:?}")))
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                // Exclusive byte offsets: identifiers may contain
+                // multi-byte characters, so `end` must land on a char
+                // boundary (start of the char *after* the identifier).
+                self.chars.next();
+                let mut end = start + c.len_utf8();
+                while let Some(&(i, ch)) = self.chars.peek() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        end = i + ch.len_utf8();
+                        self.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Token::Ident(self.src[start..end].to_string()))
+            }
+            other => Err(Error::Query(format!("unexpected character {other:?}"))),
+        }
+    }
+}
+
+fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut lexer = Lexer::new(src);
+    let mut tokens = Vec::new();
+    loop {
+        let t = lexer.next_token()?;
+        let end = t == Token::End;
+        tokens.push(t);
+        if end {
+            return Ok(tokens);
+        }
+    }
+}
+
+// ------------------------------------------------------------ parser
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    dims: &'a [DimensionTable],
+    measures: &'a [&'a str],
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ColumnRef {
+    dim: usize,
+    attr: AttrRef,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token, ctx: &str) -> Result<()> {
+        let got = self.next();
+        if &got == want {
+            Ok(())
+        } else {
+            Err(Error::Query(format!(
+                "expected {want:?} {ctx}, got {got:?}"
+            )))
+        }
+    }
+
+    /// Case-insensitive keyword check-and-consume.
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Token::Ident(s) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.next();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            Err(Error::Query(format!(
+                "expected {kw}, got {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self, ctx: &str) -> Result<String> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(Error::Query(format!(
+                "expected identifier {ctx}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// `dim.attr` → resolved column reference.
+    fn column(&mut self) -> Result<ColumnRef> {
+        let dim_name = self.ident("as dimension name")?;
+        let dim = self
+            .dims
+            .iter()
+            .position(|d| d.name().eq_ignore_ascii_case(&dim_name))
+            .ok_or_else(|| Error::Query(format!("unknown dimension {dim_name:?}")))?;
+        self.expect(&Token::Dot, "after dimension name")?;
+        let attr_name = self.ident("as attribute name")?;
+        let attr = if attr_name.eq_ignore_ascii_case("key") {
+            AttrRef::Key
+        } else {
+            let level = (0..self.dims[dim].num_levels())
+                .find(|&l| {
+                    self.dims[dim]
+                        .level_name(l)
+                        .is_some_and(|n| n.eq_ignore_ascii_case(&attr_name))
+                })
+                .ok_or_else(|| {
+                    Error::Query(format!(
+                        "dimension {dim_name:?} has no attribute {attr_name:?}"
+                    ))
+                })?;
+            AttrRef::Level(level)
+        };
+        Ok(ColumnRef { dim, attr })
+    }
+
+    /// One literal, resolved to a code for `col` when it is a string.
+    fn literal(&mut self, col: &ColumnRef) -> Result<i64> {
+        match self.next() {
+            Token::Int(v) => Ok(v),
+            Token::Str(s) => match col.attr {
+                AttrRef::Key => Err(Error::Query(format!(
+                    "string literal {s:?} cannot match a key attribute"
+                ))),
+                AttrRef::Level(l) => self.dims[col.dim].code_of_label(l, &s).ok_or_else(|| {
+                    Error::Query(format!(
+                        "label {s:?} not in dimension {:?}'s dictionary",
+                        self.dims[col.dim].name()
+                    ))
+                }),
+            },
+            other => Err(Error::Query(format!("expected a literal, got {other:?}"))),
+        }
+    }
+
+    fn aggregate(&mut self) -> Result<(AggFunc, usize)> {
+        let func_name = self.ident("as aggregate function")?;
+        let func = match func_name.to_ascii_uppercase().as_str() {
+            "SUM" => AggFunc::Sum,
+            "COUNT" => AggFunc::Count,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            "AVG" => AggFunc::Avg,
+            _ => {
+                return Err(Error::Query(format!(
+                    "unknown aggregate function {func_name:?}"
+                )))
+            }
+        };
+        self.expect(&Token::LParen, "after aggregate function")?;
+        // COUNT(*) counts joined cells; it maps to COUNT of the first
+        // measure (all measures share the accumulator's count).
+        if matches!(self.peek(), Token::Star) {
+            self.next();
+            self.expect(&Token::RParen, "after *")?;
+            if func != AggFunc::Count {
+                return Err(Error::Query(format!("{func:?}(*) is not valid; only COUNT(*)")));
+            }
+            return Ok((func, 0));
+        }
+        let measure_name = self.ident("as measure name")?;
+        let measure = self
+            .measures
+            .iter()
+            .position(|m| m.eq_ignore_ascii_case(&measure_name))
+            .ok_or_else(|| Error::Query(format!("unknown measure {measure_name:?}")))?;
+        self.expect(&Token::RParen, "after measure name")?;
+        Ok((func, measure))
+    }
+
+    fn statement(&mut self) -> Result<SqlStatement> {
+        self.expect_keyword("SELECT")?;
+
+        // Select list: aggregates and (redundant but allowed) group
+        // columns, in any order.
+        let mut aggs: Vec<(AggFunc, usize)> = Vec::new();
+        let mut select_columns: Vec<ColumnRef> = Vec::new();
+        loop {
+            // Lookahead: FUNC( vs column.
+            let is_agg = matches!(
+                (&self.tokens[self.pos], self.tokens.get(self.pos + 1)),
+                (Token::Ident(_), Some(Token::LParen))
+            );
+            if is_agg {
+                aggs.push(self.aggregate()?);
+            } else {
+                select_columns.push(self.column()?);
+            }
+            if !matches!(self.peek(), Token::Comma) {
+                break;
+            }
+            self.next();
+        }
+        if aggs.is_empty() {
+            return Err(Error::Query("SELECT needs at least one aggregate".into()));
+        }
+
+        self.expect_keyword("FROM")?;
+        let cube = self.ident("as cube name")?;
+
+        // WHERE: conjunction of col = lit | col IN (lit, ...).
+        let mut selections: Vec<(usize, Selection)> = Vec::new();
+        if self.keyword("WHERE") {
+            loop {
+                let col = self.column()?;
+                let sel = if self.keyword("IN") {
+                    self.expect(&Token::LParen, "after IN")?;
+                    let mut values = vec![self.literal(&col)?];
+                    while matches!(self.peek(), Token::Comma) {
+                        self.next();
+                        values.push(self.literal(&col)?);
+                    }
+                    self.expect(&Token::RParen, "after IN list")?;
+                    Selection::in_list(col.attr, values)
+                } else if self.keyword("BETWEEN") {
+                    let lo = self.literal(&col)?;
+                    self.expect_keyword("AND")?;
+                    let hi = self.literal(&col)?;
+                    Selection::range(col.attr, lo, hi)
+                } else {
+                    self.expect(&Token::Eq, "in predicate")?;
+                    Selection::eq(col.attr, self.literal(&col)?)
+                };
+                selections.push((col.dim, sel));
+                if !self.keyword("AND") {
+                    break;
+                }
+            }
+        }
+
+        // GROUP BY.
+        let mut group_by = vec![DimGrouping::Drop; self.dims.len()];
+        if self.keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                let col = self.column()?;
+                let g = match col.attr {
+                    AttrRef::Key => DimGrouping::Key,
+                    AttrRef::Level(l) => DimGrouping::Level(l),
+                };
+                if !matches!(group_by[col.dim], DimGrouping::Drop) {
+                    return Err(Error::Query(format!(
+                        "dimension {:?} grouped twice",
+                        self.dims[col.dim].name()
+                    )));
+                }
+                group_by[col.dim] = g;
+                if !matches!(self.peek(), Token::Comma) {
+                    break;
+                }
+                self.next();
+            }
+        }
+
+        if !matches!(self.peek(), Token::End) {
+            return Err(Error::Query(format!(
+                "unexpected trailing input: {:?}",
+                self.peek()
+            )));
+        }
+
+        // Every non-aggregate select column must appear in GROUP BY.
+        for col in &select_columns {
+            let grouped = match (col.attr, group_by[col.dim]) {
+                (AttrRef::Key, DimGrouping::Key) => true,
+                (AttrRef::Level(l), DimGrouping::Level(g)) => l == g,
+                _ => false,
+            };
+            if !grouped {
+                return Err(Error::Query("selected column is not in GROUP BY".into()));
+            }
+        }
+
+        // Measure aggregates: one per measure, defaulting to SUM.
+        // (The engines aggregate every measure; SQL picks the function.)
+        let mut funcs = vec![AggFunc::Sum; self.measures.len()];
+        for &(func, measure) in &aggs {
+            funcs[measure] = func;
+        }
+
+        let mut query = Query::new(group_by).with_aggs(funcs);
+        for (dim, sel) in selections {
+            query = query.with_selection(dim, sel);
+        }
+        Ok(SqlStatement { cube, query })
+    }
+}
+
+/// Extracts the `FROM` object name without fully parsing — used by
+/// [`crate::Database::sql`] to resolve the cube's dimension tables
+/// before the real parse.
+pub fn extract_from(sql: &str) -> Result<String> {
+    let tokens = tokenize(sql)?;
+    let mut iter = tokens.iter().peekable();
+    while let Some(t) = iter.next() {
+        if let Token::Ident(s) = t {
+            if s.eq_ignore_ascii_case("FROM") {
+                if let Some(Token::Ident(name)) = iter.next() {
+                    return Ok(name.clone());
+                }
+                return Err(Error::Query("expected identifier after FROM".into()));
+            }
+        }
+    }
+    Err(Error::Query("statement has no FROM clause".into()))
+}
+
+/// Parses one consolidation statement against a known star schema.
+///
+/// `measures` names the cube's measure columns in order (the paper's
+/// test schema: `&["volume"]`).
+pub fn parse_query(sql: &str, dims: &[DimensionTable], measures: &[&str]) -> Result<SqlStatement> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        dims,
+        measures,
+    };
+    parser.statement()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> Vec<DimensionTable> {
+        let mut store = DimensionTable::build(
+            "store",
+            &[0, 1, 2, 3],
+            vec![("city", vec![0, 0, 1, 1]), ("region", vec![0, 0, 0, 1])],
+        )
+        .unwrap();
+        store
+            .set_labels(0, vec!["Madison".into(), "Chicago".into()])
+            .unwrap();
+        vec![
+            store,
+            DimensionTable::build("product", &[0, 1], vec![("ptype", vec![7, 8])]).unwrap(),
+        ]
+    }
+
+    fn parse(sql: &str) -> Result<SqlStatement> {
+        parse_query(sql, &dims(), &["volume"])
+    }
+
+    #[test]
+    fn basic_consolidation() {
+        let stmt = parse(
+            "SELECT SUM(volume), store.city, product.ptype FROM sales GROUP BY store.city, product.ptype",
+        )
+        .unwrap();
+        assert_eq!(stmt.cube, "sales");
+        assert_eq!(
+            stmt.query,
+            Query::new(vec![DimGrouping::Level(0), DimGrouping::Level(0)])
+        );
+    }
+
+    #[test]
+    fn where_clause_with_string_and_in_list() {
+        let stmt = parse(
+            "SELECT SUM(volume) FROM sales \
+             WHERE store.city = 'Chicago' AND product.ptype IN (7, 8) AND store.key = 2 \
+             GROUP BY store.region",
+        )
+        .unwrap();
+        let q = &stmt.query;
+        assert_eq!(q.group_by, vec![DimGrouping::Level(1), DimGrouping::Drop]);
+        assert_eq!(q.selections[0].len(), 2);
+        assert_eq!(q.selections[0][0], Selection::eq(AttrRef::Level(0), 1));
+        assert_eq!(q.selections[0][1], Selection::eq(AttrRef::Key, 2));
+        assert_eq!(
+            q.selections[1][0],
+            Selection::in_list(AttrRef::Level(0), vec![7, 8])
+        );
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let stmt = parse("SELECT COUNT(volume) FROM sales").unwrap();
+        assert_eq!(
+            stmt.query.group_by,
+            vec![DimGrouping::Drop, DimGrouping::Drop]
+        );
+        assert_eq!(stmt.query.aggs, vec![AggFunc::Count]);
+    }
+
+    #[test]
+    fn group_by_key_and_case_insensitivity() {
+        let stmt = parse("select avg(VOLUME) from c group by STORE.KEY").unwrap();
+        assert_eq!(
+            stmt.query.group_by,
+            vec![DimGrouping::Key, DimGrouping::Drop]
+        );
+        assert_eq!(stmt.query.aggs, vec![AggFunc::Avg]);
+    }
+
+    #[test]
+    fn count_star() {
+        let stmt = parse("SELECT COUNT(*) FROM c GROUP BY store.city").unwrap();
+        assert_eq!(stmt.query.aggs, vec![AggFunc::Count]);
+        assert!(parse("SELECT SUM(*) FROM c").is_err());
+        assert!(parse("SELECT COUNT(* FROM c").is_err());
+    }
+
+    #[test]
+    fn between_parses_to_range() {
+        let stmt = parse(
+            "SELECT SUM(volume) FROM c WHERE store.key BETWEEN 1 AND 2 \
+             AND product.ptype BETWEEN -1 AND 7 GROUP BY store.city",
+        )
+        .unwrap();
+        assert_eq!(
+            stmt.query.selections[0][0],
+            Selection::range(AttrRef::Key, 1, 2)
+        );
+        assert_eq!(
+            stmt.query.selections[1][0],
+            Selection::range(AttrRef::Level(0), -1, 7)
+        );
+    }
+
+    #[test]
+    fn negative_integer_literals() {
+        let stmt = parse("SELECT SUM(volume) FROM c WHERE product.ptype = -3").unwrap();
+        assert_eq!(
+            stmt.query.selections[1][0],
+            Selection::eq(AttrRef::Level(0), -3)
+        );
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let err = |sql: &str| parse(sql).unwrap_err().to_string();
+        assert!(err("SELECT SUM(volume) FROM").contains("identifier"));
+        assert!(err("SELECT SUM(weight) FROM c").contains("unknown measure"));
+        assert!(err("SELECT SUM(volume) FROM c WHERE shop.city = 1").contains("unknown dimension"));
+        assert!(err("SELECT SUM(volume) FROM c WHERE store.area = 1").contains("no attribute"));
+        assert!(err("SELECT SUM(volume) FROM c WHERE store.city = 'LA'").contains("dictionary"));
+        assert!(err("SELECT SUM(volume), store.city FROM c").contains("GROUP BY"));
+        assert!(
+            err("SELECT store.city FROM c GROUP BY store.city").contains("at least one aggregate")
+        );
+        assert!(
+            err("SELECT SUM(volume) FROM c GROUP BY store.city, store.region")
+                .contains("grouped twice")
+        );
+        assert!(err("SELECT SUM(volume) FROM c trailing").contains("trailing"));
+        assert!(err("SELECT MEDIAN(volume) FROM c").contains("unknown aggregate"));
+        assert!(err("SELECT SUM(volume) FROM c WHERE store.key = 'x'").contains("key attribute"));
+        assert!(
+            err("SELECT SUM(volume) FROM c WHERE store.city = 'unterminated")
+                .contains("unterminated")
+        );
+    }
+
+    #[test]
+    fn tokenizer_handles_odd_spacing() {
+        let stmt = parse("SELECT  SUM( volume )\nFROM sales\tWHERE store.city='Madison'").unwrap();
+        assert_eq!(
+            stmt.query.selections[0][0],
+            Selection::eq(AttrRef::Level(0), 0)
+        );
+    }
+}

@@ -1,0 +1,381 @@
+//! The relational StarJoin consolidation operator (§4.3).
+//!
+//! Left-deep hash plans cannot place a huge fact table well, and a
+//! dimension cross-product explodes; the paper's answer is a single
+//! operator that approximates a right-deep pipeline: build one
+//! in-memory hash table per dimension (key → group-by value, with
+//! selection predicates applied while building, so a probe miss is a
+//! filtered tuple), then scan the fact table once, probing all
+//! dimension tables per tuple and folding the measure into an
+//! aggregation hash table keyed by the joined group-by values.
+
+use std::sync::Arc;
+
+use molap_factfile::{FactFile, TupleSchema};
+use molap_storage::BufferPool;
+
+use crate::aggregate::AggState;
+use crate::dimension::DimensionTable;
+use crate::error::{Error, Result};
+use crate::query::{AttrRef, DimGrouping, Query, Selection};
+use crate::result::{ConsolidationResult, Row};
+use crate::util::FxHashMap;
+
+/// Pages per fact-file extent (§4.4's contiguous allocation unit).
+pub const DEFAULT_EXTENT_PAGES: u64 = 64;
+
+/// The relational physical design: fact file + dimension tables.
+pub struct StarSchema {
+    /// The fact file (§4.4's dense fixed-record structure).
+    pub fact: FactFile,
+    /// The dimension tables, in fact-column order.
+    pub dims: Vec<DimensionTable>,
+}
+
+impl StarSchema {
+    /// Loads `(dimension keys, measures)` cells into a fact file. One
+    /// tuple is generated per valid cell, exactly as the paper derives
+    /// the table representation from the array representation (§5.4).
+    pub fn build<I>(
+        pool: Arc<BufferPool>,
+        dims: Vec<DimensionTable>,
+        cells: I,
+        n_measures: usize,
+    ) -> Result<Self>
+    where
+        I: IntoIterator<Item = (Vec<i64>, Vec<i64>)>,
+    {
+        Self::build_with_extents(pool, dims, cells, n_measures, DEFAULT_EXTENT_PAGES)
+    }
+
+    /// [`StarSchema::build`] with an explicit extent size.
+    pub fn build_with_extents<I>(
+        pool: Arc<BufferPool>,
+        dims: Vec<DimensionTable>,
+        cells: I,
+        n_measures: usize,
+        extent_pages: u64,
+    ) -> Result<Self>
+    where
+        I: IntoIterator<Item = (Vec<i64>, Vec<i64>)>,
+    {
+        let schema = TupleSchema::new(dims.len(), n_measures);
+        let mut fact = FactFile::create(pool, schema, extent_pages)?;
+        let mut key_buf = vec![0u32; dims.len()];
+        for (keys, measures) in cells {
+            if keys.len() != dims.len() {
+                return Err(Error::Data(format!(
+                    "cell has {} keys for {} dimensions",
+                    keys.len(),
+                    dims.len()
+                )));
+            }
+            for (d, &k) in keys.iter().enumerate() {
+                if dims[d].row_of_key(k).is_none() {
+                    return Err(Error::Data(format!(
+                        "unknown key {k} in dimension {}",
+                        dims[d].name()
+                    )));
+                }
+                key_buf[d] = u32::try_from(k)
+                    .map_err(|_| Error::Data(format!("fact file keys must fit u32, got {k}")))?;
+            }
+            fact.append(&key_buf, &measures)?;
+        }
+        Ok(StarSchema { fact, dims })
+    }
+
+    /// Number of fact tuples.
+    pub fn num_tuples(&self) -> u64 {
+        self.fact.num_tuples()
+    }
+
+    /// Serializes dimension tables + fact-file metadata for the
+    /// database catalog.
+    pub fn meta_to_bytes(&self) -> Vec<u8> {
+        use crate::dimension::write_blob;
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.dims.len() as u16).to_le_bytes());
+        for dim in &self.dims {
+            write_blob(&mut out, &dim.to_bytes());
+        }
+        write_blob(&mut out, &self.fact.meta_to_bytes());
+        out
+    }
+
+    /// Inverse of [`StarSchema::meta_to_bytes`], over the same pool.
+    pub fn from_meta_bytes(pool: Arc<BufferPool>, bytes: &[u8]) -> Result<Self> {
+        use crate::dimension::Reader;
+        let mut r = Reader::new(bytes);
+        let n_dims = r.u16()? as usize;
+        let dims: Vec<DimensionTable> = (0..n_dims)
+            .map(|_| DimensionTable::from_bytes(r.blob()?))
+            .collect::<Result<_>>()?;
+        let fact = FactFile::from_meta_bytes(pool, r.blob()?)?;
+        if fact.schema().n_dims != dims.len() {
+            return Err(Error::Data(
+                "star schema meta: fact arity does not match dimensions".into(),
+            ));
+        }
+        Ok(StarSchema { fact, dims })
+    }
+}
+
+/// One dimension's build-side hash table.
+pub(crate) struct DimHashTable {
+    /// Fact foreign key → group code (0 when the dimension is only
+    /// filtered, not grouped). Rows failing the dimension's selections
+    /// are absent, so a probe miss filters the fact tuple.
+    pub table: FxHashMap<u32, i64>,
+    /// True if the dimension contributes a group-by column.
+    pub grouped: bool,
+    /// Result column header when grouped.
+    pub column: String,
+}
+
+fn row_passes(dim: &DimensionTable, row: u32, sels: &[Selection]) -> Result<bool> {
+    for sel in sels {
+        let value = match sel.attr {
+            AttrRef::Key => dim.keys()[row as usize],
+            AttrRef::Level(l) => dim.attr_at(l, row)?,
+        };
+        if !sel.pred.accepts(value) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Builds the per-dimension hash tables for the dimensions a query
+/// actually joins (grouped or selected). Shared with the bitmap plan,
+/// which reuses the group-code side.
+pub(crate) fn build_dim_tables(
+    schema: &StarSchema,
+    query: &Query,
+    apply_selections: bool,
+) -> Result<Vec<Option<DimHashTable>>> {
+    let mut tables = Vec::with_capacity(schema.dims.len());
+    for (d, dim) in schema.dims.iter().enumerate() {
+        let grouping = query.group_by[d];
+        let sels = &query.selections[d];
+        let joined = !matches!(grouping, DimGrouping::Drop) || !sels.is_empty();
+        if !joined {
+            tables.push(None);
+            continue;
+        }
+        let column = match grouping {
+            DimGrouping::Drop => String::new(),
+            DimGrouping::Key => format!("{}.key", dim.name()),
+            DimGrouping::Level(l) => {
+                format!("{}.{}", dim.name(), dim.level_name(l).unwrap_or("?"))
+            }
+        };
+        let mut table = FxHashMap::default();
+        table.reserve(dim.len());
+        for row in 0..dim.len() as u32 {
+            if apply_selections && !row_passes(dim, row, sels)? {
+                continue;
+            }
+            let key = dim.keys()[row as usize];
+            let code = match grouping {
+                DimGrouping::Drop => 0,
+                DimGrouping::Key => key,
+                DimGrouping::Level(l) => dim.attr_at(l, row)?,
+            };
+            let key = u32::try_from(key)
+                .map_err(|_| Error::Data(format!("fact file keys must fit u32, got {key}")))?;
+            table.insert(key, code);
+        }
+        tables.push(Some(DimHashTable {
+            table,
+            grouped: !matches!(grouping, DimGrouping::Drop),
+            column,
+        }));
+    }
+    Ok(tables)
+}
+
+/// Finalizes an aggregation hash table into a normalized result.
+pub(crate) fn finalize_groups(
+    columns: Vec<String>,
+    groups: std::collections::HashMap<
+        Box<[i64]>,
+        Vec<AggState>,
+        std::hash::BuildHasherDefault<crate::util::FxHasher>,
+    >,
+    query: &Query,
+) -> Result<ConsolidationResult> {
+    let mut rows = Vec::with_capacity(groups.len());
+    for (keys, states) in groups {
+        let values = states
+            .iter()
+            .zip(&query.aggs)
+            .map(|(s, &f)| s.finalize(f).expect("groups are only created on a value"))
+            .collect();
+        rows.push(Row {
+            keys: keys.into_vec(),
+            values,
+        });
+    }
+    Ok(ConsolidationResult::from_rows(columns, rows))
+}
+
+/// The StarJoin consolidation algorithm (§4.3), with the §4.3/§5.2
+/// selection handling: selections are applied while building the
+/// dimension hash tables.
+pub fn starjoin_consolidate(schema: &StarSchema, query: &Query) -> Result<ConsolidationResult> {
+    query.validate(&schema.dims, schema.fact.schema().n_measures)?;
+    let tables = build_dim_tables(schema, query, true)?;
+    let joined: Vec<(usize, &DimHashTable)> = tables
+        .iter()
+        .enumerate()
+        .filter_map(|(d, t)| t.as_ref().map(|t| (d, t)))
+        .collect();
+    let columns: Vec<String> = joined
+        .iter()
+        .filter(|(_, t)| t.grouped)
+        .map(|(_, t)| t.column.clone())
+        .collect();
+    let n_grouped = columns.len();
+
+    let mut groups: std::collections::HashMap<
+        Box<[i64]>,
+        Vec<AggState>,
+        std::hash::BuildHasherDefault<crate::util::FxHasher>,
+    > = Default::default();
+    let n_measures = schema.fact.schema().n_measures;
+    let mut group_key = vec![0i64; n_grouped];
+
+    schema.fact.scan(|_t, dims, measures| {
+        // Probe every joined dimension; a miss filters the tuple.
+        let mut g = 0;
+        for &(d, table) in &joined {
+            match table.table.get(&dims[d]) {
+                Some(&code) => {
+                    if table.grouped {
+                        group_key[g] = code;
+                        g += 1;
+                    }
+                }
+                None => return,
+            }
+        }
+        let states = match groups.get_mut(group_key.as_slice()) {
+            Some(s) => s,
+            None => groups
+                .entry(group_key.clone().into_boxed_slice())
+                .or_insert_with(|| vec![AggState::new(); n_measures]),
+        };
+        for (s, &v) in states.iter_mut().zip(measures) {
+            s.add(v);
+        }
+    })?;
+
+    finalize_groups(columns, groups, query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggValue;
+    use crate::query::Selection;
+    use molap_storage::MemDisk;
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 2048))
+    }
+
+    fn dims() -> Vec<DimensionTable> {
+        vec![
+            DimensionTable::build(
+                "store",
+                &[0, 1, 2, 3],
+                vec![("city", vec![10, 10, 11, 12]), ("region", vec![5, 5, 5, 6])],
+            )
+            .unwrap(),
+            DimensionTable::build("product", &[0, 1, 2], vec![("type", vec![7, 8, 7])]).unwrap(),
+        ]
+    }
+
+    fn cells() -> Vec<(Vec<i64>, Vec<i64>)> {
+        vec![
+            (vec![0, 0], vec![1]),
+            (vec![0, 1], vec![2]),
+            (vec![1, 0], vec![4]),
+            (vec![2, 2], vec![8]),
+            (vec![3, 1], vec![16]),
+            (vec![3, 2], vec![32]),
+        ]
+    }
+
+    fn schema() -> StarSchema {
+        StarSchema::build(pool(), dims(), cells(), 1).unwrap()
+    }
+
+    #[test]
+    fn group_by_one_level() {
+        let s = schema();
+        let q = Query::new(vec![DimGrouping::Level(1), DimGrouping::Drop]);
+        let res = starjoin_consolidate(&s, &q).unwrap();
+        assert_eq!(res.columns(), &["store.region".to_string()]);
+        assert_eq!(
+            res.rows()
+                .iter()
+                .map(|r| (r.keys[0], r.values[0]))
+                .collect::<Vec<_>>(),
+            vec![(5, AggValue::Int(15)), (6, AggValue::Int(48))]
+        );
+    }
+
+    #[test]
+    fn selection_filters_via_hash_miss() {
+        let s = schema();
+        // WHERE store.city = 10 GROUP BY product.type.
+        let q = Query::new(vec![DimGrouping::Drop, DimGrouping::Level(0)])
+            .with_selection(0, Selection::eq(AttrRef::Level(0), 10));
+        let res = starjoin_consolidate(&s, &q).unwrap();
+        // Tuples with store 0/1: values 1,2,4 -> type 7: 1+4, type 8: 2.
+        assert_eq!(
+            res.rows()
+                .iter()
+                .map(|r| (r.keys[0], r.values[0]))
+                .collect::<Vec<_>>(),
+            vec![(7, AggValue::Int(5)), (8, AggValue::Int(2))]
+        );
+    }
+
+    #[test]
+    fn global_aggregate() {
+        let s = schema();
+        let q = Query::new(vec![DimGrouping::Drop, DimGrouping::Drop]);
+        let res = starjoin_consolidate(&s, &q).unwrap();
+        assert_eq!(res.rows().len(), 1);
+        assert_eq!(res.rows()[0].values[0], AggValue::Int(63));
+    }
+
+    #[test]
+    fn empty_selection_empty_result() {
+        let s = schema();
+        let q = Query::new(vec![DimGrouping::Level(0), DimGrouping::Drop])
+            .with_selection(0, Selection::eq(AttrRef::Level(0), 999));
+        assert!(starjoin_consolidate(&s, &q).unwrap().rows().is_empty());
+    }
+
+    #[test]
+    fn build_rejects_bad_cells() {
+        assert!(StarSchema::build(pool(), dims(), vec![(vec![0], vec![1])], 1).is_err());
+        assert!(StarSchema::build(pool(), dims(), vec![(vec![9, 0], vec![1])], 1).is_err());
+        assert!(
+            StarSchema::build(pool(), dims(), cells(), 1)
+                .unwrap()
+                .num_tuples()
+                == 6
+        );
+    }
+
+    #[test]
+    fn negative_keys_rejected_by_fact_file() {
+        let d = vec![DimensionTable::build("d", &[-1, 0], vec![]).unwrap()];
+        assert!(StarSchema::build(pool(), d, vec![(vec![-1], vec![1])], 1).is_err());
+    }
+}

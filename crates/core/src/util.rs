@@ -1,0 +1,157 @@
+//! Small utilities: a fast, non-cryptographic hasher for the hash-join
+//! paths.
+//!
+//! The StarJoin and bitmap plans are hash-heavy (one probe per fact
+//! tuple per dimension plus one aggregation-table lookup per tuple);
+//! SipHash overhead would distort the comparison against the array's
+//! position-based aggregation, so the relational side gets the standard
+//! Fx multiply-rotate hasher — "do everything possible to ensure that
+//! the relational table is as fast as possible" (§4.4).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-style Fx hasher: one multiply and rotate per word.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Merges two sorted, deduplicated `u32` lists into their union.
+pub fn union_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Intersects two sorted, deduplicated `u32` lists.
+pub fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hasher_distinguishes_inputs() {
+        let h = |data: &[u8]| {
+            let mut hasher = FxHasher::default();
+            hasher.write(data);
+            hasher.finish()
+        };
+        assert_ne!(h(b"abc"), h(b"abd"));
+        assert_ne!(h(b"abc"), h(b"abcd"));
+        assert_eq!(h(b"abc"), h(b"abc"));
+        assert_ne!(h(b"12345678A"), h(b"12345678B"));
+    }
+
+    #[test]
+    fn fx_map_works_as_a_map() {
+        let mut m: FxHashMap<Vec<i64>, i64> = FxHashMap::default();
+        m.insert(vec![1, 2], 3);
+        m.insert(vec![1, 3], 4);
+        assert_eq!(m.get(&vec![1, 2]), Some(&3));
+        assert_eq!(m.len(), 2);
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        assert_eq!(union_sorted(&[1, 3, 5], &[2, 3, 6]), vec![1, 2, 3, 5, 6]);
+        assert_eq!(union_sorted(&[], &[1]), vec![1]);
+        assert_eq!(union_sorted(&[], &[]), Vec::<u32>::new());
+        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[3, 4, 7]), vec![3, 7]);
+        assert_eq!(intersect_sorted(&[1], &[2]), Vec::<u32>::new());
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<u32>::new());
+    }
+}

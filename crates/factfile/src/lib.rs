@@ -1,0 +1,468 @@
+//! The fact file: extent-based storage for fixed-length fact tuples.
+//!
+//! Section 4.4 of the paper builds "a specialized file structure
+//! optimized for tables with small, fixed-size records", to make the
+//! relational baseline as fast as possible:
+//!
+//! * fact tuples are fixed length, so the slotted-page machinery of a
+//!   general heap file is pure overhead — the fact file stores records
+//!   back to back and turns a *tuple number* into (extent, page within
+//!   extent, offset within page) with pure arithmetic;
+//! * pages are allocated in *extents* of `n` contiguous pages, because
+//!   "it is not often possible to allocate \[a\] large set of pages
+//!   contiguously for large fact tables"; a small in-memory table keeps
+//!   the first page of each extent;
+//! * the file "provides an interface that takes a bitmap and retrieves
+//!   the tuples corresponding to non-zero bit positions" — the fetch
+//!   path driving the §4.5 bitmap consolidation plan.
+//!
+//! Tuples are `n_dims` dimension keys (`u32`) followed by `n_measures`
+//! measures (`i64`), matching the paper's `fact(d0,d1,d2,d3,volume)`
+//! schema at `n_dims = 4, n_measures = 1`.
+//!
+//! # Example
+//!
+//! ```
+//! use molap_factfile::{FactFile, TupleSchema};
+//! use molap_storage::{BufferPool, MemDisk};
+//! use std::sync::Arc;
+//!
+//! let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 64));
+//! let mut ff = FactFile::create(pool, TupleSchema::new(3, 1), 4).unwrap();
+//! ff.append(&[1, 2, 3], &[100]).unwrap();
+//! ff.append(&[4, 5, 6], &[200]).unwrap();
+//!
+//! let mut sum = 0;
+//! ff.scan(|_t, _dims, measures| sum += measures[0]).unwrap();
+//! assert_eq!(sum, 300);
+//! ```
+
+use std::sync::Arc;
+
+use molap_bitmap::Bitmap;
+use molap_storage::util::{read_i64, read_u32, read_u64, write_i64, write_u32, write_u64};
+use molap_storage::{BufferPool, PageId, Result, StorageError, PAGE_SIZE};
+
+/// Shape of a fact tuple: dimension keys then measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TupleSchema {
+    /// Number of `u32` dimension key columns.
+    pub n_dims: usize,
+    /// Number of `i64` measure columns.
+    pub n_measures: usize,
+}
+
+impl TupleSchema {
+    /// Creates a schema; both counts must be nonzero-sum and small
+    /// enough that a record fits a page.
+    pub fn new(n_dims: usize, n_measures: usize) -> Self {
+        let s = TupleSchema { n_dims, n_measures };
+        assert!(s.record_size() > 0, "empty tuple schema");
+        assert!(
+            s.record_size() <= PAGE_SIZE,
+            "record does not fit in a page"
+        );
+        s
+    }
+
+    /// Bytes per record: 4 per dimension key + 8 per measure.
+    #[inline]
+    pub fn record_size(&self) -> usize {
+        4 * self.n_dims + 8 * self.n_measures
+    }
+
+    /// Records per page (records never straddle pages).
+    #[inline]
+    pub fn tuples_per_page(&self) -> usize {
+        PAGE_SIZE / self.record_size()
+    }
+}
+
+/// An append-only file of fixed-length fact tuples.
+pub struct FactFile {
+    pool: Arc<BufferPool>,
+    schema: TupleSchema,
+    extent_pages: u64,
+    extents: Vec<PageId>,
+    num_tuples: u64,
+}
+
+impl FactFile {
+    /// Creates an empty fact file allocating `extent_pages` contiguous
+    /// pages per extent.
+    pub fn create(pool: Arc<BufferPool>, schema: TupleSchema, extent_pages: u64) -> Result<Self> {
+        assert!(extent_pages > 0, "extents must contain at least one page");
+        Ok(FactFile {
+            pool,
+            schema,
+            extent_pages,
+            extents: Vec::new(),
+            num_tuples: 0,
+        })
+    }
+
+    /// The tuple schema.
+    pub fn schema(&self) -> TupleSchema {
+        self.schema
+    }
+
+    /// Number of stored tuples.
+    pub fn num_tuples(&self) -> u64 {
+        self.num_tuples
+    }
+
+    /// Pages allocated (including slack in the last extent).
+    pub fn total_pages(&self) -> u64 {
+        self.extents.len() as u64 * self.extent_pages
+    }
+
+    /// Pages actually holding data.
+    pub fn used_pages(&self) -> u64 {
+        self.num_tuples
+            .div_ceil(self.schema.tuples_per_page() as u64)
+    }
+
+    /// On-disk footprint in bytes (used pages × page size).
+    pub fn bytes_on_disk(&self) -> u64 {
+        self.used_pages() * PAGE_SIZE as u64
+    }
+
+    /// Maps a tuple number to its page and byte offset.
+    #[inline]
+    fn locate(&self, t: u64) -> (PageId, usize) {
+        let tpp = self.schema.tuples_per_page() as u64;
+        let page_index = t / tpp;
+        let extent = (page_index / self.extent_pages) as usize;
+        let within = page_index % self.extent_pages;
+        let offset = (t % tpp) as usize * self.schema.record_size();
+        (self.extents[extent].offset(within), offset)
+    }
+
+    /// Appends one tuple; returns its tuple number.
+    pub fn append(&mut self, dims: &[u32], measures: &[i64]) -> Result<u64> {
+        assert_eq!(dims.len(), self.schema.n_dims, "dimension arity");
+        assert_eq!(measures.len(), self.schema.n_measures, "measure arity");
+        let t = self.num_tuples;
+        let tpp = self.schema.tuples_per_page() as u64;
+        let page_index = t / tpp;
+        // Grow by one extent when the tuple lands past the allocated area.
+        if page_index >= self.total_pages() {
+            let start = self.pool.allocate_pages(self.extent_pages)?;
+            self.extents.push(start);
+        }
+        let (pid, off) = self.locate(t);
+        // First tuple on a page: page is fresh, skip the read.
+        let mut page = if t.is_multiple_of(tpp) {
+            self.pool.create_page(pid)?
+        } else {
+            self.pool.fetch_mut(pid)?
+        };
+        let mut pos = off;
+        for &d in dims {
+            write_u32(&mut page[..], pos, d);
+            pos += 4;
+        }
+        for &m in measures {
+            write_i64(&mut page[..], pos, m);
+            pos += 8;
+        }
+        self.num_tuples += 1;
+        Ok(t)
+    }
+
+    /// Reads tuple `t` into the caller's buffers.
+    pub fn read_tuple(&self, t: u64, dims: &mut [u32], measures: &mut [i64]) -> Result<()> {
+        if t >= self.num_tuples {
+            return Err(StorageError::Corrupt("tuple number out of range"));
+        }
+        assert_eq!(dims.len(), self.schema.n_dims);
+        assert_eq!(measures.len(), self.schema.n_measures);
+        let (pid, off) = self.locate(t);
+        let page = self.pool.fetch(pid)?;
+        decode_tuple(&page[..], off, dims, measures);
+        Ok(())
+    }
+
+    /// Sequential scan: calls `f(tuple_no, dims, measures)` for every
+    /// tuple in tuple-number order. One page fetch per page, not per
+    /// tuple — this is the baseline StarJoin's input path.
+    pub fn scan<F>(&self, mut f: F) -> Result<()>
+    where
+        F: FnMut(u64, &[u32], &[i64]),
+    {
+        let tpp = self.schema.tuples_per_page() as u64;
+        let mut dims = vec![0u32; self.schema.n_dims];
+        let mut measures = vec![0i64; self.schema.n_measures];
+        let mut t = 0u64;
+        while t < self.num_tuples {
+            let (pid, _) = self.locate(t);
+            let page = self.pool.fetch(pid)?;
+            let on_page = tpp.min(self.num_tuples - t);
+            for i in 0..on_page {
+                let off = i as usize * self.schema.record_size();
+                decode_tuple(&page[..], off, &mut dims, &mut measures);
+                f(t + i, &dims, &measures);
+            }
+            t += on_page;
+        }
+        Ok(())
+    }
+
+    /// Bitmap-driven fetch: calls `f` for every tuple whose bit is set,
+    /// in tuple-number order (§4.4's "takes a bitmap and retrieves the
+    /// tuples corresponding to non-zero bit positions").
+    ///
+    /// The bitmap must span exactly [`FactFile::num_tuples`] bits.
+    pub fn fetch_bitmap<F>(&self, bitmap: &Bitmap, mut f: F) -> Result<()>
+    where
+        F: FnMut(u64, &[u32], &[i64]),
+    {
+        assert_eq!(
+            bitmap.nbits() as u64,
+            self.num_tuples,
+            "bitmap width must equal tuple count"
+        );
+        let tpp = self.schema.tuples_per_page() as u64;
+        let mut dims = vec![0u32; self.schema.n_dims];
+        let mut measures = vec![0i64; self.schema.n_measures];
+        // Positions arrive in increasing order, so consecutive hits on
+        // the same page reuse one guard.
+        let mut current: Option<(u64, molap_storage::PageRef<'_>)> = None;
+        for pos in bitmap.iter_ones() {
+            let t = pos as u64;
+            let page_index = t / tpp;
+            let need_fetch = match &current {
+                Some((idx, _)) => *idx != page_index,
+                None => true,
+            };
+            if need_fetch {
+                let (pid, _) = self.locate(t);
+                current = Some((page_index, self.pool.fetch(pid)?));
+            }
+            let (_, page) = current.as_ref().unwrap();
+            let off = (t % tpp) as usize * self.schema.record_size();
+            decode_tuple(&page[..], off, &mut dims, &mut measures);
+            f(t, &dims, &measures);
+        }
+        Ok(())
+    }
+
+    /// Serializes schema + extent table + tuple count.
+    pub fn meta_to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; 32 + self.extents.len() * 8];
+        write_u32(&mut out, 0, self.schema.n_dims as u32);
+        write_u32(&mut out, 4, self.schema.n_measures as u32);
+        write_u64(&mut out, 8, self.extent_pages);
+        write_u64(&mut out, 16, self.num_tuples);
+        write_u32(&mut out, 24, self.extents.len() as u32);
+        for (i, e) in self.extents.iter().enumerate() {
+            write_u64(&mut out, 32 + i * 8, e.0);
+        }
+        out
+    }
+
+    /// Inverse of [`FactFile::meta_to_bytes`] over the same pool.
+    pub fn from_meta_bytes(pool: Arc<BufferPool>, bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 32 {
+            return Err(StorageError::Corrupt("fact file meta header"));
+        }
+        let schema = TupleSchema::new(read_u32(bytes, 0) as usize, read_u32(bytes, 4) as usize);
+        let extent_pages = read_u64(bytes, 8);
+        let num_tuples = read_u64(bytes, 16);
+        let n_extents = read_u32(bytes, 24) as usize;
+        if bytes.len() < 32 + n_extents * 8 {
+            return Err(StorageError::Corrupt("fact file extent table truncated"));
+        }
+        let extents = (0..n_extents)
+            .map(|i| PageId(read_u64(bytes, 32 + i * 8)))
+            .collect();
+        Ok(FactFile {
+            pool,
+            schema,
+            extent_pages,
+            extents,
+            num_tuples,
+        })
+    }
+}
+
+#[inline]
+fn decode_tuple(page: &[u8], mut off: usize, dims: &mut [u32], measures: &mut [i64]) {
+    for d in dims.iter_mut() {
+        *d = read_u32(page, off);
+        off += 4;
+    }
+    for m in measures.iter_mut() {
+        *m = read_i64(page, off);
+        off += 8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molap_storage::MemDisk;
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 128))
+    }
+
+    fn fill(ff: &mut FactFile, n: u64) {
+        for t in 0..n {
+            let dims: Vec<u32> = (0..ff.schema().n_dims as u32)
+                .map(|d| t as u32 + d)
+                .collect();
+            let measures: Vec<i64> = (0..ff.schema().n_measures as i64)
+                .map(|m| t as i64 * 10 + m)
+                .collect();
+            ff.append(&dims, &measures).unwrap();
+        }
+    }
+
+    #[test]
+    fn schema_arithmetic() {
+        let s = TupleSchema::new(4, 1);
+        assert_eq!(s.record_size(), 24);
+        assert_eq!(s.tuples_per_page(), PAGE_SIZE / 24);
+        let s2 = TupleSchema::new(3, 2);
+        assert_eq!(s2.record_size(), 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tuple schema")]
+    fn empty_schema_panics() {
+        TupleSchema::new(0, 0);
+    }
+
+    #[test]
+    fn append_read_roundtrip_across_extents() {
+        let mut ff = FactFile::create(pool(), TupleSchema::new(4, 1), 2).unwrap();
+        // 4-dim + 1 measure = 24B, 341/page; 3 pages of data = 2 extents.
+        let n = 1000u64;
+        fill(&mut ff, n);
+        assert_eq!(ff.num_tuples(), n);
+        assert!(ff.total_pages() >= ff.used_pages());
+        assert_eq!(ff.used_pages(), n.div_ceil(341));
+
+        let mut dims = [0u32; 4];
+        let mut measures = [0i64; 1];
+        for t in [0u64, 1, 340, 341, 682, 999] {
+            ff.read_tuple(t, &mut dims, &mut measures).unwrap();
+            assert_eq!(dims[0], t as u32);
+            assert_eq!(dims[3], t as u32 + 3);
+            assert_eq!(measures[0], t as i64 * 10);
+        }
+        assert!(ff.read_tuple(n, &mut dims, &mut measures).is_err());
+    }
+
+    #[test]
+    fn scan_visits_all_in_order() {
+        let mut ff = FactFile::create(pool(), TupleSchema::new(2, 1), 4).unwrap();
+        fill(&mut ff, 777);
+        let mut seen = Vec::new();
+        ff.scan(|t, dims, measures| {
+            assert_eq!(dims[0], t as u32);
+            assert_eq!(measures[0], t as i64 * 10);
+            seen.push(t);
+        })
+        .unwrap();
+        assert_eq!(seen, (0..777).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scan_costs_one_logical_read_per_page() {
+        let p = pool();
+        let mut ff = FactFile::create(p.clone(), TupleSchema::new(4, 1), 8).unwrap();
+        fill(&mut ff, 1000);
+        let before = p.stats().snapshot();
+        ff.scan(|_, _, _| {}).unwrap();
+        let delta = p.stats().snapshot().since(&before);
+        assert_eq!(delta.logical_reads, ff.used_pages());
+    }
+
+    #[test]
+    fn fetch_bitmap_equals_filtered_scan() {
+        let mut ff = FactFile::create(pool(), TupleSchema::new(3, 1), 4).unwrap();
+        fill(&mut ff, 500);
+        let mut bm = Bitmap::new(500);
+        for t in (0..500).step_by(7) {
+            bm.set(t);
+        }
+        let mut via_bitmap = Vec::new();
+        ff.fetch_bitmap(&bm, |t, dims, m| via_bitmap.push((t, dims[0], m[0])))
+            .unwrap();
+        let mut via_scan = Vec::new();
+        ff.scan(|t, dims, m| {
+            if t % 7 == 0 {
+                via_scan.push((t, dims[0], m[0]));
+            }
+        })
+        .unwrap();
+        assert_eq!(via_bitmap, via_scan);
+    }
+
+    #[test]
+    fn sparse_fetch_reads_few_pages() {
+        let p = pool();
+        let mut ff = FactFile::create(p.clone(), TupleSchema::new(4, 1), 8).unwrap();
+        fill(&mut ff, 10_000); // ~30 pages
+        p.clear().unwrap();
+        let mut bm = Bitmap::new(10_000);
+        bm.set(5);
+        bm.set(6); // same page as 5
+        bm.set(9_999);
+        let before = p.stats().snapshot();
+        let mut hits = 0;
+        ff.fetch_bitmap(&bm, |_, _, _| hits += 1).unwrap();
+        let delta = p.stats().snapshot().since(&before);
+        assert_eq!(hits, 3);
+        assert_eq!(delta.physical_reads, 2, "two distinct pages touched");
+    }
+
+    #[test]
+    #[should_panic(expected = "bitmap width")]
+    fn wrong_width_bitmap_panics() {
+        let mut ff = FactFile::create(pool(), TupleSchema::new(2, 1), 4).unwrap();
+        fill(&mut ff, 10);
+        let bm = Bitmap::new(11);
+        ff.fetch_bitmap(&bm, |_, _, _| {}).unwrap();
+    }
+
+    #[test]
+    fn empty_file_scans_nothing() {
+        let ff = FactFile::create(pool(), TupleSchema::new(2, 1), 4).unwrap();
+        let mut n = 0;
+        ff.scan(|_, _, _| n += 1).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(ff.bytes_on_disk(), 0);
+        ff.fetch_bitmap(&Bitmap::new(0), |_, _, _| n += 1).unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn meta_roundtrip_reopens_file() {
+        let p = pool();
+        let mut ff = FactFile::create(p.clone(), TupleSchema::new(4, 1), 4).unwrap();
+        fill(&mut ff, 600);
+        let meta = ff.meta_to_bytes();
+        let reopened = FactFile::from_meta_bytes(p, &meta).unwrap();
+        assert_eq!(reopened.num_tuples(), 600);
+        let mut dims = [0u32; 4];
+        let mut m = [0i64; 1];
+        reopened.read_tuple(599, &mut dims, &mut m).unwrap();
+        assert_eq!(dims[0], 599);
+        assert_eq!(m[0], 5990);
+        assert!(FactFile::from_meta_bytes(pool(), &meta[..10]).is_err());
+    }
+
+    #[test]
+    fn no_slotted_page_overhead() {
+        // The whole point of the fact file (§4.4): storage is exactly
+        // ceil(tuples / tuples_per_page) pages, nothing more.
+        let mut ff = FactFile::create(pool(), TupleSchema::new(4, 1), 16).unwrap();
+        fill(&mut ff, 341); // exactly one full page at 24B records
+        assert_eq!(ff.used_pages(), 1);
+        fill(&mut ff, 1);
+        assert_eq!(ff.used_pages(), 2);
+    }
+}

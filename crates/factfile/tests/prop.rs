@@ -1,0 +1,82 @@
+//! Property tests: the fact file against a `Vec`-of-tuples model.
+
+use std::sync::Arc;
+
+use molap_bitmap::Bitmap;
+use molap_factfile::{FactFile, TupleSchema};
+use molap_storage::{BufferPool, MemDisk};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_matches_model(
+        n_dims in 1usize..6,
+        n_measures in 1usize..3,
+        extent_pages in 1u64..8,
+        tuples in proptest::collection::vec((0u32..1000, -1000i64..1000), 0..600),
+    ) {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 256));
+        let schema = TupleSchema::new(n_dims, n_measures);
+        let mut ff = FactFile::create(pool, schema, extent_pages).unwrap();
+
+        let model: Vec<(Vec<u32>, Vec<i64>)> = tuples
+            .iter()
+            .map(|&(d, m)| {
+                let dims: Vec<u32> = (0..n_dims as u32).map(|i| d.wrapping_add(i)).collect();
+                let measures: Vec<i64> = (0..n_measures as i64).map(|i| m + i).collect();
+                (dims, measures)
+            })
+            .collect();
+        for (dims, measures) in &model {
+            ff.append(dims, measures).unwrap();
+        }
+        prop_assert_eq!(ff.num_tuples(), model.len() as u64);
+
+        // Point reads.
+        let mut dims = vec![0u32; n_dims];
+        let mut measures = vec![0i64; n_measures];
+        for (t, (ed, em)) in model.iter().enumerate() {
+            ff.read_tuple(t as u64, &mut dims, &mut measures).unwrap();
+            prop_assert_eq!(&dims, ed);
+            prop_assert_eq!(&measures, em);
+        }
+
+        // Full scan.
+        let mut scanned = Vec::new();
+        ff.scan(|t, d, m| scanned.push((t, d.to_vec(), m.to_vec()))).unwrap();
+        prop_assert_eq!(scanned.len(), model.len());
+        for (t, d, m) in &scanned {
+            prop_assert_eq!(d, &model[*t as usize].0);
+            prop_assert_eq!(m, &model[*t as usize].1);
+        }
+    }
+
+    #[test]
+    fn bitmap_fetch_equals_filtered_scan(
+        n in 0usize..500,
+        selected in proptest::collection::vec(0usize..500, 0..100),
+    ) {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 256));
+        let mut ff = FactFile::create(pool, TupleSchema::new(4, 1), 4).unwrap();
+        for t in 0..n {
+            ff.append(&[t as u32, 0, 1, 2], &[t as i64]).unwrap();
+        }
+        let mut bm = Bitmap::new(n);
+        for &s in &selected {
+            if s < n {
+                bm.set(s);
+            }
+        }
+        let mut via_bitmap = Vec::new();
+        ff.fetch_bitmap(&bm, |t, _, m| via_bitmap.push((t, m[0]))).unwrap();
+        let mut via_scan = Vec::new();
+        ff.scan(|t, _, m| {
+            if bm.get(t as usize) {
+                via_scan.push((t, m[0]));
+            }
+        }).unwrap();
+        prop_assert_eq!(via_bitmap, via_scan);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type shared by the storage substrate.
+
+use std::fmt;
+use std::io;
+
+use crate::page::PageId;
+
+/// Errors raised by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// A page id beyond the end of the store was referenced.
+    PageOutOfBounds {
+        /// The offending page id.
+        pid: PageId,
+        /// Number of pages currently allocated.
+        num_pages: u64,
+    },
+    /// Every buffer-pool frame is pinned; no victim could be found.
+    PoolExhausted,
+    /// A large object id that was never allocated was referenced.
+    UnknownLob(u64),
+    /// Persisted bytes could not be decoded (truncated or corrupt).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::PageOutOfBounds { pid, num_pages } => {
+                write!(f, "page {pid} out of bounds (store has {num_pages} pages)")
+            }
+            StorageError::PoolExhausted => {
+                write!(f, "buffer pool exhausted: all frames pinned")
+            }
+            StorageError::UnknownLob(id) => write!(f, "unknown large object id {id}"),
+            StorageError::Corrupt(what) => write!(f, "corrupt storage metadata: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = StorageError::PageOutOfBounds {
+            pid: PageId(42),
+            num_pages: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("42") && s.contains("10"), "got: {s}");
+
+        assert!(StorageError::PoolExhausted.to_string().contains("pinned"));
+        assert!(StorageError::UnknownLob(7).to_string().contains('7'));
+        assert!(StorageError::Corrupt("lob directory")
+            .to_string()
+            .contains("lob directory"));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains_source() {
+        let io = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e: StorageError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Page identifiers and the on-disk page unit.
+
+use std::fmt;
+
+/// Size of every page in the store, in bytes.
+///
+/// 8 KiB matches SHORE's default page size used by Paradise in the paper's
+/// experiments; all layout arithmetic in the higher crates (fact file
+/// tuples-per-page, B-tree fanout, bitmap words-per-page) derives from it.
+pub const PAGE_SIZE: usize = 8192;
+
+/// A page-sized byte buffer.
+pub type PageBuf = [u8; PAGE_SIZE];
+
+/// Identifier of a page within a store.
+///
+/// Page ids are dense: the disk managers allocate them as a monotonically
+/// increasing sequence, and an *extent* of `n` contiguous pages occupies
+/// ids `start .. start + n`. The fact file and LOB store rely on this to
+/// turn positions into page ids with pure arithmetic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+/// Sentinel page id used in persisted structures for "no page".
+pub const INVALID_PAGE: PageId = PageId(u64::MAX);
+
+impl PageId {
+    /// Returns the page id offset by `n` pages (within an extent).
+    #[inline]
+    pub fn offset(self, n: u64) -> PageId {
+        PageId(self.0 + n)
+    }
+
+    /// True if this is the [`INVALID_PAGE`] sentinel.
+    #[inline]
+    pub fn is_invalid(self) -> bool {
+        self == INVALID_PAGE
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageId({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_moves_within_extent() {
+        let base = PageId(100);
+        assert_eq!(base.offset(0), PageId(100));
+        assert_eq!(base.offset(7), PageId(107));
+    }
+
+    #[test]
+    fn invalid_sentinel_is_detected() {
+        assert!(INVALID_PAGE.is_invalid());
+        assert!(!PageId(0).is_invalid());
+    }
+
+    #[test]
+    fn ordering_follows_numeric_ids() {
+        assert!(PageId(1) < PageId(2));
+        assert_eq!(format!("{}", PageId(3)), "P3");
+        assert_eq!(format!("{:?}", PageId(3)), "PageId(3)");
+    }
+}

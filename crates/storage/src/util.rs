@@ -1,0 +1,81 @@
+//! Little-endian fixed-width codecs over byte slices.
+//!
+//! Every persisted structure in the workspace (B-tree nodes, fact-file
+//! tuples, bitmap segments, array chunk directories) lays integers out
+//! little-endian at computed offsets; these helpers keep that code free
+//! of ad-hoc slicing.
+
+/// Reads a `u16` at byte offset `off`.
+#[inline]
+pub fn read_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes(buf[off..off + 2].try_into().unwrap())
+}
+
+/// Writes a `u16` at byte offset `off`.
+#[inline]
+pub fn write_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a `u32` at byte offset `off`.
+#[inline]
+pub fn read_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().unwrap())
+}
+
+/// Writes a `u32` at byte offset `off`.
+#[inline]
+pub fn write_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a `u64` at byte offset `off`.
+#[inline]
+pub fn read_u64(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+}
+
+/// Writes a `u64` at byte offset `off`.
+#[inline]
+pub fn write_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Reads an `i64` at byte offset `off`.
+#[inline]
+pub fn read_i64(buf: &[u8], off: usize) -> i64 {
+    i64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+}
+
+/// Writes an `i64` at byte offset `off`.
+#[inline]
+pub fn write_i64(buf: &mut [u8], off: usize, v: i64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = [0u8; 32];
+        write_u16(&mut buf, 1, 0xBEEF);
+        write_u32(&mut buf, 4, 0xDEAD_BEEF);
+        write_u64(&mut buf, 8, 0x0123_4567_89AB_CDEF);
+        write_i64(&mut buf, 16, -42);
+        assert_eq!(read_u16(&buf, 1), 0xBEEF);
+        assert_eq!(read_u32(&buf, 4), 0xDEAD_BEEF);
+        assert_eq!(read_u64(&buf, 8), 0x0123_4567_89AB_CDEF);
+        assert_eq!(read_i64(&buf, 16), -42);
+    }
+
+    #[test]
+    fn writes_do_not_bleed_into_neighbours() {
+        let mut buf = [0xAAu8; 8];
+        write_u16(&mut buf, 3, 0);
+        assert_eq!(buf[2], 0xAA);
+        assert_eq!(buf[5], 0xAA);
+        assert_eq!(&buf[3..5], &[0, 0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Roll-up / drill-down over a dimension hierarchy — the §2 retail
+//! example: stores form a `store → city → region` hierarchy; one
+//! consolidation per hierarchy level answers successively coarser
+//! questions from the same OLAP array.
+//!
+//! ```sh
+//! cargo run --example retail_drilldown
+//! ```
+
+use std::sync::Arc;
+
+use molap::array::ChunkFormat;
+use molap::core::{DimGrouping, DimensionTable, OlapArray, Query};
+use molap::storage::{BufferPool, MemDisk};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // 24 stores in 6 cities in 2 regions; 30 products in 5 types.
+    let n_stores = 24u32;
+    let cities: Vec<i64> = (0..n_stores as i64).map(|s| s / 4).collect(); // 4 stores/city
+    let regions: Vec<i64> = cities.iter().map(|c| c / 3).collect(); // 3 cities/region
+    let mut store = DimensionTable::build(
+        "store",
+        &(0..n_stores as i64).collect::<Vec<_>>(),
+        vec![("city", cities), ("region", regions)],
+    )
+    .unwrap();
+    store
+        .set_labels(
+            0,
+            vec![
+                "Madison",
+                "Milwaukee",
+                "Chicago",
+                "Seattle",
+                "Portland",
+                "Denver",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        )
+        .unwrap();
+    store
+        .set_labels(1, vec!["Midwest".into(), "West".into()])
+        .unwrap();
+
+    let n_products = 30u32;
+    let types: Vec<i64> = (0..n_products as i64).map(|p| p % 5).collect();
+    let mut product = DimensionTable::build(
+        "product",
+        &(0..n_products as i64).collect::<Vec<_>>(),
+        vec![("ptype", types)],
+    )
+    .unwrap();
+    product
+        .set_labels(
+            0,
+            vec!["grocery", "clothing", "electronics", "garden", "toys"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+        )
+        .unwrap();
+
+    // ~40% dense sales cube, seeded.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut sales = Vec::new();
+    for s in 0..n_stores as i64 {
+        for p in 0..n_products as i64 {
+            if rng.random_range(0..10) < 4 {
+                sales.push((vec![s, p], vec![rng.random_range(1..500)]));
+            }
+        }
+    }
+
+    let pool = Arc::new(BufferPool::with_bytes(Arc::new(MemDisk::new()), 16 << 20));
+    let adt = OlapArray::build(
+        pool,
+        vec![store.clone(), product.clone()],
+        &[8, 10],
+        ChunkFormat::ChunkOffset,
+        sales.iter().cloned(),
+        1,
+    )
+    .unwrap();
+    println!(
+        "cube: {} stores x {} products, {} valid cells ({:.0}% dense)\n",
+        n_stores,
+        n_products,
+        adt.valid_cells(),
+        adt.array().density() * 100.0
+    );
+
+    // Drill-down path: region -> city -> store, all crossed with ptype.
+    for (label, grouping) in [
+        ("region", DimGrouping::Level(1)),
+        ("city", DimGrouping::Level(0)),
+        ("store (finest)", DimGrouping::Key),
+    ] {
+        let q = Query::new(vec![grouping, DimGrouping::Drop]);
+        let res = adt.consolidate(&q).unwrap();
+        println!("SUM(volume) GROUP BY {label}: {} groups", res.rows().len());
+        for row in res.rows().iter().take(6) {
+            let name = match grouping {
+                DimGrouping::Level(l) => store.label(l, row.keys[0]),
+                _ => format!("store #{}", row.keys[0]),
+            };
+            println!("  {:<12} {}", name, row.values[0]);
+        }
+        if res.rows().len() > 6 {
+            println!("  ... ({} more)", res.rows().len() - 6);
+        }
+        println!();
+    }
+
+    // Cross-tab at the middle level: city x ptype.
+    let q = Query::new(vec![DimGrouping::Level(0), DimGrouping::Level(0)]);
+    let res = adt.consolidate(&q).unwrap();
+    println!("city x ptype cross-tab ({} cells):", res.rows().len());
+    println!("{:<12} {:<12} volume", "city", "ptype");
+    for row in res.rows().iter().take(10) {
+        println!(
+            "{:<12} {:<12} {}",
+            store.label(0, row.keys[0]),
+            product.label(0, row.keys[1]),
+            row.values[0]
+        );
+    }
+    println!("  ... ({} more)", res.rows().len().saturating_sub(10));
+
+    // Consistency across levels: regions must sum to the global total.
+    let global = adt
+        .consolidate(&Query::new(vec![DimGrouping::Drop, DimGrouping::Drop]))
+        .unwrap();
+    let regions = adt
+        .consolidate(&Query::new(vec![DimGrouping::Level(1), DimGrouping::Drop]))
+        .unwrap();
+    assert_eq!(global.total(), regions.total());
+    println!(
+        "\nroll-up invariant holds: region totals == global total == {}",
+        global.total()
+    );
+}

@@ -1,0 +1,177 @@
+//! `molap-cli` — an interactive shell over a molap database file.
+//!
+//! ```sh
+//! cargo run --bin molap-cli -- /tmp/demo.molap
+//! ```
+//!
+//! Meta commands start with a dot; anything else is parsed as a SQL
+//! consolidation statement and routed by the catalog (array engine for
+//! `OlapArray` objects, StarJoin for `StarSchema` objects):
+//!
+//! ```text
+//! .tables                 list cataloged objects
+//! .schema <name>          show an object's dimensions and levels
+//! .load demo              generate + catalog a small demo star schema
+//! .stats                  buffer-pool I/O counters
+//! .checkpoint             flush + WAL checkpoint
+//! .quit
+//! SELECT SUM(volume), dim0.h01 FROM sales GROUP BY dim0.h01
+//! ```
+
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+use molap::array::ChunkFormat;
+use molap::core::{Database, JoinBitmapIndexes, ObjectKind, OlapArray, StarSchema};
+use molap::datagen::{generate, AttrLayout, CubeSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: molap-cli <database-file> [--create]");
+        std::process::exit(2);
+    };
+    let create = args.iter().any(|a| a == "--create") || !std::path::Path::new(path).exists();
+    let db = if create {
+        println!("creating {path}");
+        Database::create(path, 64 << 20).expect("create database")
+    } else {
+        println!("opening {path}");
+        Database::open(path, 64 << 20).expect("open database")
+    };
+
+    println!("molap-cli — .help for commands");
+    let stdin = std::io::stdin();
+    loop {
+        print!("molap> ");
+        std::io::stdout().flush().unwrap();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match run_command(&db, line) {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    if db.is_dirty() {
+        println!("checkpointing before exit");
+        db.checkpoint().expect("final checkpoint");
+    }
+}
+
+/// Executes one line; returns Ok(true) to quit.
+fn run_command(db: &Database, line: &str) -> molap::core::Result<bool> {
+    match line {
+        ".quit" | ".exit" => return Ok(true),
+        ".help" => {
+            println!(
+                ".tables | .schema <name> | .load demo | .stats | .checkpoint | .quit\n\
+                 or a SQL statement: SELECT SUM(volume), d.attr FROM <object> \
+                 [WHERE d.attr = v | IN (..) | BETWEEN a AND b] [GROUP BY d.attr, ...]"
+            );
+        }
+        ".tables" => {
+            let objects = db.list();
+            if objects.is_empty() {
+                println!("(catalog is empty — try `.load demo`)");
+            }
+            for (name, kind) in objects {
+                println!("{name:<20} {kind:?}");
+            }
+        }
+        ".stats" => {
+            let s = db.pool().stats().snapshot();
+            println!(
+                "logical reads {}, physical reads {} ({} sequential), writes {}",
+                s.logical_reads, s.physical_reads, s.seq_physical_reads, s.physical_writes
+            );
+        }
+        ".checkpoint" => {
+            db.checkpoint()?;
+            println!("checkpointed");
+        }
+        ".load demo" => load_demo(db)?,
+        cmd if cmd.starts_with(".schema") => {
+            let name = cmd.trim_start_matches(".schema").trim();
+            show_schema(db, name)?;
+        }
+        cmd if cmd.starts_with('.') => {
+            println!("unknown command {cmd:?}; .help lists commands");
+        }
+        sql => {
+            let start = Instant::now();
+            let result = db.sql(sql, &["volume"])?;
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            print!("{}", result.to_table());
+            println!("({} rows in {ms:.2} ms)", result.rows().len());
+        }
+    }
+    Ok(false)
+}
+
+fn show_schema(db: &Database, name: &str) -> molap::core::Result<()> {
+    let dims = match db.list().iter().find(|(n, _)| n == name).map(|(_, k)| *k) {
+        Some(ObjectKind::OlapArray) => db.open_olap_array(name)?.dims().to_vec(),
+        Some(ObjectKind::StarSchema) => db.open_star_schema(name)?.dims,
+        Some(ObjectKind::BitmapIndexes) => {
+            println!("{name} is a bitmap index set");
+            return Ok(());
+        }
+        None => {
+            println!("no object named {name:?}");
+            return Ok(());
+        }
+    };
+    for dim in &dims {
+        let levels: Vec<&str> = (0..dim.num_levels())
+            .map(|l| dim.level_name(l).unwrap_or("?"))
+            .collect();
+        println!("{} ({} rows): key, {}", dim.name(), dim.len(), levels.join(", "));
+    }
+    Ok(())
+}
+
+/// Generates a small star schema and catalogs it in all three forms.
+fn load_demo(db: &Database) -> molap::core::Result<()> {
+    let spec = CubeSpec {
+        dim_sizes: vec![30, 20, 16],
+        level_cards: vec![vec![5, 2], vec![4, 2], vec![4, 2]],
+        valid_cells: 2_000,
+        seed: 7,
+        n_measures: 1,
+        independent_last_level: false,
+        layout: AttrLayout::Blocked,
+    };
+    let cube = generate(&spec)?;
+    let adt = OlapArray::build(
+        db.pool().clone(),
+        cube.dims.clone(),
+        &[10, 10, 8],
+        ChunkFormat::ChunkOffset,
+        cube.cells.iter().cloned(),
+        1,
+    )?;
+    let schema = StarSchema::build(
+        db.pool().clone(),
+        cube.dims.clone(),
+        cube.cells.iter().cloned(),
+        1,
+    )?;
+    let indexes = JoinBitmapIndexes::build(db.pool().clone(), &schema)?;
+    db.save_olap_array("sales", &adt)?;
+    db.save_star_schema("sales_rel", &schema)?;
+    db.save_bitmap_indexes("sales_bm", &indexes)?;
+    db.checkpoint()?;
+    println!(
+        "loaded demo: {} cells into `sales` (array), `sales_rel` (star schema), `sales_bm`",
+        cube.len()
+    );
+    println!("try: SELECT SUM(volume), dim0.h01 FROM sales GROUP BY dim0.h01");
+    Ok(())
+}

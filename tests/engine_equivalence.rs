@@ -1,0 +1,267 @@
+//! Cross-engine equivalence: the array consolidation algorithms (§4.1,
+//! §4.2), the StarJoin operator (§4.3), and the bitmap plan (§4.5) must
+//! return identical results on identical data for every query — the
+//! paper's entire comparison rests on the engines computing the same
+//! thing.
+
+use std::sync::Arc;
+
+use molap::array::ChunkFormat;
+use molap::core::{
+    bitmap_consolidate, starjoin_consolidate, AggFunc, AttrRef, DimGrouping, JoinBitmapIndexes,
+    OlapArray, Query, Selection, StarSchema,
+};
+use molap::datagen::{generate, AttrLayout, CubeSpec};
+use molap::storage::{BufferPool, MemDisk};
+use proptest::prelude::*;
+
+struct Fixture {
+    adt: OlapArray,
+    schema: StarSchema,
+    indexes: JoinBitmapIndexes,
+}
+
+fn fixture(spec: &CubeSpec, chunk_dims: &[u32]) -> Fixture {
+    let cube = generate(spec).unwrap();
+    let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 4096));
+    let adt = OlapArray::build(
+        pool.clone(),
+        cube.dims.clone(),
+        chunk_dims,
+        ChunkFormat::ChunkOffset,
+        cube.cells.iter().cloned(),
+        spec.n_measures,
+    )
+    .unwrap();
+    let schema = StarSchema::build(
+        pool.clone(),
+        cube.dims.clone(),
+        cube.cells.iter().cloned(),
+        spec.n_measures,
+    )
+    .unwrap();
+    // Key bitmap indexes on every dimension so key selections (and
+    // key ranges) are testable on the bitmap plan too.
+    let key_dims: Vec<usize> = (0..spec.dim_sizes.len()).collect();
+    let indexes = JoinBitmapIndexes::build_with_keys(pool, &schema, &key_dims).unwrap();
+    Fixture {
+        adt,
+        schema,
+        indexes,
+    }
+}
+
+fn assert_engines_agree(fx: &Fixture, query: &Query) {
+    let array = fx.adt.consolidate(query).unwrap();
+    let starjoin = starjoin_consolidate(&fx.schema, query).unwrap();
+    assert_eq!(array, starjoin, "array vs starjoin on {query:?}");
+    let bitmap = bitmap_consolidate(&fx.schema, &fx.indexes, query).unwrap();
+    assert_eq!(starjoin, bitmap, "starjoin vs bitmap on {query:?}");
+}
+
+#[test]
+fn paper_query_shapes_agree() {
+    let spec = CubeSpec {
+        dim_sizes: vec![12, 10, 8, 15],
+        level_cards: vec![vec![4, 2], vec![5, 2], vec![4, 2], vec![5, 2]],
+        valid_cells: 800,
+        seed: 11,
+        n_measures: 1,
+        independent_last_level: false,
+        layout: AttrLayout::Scattered,
+    }
+    .with_selection_cardinality(3);
+    let fx = fixture(&spec, &[6, 5, 4, 5]);
+
+    // Query 1: full consolidation, group by h1 of every dimension.
+    let q1 = Query::new(vec![
+        DimGrouping::Level(0),
+        DimGrouping::Level(0),
+        DimGrouping::Level(0),
+        DimGrouping::Level(0),
+    ]);
+    assert_engines_agree(&fx, &q1);
+
+    // Query 2: Query 1 plus a selection on every dimension's last level.
+    let mut q2 = q1.clone();
+    for d in 0..4 {
+        q2 = q2.with_selection(d, Selection::eq(AttrRef::Level(1), 1));
+    }
+    assert_engines_agree(&fx, &q2);
+
+    // Query 3: selection on three dimensions, group by three h1s.
+    let q3 = Query::new(vec![
+        DimGrouping::Level(0),
+        DimGrouping::Level(0),
+        DimGrouping::Level(0),
+        DimGrouping::Drop,
+    ])
+    .with_selection(0, Selection::eq(AttrRef::Level(1), 0))
+    .with_selection(1, Selection::eq(AttrRef::Level(1), 2))
+    .with_selection(2, Selection::eq(AttrRef::Level(1), 1));
+    assert_engines_agree(&fx, &q3);
+}
+
+#[test]
+fn range_predicates_agree_across_engines() {
+    let spec = CubeSpec {
+        dim_sizes: vec![20, 16],
+        level_cards: vec![vec![5, 2], vec![4, 2]],
+        valid_cells: 150,
+        seed: 77,
+        n_measures: 1,
+        independent_last_level: false,
+        layout: AttrLayout::Blocked,
+    };
+    let fx = fixture(&spec, &[6, 5]);
+    let cases = vec![
+        // Range over keys (high cardinality, spans chunks).
+        Query::new(vec![DimGrouping::Level(0), DimGrouping::Drop])
+            .with_selection(0, Selection::range(AttrRef::Key, 3, 14)),
+        // Range over an attribute plus an IN on the other dimension.
+        Query::new(vec![DimGrouping::Drop, DimGrouping::Level(0)])
+            .with_selection(0, Selection::range(AttrRef::Level(0), 1, 3))
+            .with_selection(1, Selection::in_list(AttrRef::Level(1), vec![0, 1])),
+        // Degenerate ranges: empty and single-point.
+        Query::new(vec![DimGrouping::Drop, DimGrouping::Drop])
+            .with_selection(0, Selection::range(AttrRef::Key, 9, 3)),
+        Query::new(vec![DimGrouping::Key, DimGrouping::Drop])
+            .with_selection(0, Selection::range(AttrRef::Key, 7, 7)),
+        // Range conjunct with another range on the same dimension.
+        Query::new(vec![DimGrouping::Level(0), DimGrouping::Drop])
+            .with_selection(0, Selection::range(AttrRef::Key, 2, 15))
+            .with_selection(0, Selection::range(AttrRef::Key, 10, 19)),
+    ];
+    for q in cases {
+        assert_engines_agree(&fx, &q);
+    }
+}
+
+#[test]
+fn hierarchy_levels_and_key_grouping_agree() {
+    let spec = CubeSpec {
+        dim_sizes: vec![9, 7],
+        level_cards: vec![vec![3, 2], vec![4, 2]],
+        valid_cells: 40,
+        seed: 3,
+        n_measures: 1,
+        independent_last_level: false,
+        layout: AttrLayout::Scattered,
+    };
+    let fx = fixture(&spec, &[3, 3]);
+    for g0 in [
+        DimGrouping::Drop,
+        DimGrouping::Key,
+        DimGrouping::Level(0),
+        DimGrouping::Level(1),
+    ] {
+        for g1 in [DimGrouping::Drop, DimGrouping::Key, DimGrouping::Level(1)] {
+            assert_engines_agree(&fx, &Query::new(vec![g0, g1]));
+        }
+    }
+}
+
+#[test]
+fn all_aggregate_functions_agree() {
+    let spec = CubeSpec {
+        dim_sizes: vec![10, 10],
+        level_cards: vec![vec![5], vec![2]],
+        valid_cells: 60,
+        seed: 9,
+        n_measures: 2,
+        independent_last_level: false,
+        layout: AttrLayout::Scattered,
+    };
+    let fx = fixture(&spec, &[4, 4]);
+    for f in [
+        AggFunc::Sum,
+        AggFunc::Count,
+        AggFunc::Min,
+        AggFunc::Max,
+        AggFunc::Avg,
+    ] {
+        let q = Query::new(vec![DimGrouping::Level(0), DimGrouping::Drop])
+            .with_aggs(vec![f, AggFunc::Sum]);
+        assert_engines_agree(&fx, &q);
+    }
+}
+
+#[test]
+fn ground_truth_total_volume() {
+    let spec = CubeSpec {
+        dim_sizes: vec![10, 10, 10],
+        level_cards: vec![vec![2], vec![2], vec![2]],
+        valid_cells: 500,
+        seed: 21,
+        n_measures: 1,
+        independent_last_level: false,
+        layout: AttrLayout::Scattered,
+    };
+    let cube = generate(&spec).unwrap();
+    let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 4096));
+    let adt = OlapArray::build(
+        pool.clone(),
+        cube.dims.clone(),
+        &[5, 5, 5],
+        ChunkFormat::ChunkOffset,
+        cube.cells.iter().cloned(),
+        1,
+    )
+    .unwrap();
+    let q = Query::new(vec![
+        DimGrouping::Drop,
+        DimGrouping::Drop,
+        DimGrouping::Drop,
+    ]);
+    let res = adt.consolidate(&q).unwrap();
+    assert_eq!(
+        res.rows()[0].values[0].as_int().unwrap(),
+        cube.total_volume()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized cubes, chunkings, groupings, and selections: all
+    /// three engines must agree exactly.
+    #[test]
+    fn engines_agree_on_random_queries(
+        seed in 0u64..1000,
+        sizes in proptest::collection::vec(2u32..14, 2..4),
+        density_pct in 1u32..60,
+        grouping_sel in proptest::collection::vec(0u8..4, 4),
+        sel_spec in proptest::collection::vec((0u8..3, 0u8..6), 0..3),
+        chunk_divisor in 1u32..4,
+    ) {
+        let n = sizes.len();
+        let total: u64 = sizes.iter().map(|&s| s as u64).product();
+        let valid = ((total * density_pct as u64) / 100).max(1);
+        let spec = CubeSpec {
+            dim_sizes: sizes.clone(),
+            level_cards: sizes.iter().map(|&s| vec![(s / 2).max(2), 2]).collect(),
+            valid_cells: valid,
+            seed,
+            n_measures: 1,
+            independent_last_level: false,
+            layout: AttrLayout::Scattered,
+        };
+        let chunk_dims: Vec<u32> = sizes.iter().map(|&s| (s / chunk_divisor).max(1)).collect();
+        let fx = fixture(&spec, &chunk_dims);
+
+        let group_by: Vec<DimGrouping> = (0..n)
+            .map(|d| match grouping_sel[d] % 4 {
+                0 => DimGrouping::Drop,
+                1 => DimGrouping::Key,
+                2 => DimGrouping::Level(0),
+                _ => DimGrouping::Level(1),
+            })
+            .collect();
+        let mut query = Query::new(group_by);
+        for &(dim_sel, value) in &sel_spec {
+            let d = dim_sel as usize % n;
+            query = query.with_selection(d, Selection::eq(AttrRef::Level(1), value as i64 % 3));
+        }
+        assert_engines_agree(&fx, &query);
+    }
+}

@@ -1,0 +1,112 @@
+//! Fuzzing the SQL front end: arbitrary input must parse or error,
+//! never panic, and valid statements must roundtrip structurally.
+
+use molap::core::{parse_query, DimensionTable};
+use proptest::prelude::*;
+
+fn dims() -> Vec<DimensionTable> {
+    let mut store = DimensionTable::build(
+        "store",
+        &[0, 1, 2, 3],
+        vec![("city", vec![0, 0, 1, 1]), ("region", vec![0, 0, 0, 1])],
+    )
+    .unwrap();
+    store
+        .set_labels(0, vec!["Madison".into(), "Chicago".into()])
+        .unwrap();
+    vec![
+        store,
+        DimensionTable::build("product", &[0, 1, 2], vec![("ptype", vec![5, 6, 5])]).unwrap(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup (printable-ish) never panics the parser.
+    #[test]
+    fn arbitrary_input_never_panics(input in "\\PC{0,200}") {
+        let _ = parse_query(&input, &dims(), &["volume"]);
+    }
+
+    /// Structured near-misses (SQL-shaped token streams) never panic.
+    #[test]
+    fn sql_shaped_input_never_panics(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_string()),
+                Just("FROM".to_string()),
+                Just("WHERE".to_string()),
+                Just("GROUP".to_string()),
+                Just("BY".to_string()),
+                Just("AND".to_string()),
+                Just("IN".to_string()),
+                Just("BETWEEN".to_string()),
+                Just("SUM(volume)".to_string()),
+                Just("store.city".to_string()),
+                Just("product.ptype".to_string()),
+                Just("store.key".to_string()),
+                Just("'Madison'".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(",".to_string()),
+                Just("=".to_string()),
+                Just(".".to_string()),
+                (-100i64..100).prop_map(|v| v.to_string()),
+            ],
+            0..25,
+        )
+    ) {
+        let input = tokens.join(" ");
+        let _ = parse_query(&input, &dims(), &["volume"]);
+    }
+
+    /// Generated *valid* statements always parse, and the query shape
+    /// matches the generator's intent.
+    #[test]
+    fn valid_statements_always_parse(
+        group_store in proptest::bool::ANY,
+        group_product in proptest::bool::ANY,
+        where_city in proptest::option::of(0i64..2),
+        where_range in proptest::option::of((0i64..3, 0i64..3)),
+        agg in prop_oneof![Just("SUM"), Just("COUNT"), Just("MIN"), Just("MAX"), Just("AVG")],
+    ) {
+        let mut sql = format!("SELECT {agg}(volume) FROM cube");
+        let mut preds = Vec::new();
+        if let Some(c) = where_city {
+            preds.push(format!("store.city = {c}"));
+        }
+        if let Some((a, b)) = where_range {
+            preds.push(format!("product.ptype BETWEEN {} AND {}", a.min(b), a.max(b)));
+        }
+        if !preds.is_empty() {
+            sql.push_str(" WHERE ");
+            sql.push_str(&preds.join(" AND "));
+        }
+        let mut groups = Vec::new();
+        if group_store {
+            groups.push("store.region");
+        }
+        if group_product {
+            groups.push("product.ptype");
+        }
+        if !groups.is_empty() {
+            sql.push_str(" GROUP BY ");
+            sql.push_str(&groups.join(", "));
+        }
+
+        let stmt = parse_query(&sql, &dims(), &["volume"]).unwrap_or_else(|e| {
+            panic!("valid statement failed to parse: {sql:?}: {e}")
+        });
+        prop_assert_eq!(stmt.cube, "cube");
+        prop_assert_eq!(
+            stmt.query.grouped_dims().len(),
+            group_store as usize + group_product as usize
+        );
+        let n_sels: usize = stmt.query.selections.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(
+            n_sels,
+            where_city.is_some() as usize + where_range.is_some() as usize
+        );
+    }
+}
