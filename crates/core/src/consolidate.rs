@@ -39,10 +39,7 @@ pub(crate) struct GroupMap {
 pub(crate) fn phase1(adt: &OlapArray, query: &Query) -> Result<(Vec<GroupMap>, Vec<BTree>)> {
     use molap_storage::{BufferPool, MemDisk};
     use std::sync::Arc;
-    let result_pool = Arc::new(BufferPool::with_bytes(
-        Arc::new(MemDisk::new()),
-        4 << 20,
-    ));
+    let result_pool = Arc::new(BufferPool::with_bytes(Arc::new(MemDisk::new()), 4 << 20));
     let mut maps = Vec::new();
     let mut result_btrees = Vec::new();
     for (d, grouping) in query.group_by.iter().enumerate() {

@@ -34,11 +34,7 @@ impl OlapArray {
     /// knows each city's region, so it can be consolidated again).
     /// Aggregates must finalize to integers (AVG cannot be a cell
     /// measure; materialize SUM and COUNT instead).
-    pub fn consolidate_to_array(
-        &self,
-        query: &Query,
-        pool: Arc<BufferPool>,
-    ) -> Result<OlapArray> {
+    pub fn consolidate_to_array(&self, query: &Query, pool: Arc<BufferPool>) -> Result<OlapArray> {
         query.validate(self.dims(), self.n_measures())?;
         if query.aggs.iter().any(|a| matches!(a, AggFunc::Avg)) {
             return Err(Error::Query(
@@ -252,7 +248,10 @@ mod tests {
             .unwrap();
         assert_eq!(via.rows().len(), direct.rows().len());
         for (a, b) in via.rows().iter().zip(direct.rows()) {
-            assert_eq!((a.keys.clone(), a.values.clone()), (b.keys.clone(), b.values.clone()));
+            assert_eq!(
+                (a.keys.clone(), a.values.clone()),
+                (b.keys.clone(), b.values.clone())
+            );
         }
     }
 

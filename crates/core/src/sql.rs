@@ -305,7 +305,9 @@ impl<'a> Parser<'a> {
             self.next();
             self.expect(&Token::RParen, "after *")?;
             if func != AggFunc::Count {
-                return Err(Error::Query(format!("{func:?}(*) is not valid; only COUNT(*)")));
+                return Err(Error::Query(format!(
+                    "{func:?}(*) is not valid; only COUNT(*)"
+                )));
             }
             return Ok((func, 0));
         }

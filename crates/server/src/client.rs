@@ -1,0 +1,171 @@
+//! A blocking client for the `molap-server` wire protocol, used by
+//! `molap-cli --connect`, the end-to-end tests, and any embedding
+//! that wants to talk to a remote database.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use molap_core::ConsolidationResult;
+
+use crate::metrics::MetricsSnapshot;
+use crate::protocol::{read_frame, write_frame, ErrorCode, ProtocolError, Request, Response};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server's bytes did not decode, or it answered out of
+    /// protocol.
+    Protocol(String),
+    /// The server answered with a structured error frame.
+    Server {
+        /// The error category.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        match e {
+            ProtocolError::Io(io) => ClientError::Io(io),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+impl ClientError {
+    /// The server's error code, if this is a server-reported error.
+    pub fn server_code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+/// A blocking connection to a `molap-server`.
+pub struct ServerClient {
+    stream: TcpStream,
+}
+
+impl ServerClient {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(ServerClient { stream })
+    }
+
+    /// Connects with a connect timeout (first resolved address only).
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Protocol("address resolved to nothing".into()))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true).ok();
+        Ok(ServerClient { stream })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let (frame_type, payload) = request.encode();
+        write_frame(&mut self.stream, frame_type, &payload)?;
+        let (frame_type, payload, _) = read_frame(&mut self.stream)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".into()))?;
+        let response = Response::decode(frame_type, &payload)?;
+        if let Response::Error { code, message } = response {
+            return Err(ClientError::Server { code, message });
+        }
+        Ok(response)
+    }
+
+    /// Runs one SQL statement with the given measure names.
+    pub fn query_with_measures(
+        &mut self,
+        sql: &str,
+        measures: &[&str],
+    ) -> Result<ConsolidationResult, ClientError> {
+        let request = Request::Query {
+            sql: sql.to_string(),
+            measures: measures.iter().map(|m| m.to_string()).collect(),
+        };
+        match self.round_trip(&request)? {
+            Response::ResultSet(result) => Ok(result),
+            other => Err(ClientError::Protocol(format!(
+                "expected a result set, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Runs one SQL statement against the demo schema's single
+    /// `volume` measure.
+    pub fn query(&mut self, sql: &str) -> Result<ConsolidationResult, ClientError> {
+        self.query_with_measures(sql, &["volume"])
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches server metrics.
+    pub fn stats(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(snapshot) => Ok(snapshot),
+            other => Err(ClientError::Protocol(format!(
+                "expected stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Lists cataloged objects as `(name, kind)` pairs.
+    pub fn list_objects(&mut self) -> Result<Vec<(String, String)>, ClientError> {
+        match self.round_trip(&Request::ListObjects)? {
+            Response::Objects(objects) => Ok(objects),
+            other => Err(ClientError::Protocol(format!(
+                "expected an object list, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to shut down gracefully; returns once the
+    /// server acknowledges that draining has begun.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::ShutdownStarted => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected shutdown acknowledgment, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Server-side observability: lock-free counters plus a log2 latency
+//! histogram, snapshotted into a wire-encodable [`MetricsSnapshot`]
+//! for the `Stats` request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use molap_storage::IoSnapshot;
+
+use crate::protocol::{put_u64, Cursor, ProtocolError};
+
+/// Number of histogram buckets. Bucket `i` counts latencies in
+/// `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended.
+pub const LATENCY_BUCKETS: usize = 16;
+
+/// Live server counters, updated with relaxed atomics on hot paths.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    sessions_opened: AtomicU64,
+    active_sessions: AtomicU64,
+    queries_ok: AtomicU64,
+    queries_failed: AtomicU64,
+    queries_rejected: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    latency_micros_total: AtomicU64,
+    latency_histogram: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl ServerMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a session being accepted.
+    pub fn session_opened(&self) {
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        self.active_sessions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a session ending.
+    pub fn session_closed(&self) {
+        self.active_sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a successfully executed query and its latency.
+    pub fn query_ok(&self, latency: Duration) {
+        self.queries_ok.fetch_add(1, Ordering::Relaxed);
+        self.record_latency(latency);
+    }
+
+    /// Records a query that executed but returned an error.
+    pub fn query_failed(&self, latency: Duration) {
+        self.queries_failed.fetch_add(1, Ordering::Relaxed);
+        self.record_latency(latency);
+    }
+
+    /// Records a query bounced by admission control (`SERVER_BUSY`).
+    pub fn query_rejected(&self) {
+        self.queries_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a query that missed its deadline.
+    pub fn query_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records bytes received from clients.
+    pub fn add_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records bytes sent to clients.
+    pub fn add_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn record_latency(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.latency_micros_total
+            .fetch_add(micros, Ordering::Relaxed);
+        // log2 bucket index: 0µs and 1µs land in bucket 0.
+        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
+        self.latency_histogram[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the counters, folding in the buffer pool's I/O stats.
+    pub fn snapshot(&self, io: IoSnapshot) -> MetricsSnapshot {
+        let mut latency_histogram = [0u64; LATENCY_BUCKETS];
+        for (slot, counter) in latency_histogram.iter_mut().zip(&self.latency_histogram) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        MetricsSnapshot {
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            active_sessions: self.active_sessions.load(Ordering::Relaxed),
+            queries_ok: self.queries_ok.load(Ordering::Relaxed),
+            queries_failed: self.queries_failed.load(Ordering::Relaxed),
+            queries_rejected: self.queries_rejected.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            latency_micros_total: self.latency_micros_total.load(Ordering::Relaxed),
+            latency_histogram,
+            io,
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServerMetrics`], shippable over the wire.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Total sessions ever accepted.
+    pub sessions_opened: u64,
+    /// Sessions currently connected.
+    pub active_sessions: u64,
+    /// Queries that completed successfully.
+    pub queries_ok: u64,
+    /// Queries that executed but returned an error.
+    pub queries_failed: u64,
+    /// Queries bounced with `SERVER_BUSY`.
+    pub queries_rejected: u64,
+    /// Queries that missed their deadline.
+    pub deadline_exceeded: u64,
+    /// Bytes received from clients.
+    pub bytes_in: u64,
+    /// Bytes sent to clients.
+    pub bytes_out: u64,
+    /// Sum of executed-query latencies, in microseconds.
+    pub latency_micros_total: u64,
+    /// log2 latency histogram; bucket `i` counts `[2^i, 2^(i+1))` µs.
+    pub latency_histogram: [u64; LATENCY_BUCKETS],
+    /// Buffer-pool I/O counters, passed through from storage.
+    pub io: IoSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Queries that ran to completion (ok + failed).
+    pub fn queries_executed(&self) -> u64 {
+        self.queries_ok + self.queries_failed
+    }
+
+    /// Mean executed-query latency in microseconds; 0 when idle.
+    pub fn mean_latency_micros(&self) -> u64 {
+        self.latency_micros_total
+            .checked_div(self.queries_executed())
+            .unwrap_or(0)
+    }
+
+    /// Appends the wire encoding (a flat sequence of u64 fields).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.sessions_opened,
+            self.active_sessions,
+            self.queries_ok,
+            self.queries_failed,
+            self.queries_rejected,
+            self.deadline_exceeded,
+            self.bytes_in,
+            self.bytes_out,
+            self.latency_micros_total,
+        ] {
+            put_u64(out, v);
+        }
+        for &b in &self.latency_histogram {
+            put_u64(out, b);
+        }
+        for v in [
+            self.io.logical_reads,
+            self.io.physical_reads,
+            self.io.seq_physical_reads,
+            self.io.physical_writes,
+            self.io.evictions,
+        ] {
+            put_u64(out, v);
+        }
+    }
+
+    /// Decodes the wire encoding.
+    pub(crate) fn decode(c: &mut Cursor<'_>) -> Result<Self, ProtocolError> {
+        let mut snap = MetricsSnapshot {
+            sessions_opened: c.u64()?,
+            active_sessions: c.u64()?,
+            queries_ok: c.u64()?,
+            queries_failed: c.u64()?,
+            queries_rejected: c.u64()?,
+            deadline_exceeded: c.u64()?,
+            bytes_in: c.u64()?,
+            bytes_out: c.u64()?,
+            latency_micros_total: c.u64()?,
+            ..Default::default()
+        };
+        for slot in snap.latency_histogram.iter_mut() {
+            *slot = c.u64()?;
+        }
+        snap.io = IoSnapshot {
+            logical_reads: c.u64()?,
+            physical_reads: c.u64()?,
+            seq_physical_reads: c.u64()?,
+            physical_writes: c.u64()?,
+            evictions: c.u64()?,
+        };
+        Ok(snap)
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "sessions: {} active / {} total",
+            self.active_sessions, self.sessions_opened
+        )?;
+        writeln!(
+            f,
+            "queries:  {} ok, {} failed, {} rejected (busy), {} deadline-exceeded",
+            self.queries_ok, self.queries_failed, self.queries_rejected, self.deadline_exceeded
+        )?;
+        writeln!(
+            f,
+            "latency:  mean {} µs over {} executed",
+            self.mean_latency_micros(),
+            self.queries_executed()
+        )?;
+        writeln!(
+            f,
+            "traffic:  {} B in, {} B out",
+            self.bytes_in, self.bytes_out
+        )?;
+        write!(
+            f,
+            "pool I/O: {} logical, {} physical ({} seq), {} writes, {} evictions",
+            self.io.logical_reads,
+            self.io.physical_reads,
+            self.io.seq_physical_reads,
+            self.io.physical_writes,
+            self.io.evictions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_buckets_are_log2() {
+        let m = ServerMetrics::new();
+        m.query_ok(Duration::from_micros(0)); // bucket 0
+        m.query_ok(Duration::from_micros(1)); // bucket 0
+        m.query_ok(Duration::from_micros(3)); // bucket 1
+        m.query_ok(Duration::from_micros(1000)); // bucket 9 (512..1024)
+        m.query_ok(Duration::from_secs(3600)); // clamped to last bucket
+        let snap = m.snapshot(IoSnapshot::default());
+        assert_eq!(snap.latency_histogram[0], 2);
+        assert_eq!(snap.latency_histogram[1], 1);
+        assert_eq!(snap.latency_histogram[9], 1);
+        assert_eq!(snap.latency_histogram[LATENCY_BUCKETS - 1], 1);
+        assert_eq!(snap.queries_ok, 5);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_on_the_wire() {
+        let m = ServerMetrics::new();
+        m.session_opened();
+        m.query_ok(Duration::from_micros(250));
+        m.query_failed(Duration::from_micros(10));
+        m.query_rejected();
+        m.query_deadline_exceeded();
+        m.add_bytes_in(123);
+        m.add_bytes_out(4567);
+        let io = IoSnapshot {
+            logical_reads: 10,
+            physical_reads: 4,
+            seq_physical_reads: 2,
+            physical_writes: 1,
+            evictions: 0,
+        };
+        let snap = m.snapshot(io);
+        let mut buf = Vec::new();
+        snap.encode(&mut buf);
+        let decoded = MetricsSnapshot::decode(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(decoded, snap);
+        assert_eq!(decoded.queries_executed(), 2);
+        assert_eq!(decoded.mean_latency_micros(), 130);
+        assert!(!decoded.to_string().is_empty());
+    }
+
+    #[test]
+    fn session_gauge_tracks_open_close() {
+        let m = ServerMetrics::new();
+        m.session_opened();
+        m.session_opened();
+        m.session_closed();
+        let snap = m.snapshot(IoSnapshot::default());
+        assert_eq!(snap.sessions_opened, 2);
+        assert_eq!(snap.active_sessions, 1);
+    }
+}

@@ -1,0 +1,395 @@
+//! The query service: listener, bounded worker pool, admission
+//! control, per-query deadlines, and graceful shutdown.
+//!
+//! # Architecture
+//!
+//! One thread per connected session reads request frames and writes
+//! response frames ([`crate::session`]). Query execution is *not*
+//! done on session threads: sessions submit jobs to a bounded queue
+//! drained by a fixed worker pool, so a flood of connections cannot
+//! oversubscribe the database. When the queue is full, submission
+//! fails immediately and the client receives `SERVER_BUSY` — explicit
+//! backpressure instead of unbounded latency.
+//!
+//! Every query carries a deadline (`now + default_deadline` at
+//! admission). It is checked when a worker dequeues the job (queued
+//! too long) and again after execution (ran too long); either way the
+//! client gets `DEADLINE_EXCEEDED`.
+//!
+//! Graceful shutdown (`ServerHandle::shutdown` or a client `Shutdown`
+//! request) flips the server into draining: new connections and new
+//! queries are refused, queued and in-flight queries run to
+//! completion and their responses are delivered, then session sockets
+//! are closed, all threads joined, and the database checkpointed.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use molap_core::Database;
+use parking_lot::{Condvar, Mutex};
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::{error_code_for, ErrorCode, Response};
+use crate::session;
+
+// The whole design hinges on sharing one `Database` across session
+// and worker threads; fail the build if it ever stops being
+// thread-safe instead of failing at the first data race.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+};
+
+/// Tunables for [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Executor threads draining the query queue.
+    pub workers: usize,
+    /// Admission-queue capacity; submissions beyond this get
+    /// `SERVER_BUSY`.
+    pub queue_capacity: usize,
+    /// Deadline granted to each query at admission.
+    pub default_deadline: Duration,
+    /// Test hook: extra sleep inside each query execution, to make
+    /// saturation and drain behavior deterministic. Zero in
+    /// production.
+    pub debug_execution_delay: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8),
+            queue_capacity: 64,
+            default_deadline: Duration::from_secs(30),
+            debug_execution_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// A query job waiting for a worker.
+struct Job {
+    sql: String,
+    measures: Vec<String>,
+    deadline: Instant,
+    reply: mpsc::SyncSender<Response>,
+}
+
+/// Why a submission was refused at admission.
+pub(crate) enum AdmissionError {
+    /// Queue at capacity.
+    Busy,
+    /// Server is draining.
+    ShuttingDown,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    draining: bool,
+}
+
+/// State shared by the accept loop, sessions, and workers.
+pub(crate) struct Shared {
+    pub(crate) db: Database,
+    pub(crate) metrics: ServerMetrics,
+    config: ServerConfig,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    /// Socket clones of live sessions, so shutdown can unblock their
+    /// reads. Keyed by session id.
+    sessions: Mutex<HashMap<u64, TcpStream>>,
+    next_session_id: AtomicU64,
+    local_addr: SocketAddr,
+    stopped: AtomicBool,
+}
+
+impl Shared {
+    /// Submits a query for execution, or refuses it immediately.
+    pub(crate) fn try_submit(
+        &self,
+        sql: String,
+        measures: Vec<String>,
+    ) -> Result<mpsc::Receiver<Response>, AdmissionError> {
+        let mut q = self.queue.lock();
+        if q.draining {
+            return Err(AdmissionError::ShuttingDown);
+        }
+        if q.jobs.len() >= self.config.queue_capacity {
+            self.metrics.query_rejected();
+            return Err(AdmissionError::Busy);
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        q.jobs.push_back(Job {
+            sql,
+            measures,
+            deadline: Instant::now() + self.config.default_deadline,
+            reply: tx,
+        });
+        drop(q);
+        self.queue_cv.notify_one();
+        Ok(rx)
+    }
+
+    /// Flips the server into draining mode and wakes everything that
+    /// might be blocked. Idempotent.
+    pub(crate) fn begin_shutdown(&self) {
+        {
+            let mut q = self.queue.lock();
+            if q.draining {
+                return;
+            }
+            q.draining = true;
+        }
+        self.queue_cv.notify_all();
+        // The accept loop blocks in `accept`; a throwaway local
+        // connection wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    pub(crate) fn is_draining(&self) -> bool {
+        self.queue.lock().draining
+    }
+
+    pub(crate) fn register_session(&self, stream: &TcpStream) -> u64 {
+        let id = self.next_session_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            self.sessions.lock().insert(id, clone);
+        }
+        id
+    }
+
+    pub(crate) fn unregister_session(&self, id: u64) {
+        self.sessions.lock().remove(&id);
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock();
+                loop {
+                    if let Some(job) = q.jobs.pop_front() {
+                        break job;
+                    }
+                    if q.draining {
+                        return;
+                    }
+                    self.queue_cv.wait(&mut q);
+                }
+            };
+            self.run_job(job);
+        }
+    }
+
+    fn run_job(&self, job: Job) {
+        if Instant::now() > job.deadline {
+            self.metrics.query_deadline_exceeded();
+            let _ = job.reply.send(Response::Error {
+                code: ErrorCode::DeadlineExceeded,
+                message: "query spent its deadline waiting in the admission queue".into(),
+            });
+            return;
+        }
+        let started = Instant::now();
+        if !self.config.debug_execution_delay.is_zero() {
+            std::thread::sleep(self.config.debug_execution_delay);
+        }
+        let measures: Vec<&str> = job.measures.iter().map(String::as_str).collect();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.db.sql(&job.sql, &measures)
+        }));
+        let elapsed = started.elapsed();
+        let response = match outcome {
+            Ok(Ok(result)) => {
+                if Instant::now() > job.deadline {
+                    self.metrics.query_deadline_exceeded();
+                    Response::Error {
+                        code: ErrorCode::DeadlineExceeded,
+                        message: format!("query ran for {elapsed:?}, past its deadline"),
+                    }
+                } else {
+                    self.metrics.query_ok(elapsed);
+                    Response::ResultSet(result)
+                }
+            }
+            Ok(Err(err)) => {
+                self.metrics.query_failed(elapsed);
+                Response::Error {
+                    code: error_code_for(&err),
+                    message: err.to_string(),
+                }
+            }
+            Err(panic) => {
+                self.metrics.query_failed(elapsed);
+                let detail = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "query execution panicked".into());
+                Response::Error {
+                    code: ErrorCode::Internal,
+                    message: detail,
+                }
+            }
+        };
+        let _ = job.reply.send(response);
+    }
+}
+
+/// The running query service.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr`, takes ownership of `db`, and starts serving.
+    /// Returns a handle for address discovery and shutdown.
+    pub fn start(
+        db: Database,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            db,
+            metrics: ServerMetrics::new(),
+            config: config.clone(),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                draining: false,
+            }),
+            queue_cv: Condvar::new(),
+            sessions: Mutex::new(HashMap::new()),
+            next_session_id: AtomicU64::new(1),
+            local_addr,
+            stopped: AtomicBool::new(false),
+        });
+
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("molap-worker-{i}"))
+                    .spawn(move || shared.worker_loop())
+            })
+            .collect::<io::Result<_>>()?;
+
+        let supervisor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("molap-accept".into())
+                .spawn(move || supervise(listener, shared, workers))?
+        };
+
+        Ok(ServerHandle {
+            shared,
+            supervisor: Mutex::new(Some(supervisor)),
+        })
+    }
+}
+
+/// Accepts connections until draining, then tears the service down in
+/// order: workers finish the queue, session sockets close, threads
+/// join, the database checkpoints.
+fn supervise(listener: TcpListener, shared: Arc<Shared>, workers: Vec<JoinHandle<()>>) {
+    let mut session_threads: Vec<JoinHandle<()>> = Vec::new();
+    for incoming in listener.incoming() {
+        if shared.is_draining() {
+            break;
+        }
+        let stream = match incoming {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if shared.is_draining() {
+            break;
+        }
+        let shared2 = shared.clone();
+        let spawned = std::thread::Builder::new()
+            .name("molap-session".into())
+            .spawn(move || session::run(stream, shared2));
+        if let Ok(handle) = spawned {
+            session_threads.push(handle);
+        }
+        // Opportunistically reap finished sessions so the handle list
+        // does not grow without bound on long-lived servers.
+        session_threads.retain(|h| !h.is_finished());
+    }
+    drop(listener);
+
+    // Draining: workers exit once the queue is empty, having delivered
+    // every in-flight response.
+    for w in workers {
+        let _ = w.join();
+    }
+    // Unblock sessions parked in read_frame and wait for them.
+    for (_, stream) in shared.sessions.lock().drain() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    for h in session_threads {
+        let _ = h.join();
+    }
+    if shared.db.is_dirty() {
+        if let Err(e) = shared.db.checkpoint() {
+            eprintln!("molap-server: checkpoint on shutdown failed: {e}");
+        }
+    }
+    shared.stopped.store(true, Ordering::SeqCst);
+}
+
+/// Owner's handle to a running [`Server`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Snapshot of the server metrics, including buffer-pool I/O.
+    pub fn metrics(&self) -> crate::metrics::MetricsSnapshot {
+        self.shared
+            .metrics
+            .snapshot(self.shared.db.pool().stats().snapshot())
+    }
+
+    /// True once the server has fully stopped.
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stopped.load(Ordering::SeqCst)
+    }
+
+    /// Begins a graceful shutdown without waiting for it to finish.
+    pub fn begin_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the server stops (e.g. a client sent `Shutdown`).
+    pub fn wait(&self) {
+        let handle = self.supervisor.lock().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+
+    /// Gracefully shuts down: drains in-flight queries, closes
+    /// sessions, joins all threads, checkpoints.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+        self.wait();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-connection request loop.
+//!
+//! Each accepted socket gets one session thread running [`run`]: it
+//! reads request frames, dispatches them, and writes exactly one
+//! response frame per request. Cheap control requests (`Ping`,
+//! `Stats`, `ListObjects`) are answered inline; `Query` goes through
+//! the admission queue so the worker pool bounds database
+//! concurrency; `Shutdown` acknowledges and then trips the server
+//! into draining.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use crate::protocol::{read_frame, write_frame, ErrorCode, ProtocolError, Request, Response};
+use crate::server::{AdmissionError, Shared};
+
+/// Serves one connection until EOF, a protocol violation, or server
+/// shutdown.
+pub(crate) fn run(stream: TcpStream, shared: Arc<Shared>) {
+    let id = shared.register_session(&stream);
+    shared.metrics.session_opened();
+    serve(&stream, &shared);
+    shared.unregister_session(id);
+    shared.metrics.session_closed();
+}
+
+fn serve(stream: &TcpStream, shared: &Shared) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let (frame_type, payload) = match read_frame(&mut reader) {
+            Ok(Some((ty, payload, bytes))) => {
+                shared.metrics.add_bytes_in(bytes as u64);
+                (ty, payload)
+            }
+            Ok(None) => return, // clean EOF
+            Err(err) => {
+                // Best-effort error report, then drop the connection:
+                // after a framing error the stream position is
+                // unrecoverable.
+                let code = match &err {
+                    ProtocolError::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
+                    _ => ErrorCode::MalformedFrame,
+                };
+                send(
+                    shared,
+                    &mut writer,
+                    Response::Error {
+                        code,
+                        message: err.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let request = match Request::decode(frame_type, &payload) {
+            Ok(req) => req,
+            Err(err) => {
+                send(
+                    shared,
+                    &mut writer,
+                    Response::Error {
+                        code: ErrorCode::MalformedFrame,
+                        message: err.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let response = handle(shared, request);
+        let shutting_down = matches!(response, Response::ShutdownStarted);
+        if !send(shared, &mut writer, response) {
+            return;
+        }
+        if shutting_down {
+            // Acknowledge first, then trip the drain: the supervisor
+            // will close this socket once in-flight queries finish.
+            shared.begin_shutdown();
+        }
+    }
+}
+
+fn handle(shared: &Shared, request: Request) -> Response {
+    match request {
+        Request::Query { sql, measures } => match shared.try_submit(sql, measures) {
+            Ok(reply) => reply.recv().unwrap_or(Response::Error {
+                code: ErrorCode::Internal,
+                message: "worker dropped the query without replying".into(),
+            }),
+            Err(AdmissionError::Busy) => Response::Error {
+                code: ErrorCode::ServerBusy,
+                message: "admission queue is full; retry with backoff".into(),
+            },
+            Err(AdmissionError::ShuttingDown) => Response::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "server is draining; no new queries accepted".into(),
+            },
+        },
+        Request::Ping => Response::Pong,
+        Request::Stats => {
+            Response::Stats(shared.metrics.snapshot(shared.db.pool().stats().snapshot()))
+        }
+        Request::ListObjects => Response::Objects(
+            shared
+                .db
+                .list()
+                .into_iter()
+                .map(|(name, kind)| (name, format!("{kind:?}")))
+                .collect(),
+        ),
+        Request::Shutdown => Response::ShutdownStarted,
+    }
+}
+
+/// Writes one response, counting bytes; returns false if the socket
+/// is gone.
+fn send(shared: &Shared, writer: &mut impl std::io::Write, response: Response) -> bool {
+    let (frame_type, payload) = response.encode();
+    match write_frame(writer, frame_type, &payload) {
+        Ok(bytes) => {
+            shared.metrics.add_bytes_out(bytes as u64);
+            true
+        }
+        Err(_) => false,
+    }
+}

@@ -1,0 +1,344 @@
+//! End-to-end tests: a real server on a loopback socket, real client
+//! connections, and results compared against in-process execution.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use molap_array::ChunkFormat;
+use molap_core::{ConsolidationResult, Database, OlapArray, StarSchema};
+use molap_datagen::{generate, AttrLayout, CubeSpec};
+use molap_server::{ClientError, ErrorCode, Server, ServerClient, ServerConfig};
+
+static NEXT_DB: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_db_path(tag: &str) -> PathBuf {
+    let n = NEXT_DB.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "molap-server-e2e-{}-{tag}-{n}.db",
+        std::process::id()
+    ))
+}
+
+fn remove_db(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let mut wal = path.as_os_str().to_owned();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(PathBuf::from(wal));
+}
+
+/// Creates a database holding the test cube as both an array and a
+/// star schema.
+fn build_db(path: &PathBuf) -> Database {
+    let spec = CubeSpec {
+        dim_sizes: vec![12, 10, 8],
+        level_cards: vec![vec![4, 2], vec![3, 2], vec![2, 2]],
+        valid_cells: 400,
+        seed: 42,
+        n_measures: 1,
+        independent_last_level: false,
+        layout: AttrLayout::Blocked,
+    };
+    let cube = generate(&spec).unwrap();
+    let db = Database::create(path, 16 << 20).unwrap();
+    let adt = OlapArray::build(
+        db.pool().clone(),
+        cube.dims.clone(),
+        &[6, 5, 4],
+        ChunkFormat::ChunkOffset,
+        cube.cells.iter().cloned(),
+        1,
+    )
+    .unwrap();
+    let schema = StarSchema::build(
+        db.pool().clone(),
+        cube.dims.clone(),
+        cube.cells.iter().cloned(),
+        1,
+    )
+    .unwrap();
+    db.save_olap_array("sales", &adt).unwrap();
+    db.save_star_schema("sales_rel", &schema).unwrap();
+    db.checkpoint().unwrap();
+    db
+}
+
+const QUERIES: &[&str] = &[
+    "SELECT SUM(volume) FROM sales",
+    "SELECT SUM(volume), dim0.h01 FROM sales GROUP BY dim0.h01",
+    "SELECT AVG(volume), dim1.h11 FROM sales GROUP BY dim1.h11",
+    "SELECT COUNT(volume), dim0.h01, dim2.h21 FROM sales GROUP BY dim0.h01, dim2.h21",
+    "SELECT SUM(volume), dim0.h01 FROM sales_rel GROUP BY dim0.h01",
+    "SELECT MAX(volume), dim1.h12 FROM sales_rel GROUP BY dim1.h12",
+];
+
+#[test]
+fn concurrent_clients_match_in_process_execution() {
+    let path = temp_db_path("concurrent");
+    let db = build_db(&path);
+    let expected: Vec<ConsolidationResult> = QUERIES
+        .iter()
+        .map(|sql| db.sql(sql, &["volume"]).unwrap())
+        .collect();
+
+    let handle = Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        for _ in 0..32 {
+            scope.spawn(|| {
+                let mut client = ServerClient::connect(addr).unwrap();
+                client.ping().unwrap();
+                for round in 0..3 {
+                    for (sql, want) in QUERIES.iter().zip(&expected) {
+                        let got = client.query(sql).unwrap();
+                        assert_eq!(&got, want, "round {round}: {sql}");
+                    }
+                }
+            });
+        }
+    });
+
+    // Control-plane requests work alongside queries.
+    let mut client = ServerClient::connect(addr).unwrap();
+    let objects = client.list_objects().unwrap();
+    assert!(objects
+        .iter()
+        .any(|(name, kind)| name == "sales" && kind == "OlapArray"));
+    assert!(objects
+        .iter()
+        .any(|(name, kind)| name == "sales_rel" && kind == "StarSchema"));
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.queries_ok, 32 * 3 * QUERIES.len() as u64);
+    assert_eq!(stats.queries_failed, 0);
+    assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+    drop(client);
+
+    handle.shutdown();
+    assert!(handle.is_stopped());
+    remove_db(&path);
+}
+
+#[test]
+fn query_errors_keep_the_session_alive() {
+    let path = temp_db_path("errors");
+    let db = build_db(&path);
+    let handle = Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+
+    let mut client = ServerClient::connect(handle.local_addr()).unwrap();
+    let err = client.query("SELECT bogus").unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::QueryError));
+    let err = client
+        .query("SELECT SUM(volume) FROM no_such_cube")
+        .unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::QueryError));
+    // The connection is still good for a valid query.
+    let result = client.query("SELECT SUM(volume) FROM sales").unwrap();
+    assert_eq!(result.rows().len(), 1);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.queries_ok, 1);
+    assert_eq!(stats.queries_failed, 2);
+
+    handle.shutdown();
+    remove_db(&path);
+}
+
+#[test]
+fn saturated_queue_yields_server_busy_not_a_hang() {
+    let path = temp_db_path("busy");
+    let db = build_db(&path);
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        default_deadline: Duration::from_secs(30),
+        debug_execution_delay: Duration::from_millis(200),
+    };
+    let handle = Server::start(db, "127.0.0.1:0", config).unwrap();
+    let addr = handle.local_addr();
+
+    const CLIENTS: usize = 8;
+    let barrier = Barrier::new(CLIENTS);
+    let ok = AtomicUsize::new(0);
+    let busy = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            scope.spawn(|| {
+                let mut client = ServerClient::connect(addr).unwrap();
+                barrier.wait();
+                match client.query("SELECT SUM(volume) FROM sales") {
+                    Ok(result) => {
+                        assert_eq!(result.rows().len(), 1);
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        assert_eq!(e.server_code(), Some(ErrorCode::ServerBusy), "{e}");
+                        busy.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let (ok, busy) = (ok.load(Ordering::Relaxed), busy.load(Ordering::Relaxed));
+    assert_eq!(ok + busy, CLIENTS);
+    assert!(
+        ok >= 1,
+        "at least the admitted queries must finish (ok={ok})"
+    );
+    assert!(
+        busy >= 1,
+        "with 1 worker and queue depth 1, 8 simultaneous queries must bounce (busy={busy})"
+    );
+    assert_eq!(handle.metrics().queries_rejected, busy as u64);
+
+    handle.shutdown();
+    remove_db(&path);
+}
+
+#[test]
+fn slow_queries_hit_their_deadline() {
+    let path = temp_db_path("deadline");
+    let db = build_db(&path);
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        default_deadline: Duration::from_millis(20),
+        debug_execution_delay: Duration::from_millis(150),
+    };
+    let handle = Server::start(db, "127.0.0.1:0", config).unwrap();
+
+    let mut client = ServerClient::connect(handle.local_addr()).unwrap();
+    let err = client.query("SELECT SUM(volume) FROM sales").unwrap_err();
+    assert_eq!(
+        err.server_code(),
+        Some(ErrorCode::DeadlineExceeded),
+        "{err}"
+    );
+    assert_eq!(handle.metrics().deadline_exceeded, 1);
+
+    handle.shutdown();
+    remove_db(&path);
+}
+
+#[test]
+fn shutdown_drains_in_flight_queries() {
+    let path = temp_db_path("drain");
+    let db = build_db(&path);
+    let expected = db.sql(QUERIES[1], &["volume"]).unwrap();
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        default_deadline: Duration::from_secs(30),
+        debug_execution_delay: Duration::from_millis(300),
+    };
+    let handle = Server::start(db, "127.0.0.1:0", config).unwrap();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        let in_flight = scope.spawn(|| {
+            let mut client = ServerClient::connect(addr).unwrap();
+            client.query(QUERIES[1])
+        });
+        // Let the in-flight query reach a worker, then ask for
+        // shutdown from a second connection.
+        std::thread::sleep(Duration::from_millis(100));
+        let mut admin = ServerClient::connect(addr).unwrap();
+        admin.shutdown_server().unwrap();
+
+        // The in-flight query still completes with a full result.
+        let drained = in_flight.join().unwrap().unwrap();
+        assert_eq!(drained, expected);
+    });
+
+    handle.wait();
+    assert!(handle.is_stopped());
+
+    // The server is gone: new connections are refused (or reset
+    // before a response).
+    let late =
+        ServerClient::connect(addr).and_then(|mut c| c.query("SELECT SUM(volume) FROM sales"));
+    assert!(late.is_err(), "queries after shutdown must fail");
+
+    // The checkpoint on shutdown left a reopenable database.
+    let db = Database::open(&path, 16 << 20).unwrap();
+    assert_eq!(db.sql(QUERIES[1], &["volume"]).unwrap(), expected);
+    remove_db(&path);
+}
+
+#[test]
+fn queries_refused_while_draining() {
+    let path = temp_db_path("refuse");
+    let db = build_db(&path);
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        default_deadline: Duration::from_secs(30),
+        debug_execution_delay: Duration::from_millis(400),
+    };
+    let handle = Server::start(db, "127.0.0.1:0", config).unwrap();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        let occupier = scope.spawn(|| {
+            let mut client = ServerClient::connect(addr).unwrap();
+            client.query("SELECT SUM(volume) FROM sales")
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        // Connect *before* the drain begins so the session exists.
+        let mut straggler = ServerClient::connect(addr).unwrap();
+        handle.begin_shutdown();
+        // A query submitted during the drain is refused — either with
+        // the structured code or, if the race goes the other way, a
+        // closed socket. It must not hang.
+        match straggler.query("SELECT SUM(volume) FROM sales") {
+            Err(e) => {
+                if let Some(code) = e.server_code() {
+                    assert_eq!(code, ErrorCode::ShuttingDown, "{e}");
+                }
+            }
+            Ok(_) => panic!("query during drain should have been refused"),
+        }
+        assert!(
+            occupier.join().unwrap().is_ok(),
+            "in-flight query must still drain"
+        );
+    });
+
+    handle.wait();
+    remove_db(&path);
+}
+
+#[test]
+fn malformed_bytes_get_a_structured_error() {
+    use molap_server::protocol::{read_frame, Response};
+    use std::io::Write;
+
+    let path = temp_db_path("malformed");
+    let db = build_db(&path);
+    let handle = Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+
+    let mut raw = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    raw.write_all(&[0u8; 16]).unwrap();
+    let (ty, payload, _) = read_frame(&mut raw)
+        .unwrap()
+        .expect("an error frame before close");
+    match Response::decode(ty, &payload).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::MalformedFrame),
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+
+    handle.shutdown();
+    remove_db(&path);
+}
+
+#[test]
+fn client_error_from_clienterror_is_reported_cleanly() {
+    // ClientError Display formatting used by molap-cli --connect.
+    let err = ClientError::Server {
+        code: ErrorCode::ServerBusy,
+        message: "queue full".into(),
+    };
+    assert_eq!(err.to_string(), "server error [SERVER_BUSY]: queue full");
+}

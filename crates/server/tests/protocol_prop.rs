@@ -1,0 +1,128 @@
+//! Property tests for the wire protocol: whatever the encoder
+//! produces, the decoder must reconstruct exactly, and framing must
+//! survive arbitrary payload bytes.
+
+use molap_core::{AggValue, ConsolidationResult, Row};
+use molap_server::protocol::{self, read_frame, write_frame, ErrorCode, Request, Response};
+use proptest::prelude::*;
+
+fn agg_value() -> BoxedStrategy<AggValue> {
+    prop_oneof![
+        any::<i64>().prop_map(AggValue::Int),
+        (any::<i64>(), any::<u64>()).prop_map(|(sum, count)| AggValue::Ratio { sum, count }),
+    ]
+    .boxed()
+}
+
+fn row() -> BoxedStrategy<Row> {
+    (
+        proptest::collection::vec(any::<i64>(), 0..5),
+        proptest::collection::vec(agg_value(), 0..4),
+    )
+        .prop_map(|(keys, values)| Row { keys, values })
+        .boxed()
+}
+
+fn result() -> BoxedStrategy<ConsolidationResult> {
+    (
+        proptest::collection::vec(".{0,24}", 0..5),
+        proptest::collection::vec(row(), 0..20),
+    )
+        .prop_map(|(columns, rows)| ConsolidationResult::from_rows(columns, rows))
+        .boxed()
+}
+
+proptest! {
+    #[test]
+    fn frame_roundtrip(frame_type in 0u8..=255, payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut buf = Vec::new();
+        let written = write_frame(&mut buf, frame_type, &payload).unwrap();
+        prop_assert_eq!(written, buf.len());
+        let (ty, decoded, read) = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        prop_assert_eq!(ty, frame_type);
+        prop_assert_eq!(decoded, payload);
+        prop_assert_eq!(read, written);
+        // And a clean EOF follows the frame.
+        prop_assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+    }
+
+    #[test]
+    fn back_to_back_frames_roundtrip(
+        payload_a in proptest::collection::vec(any::<u8>(), 0..128),
+        payload_b in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0x01, &payload_a).unwrap();
+        write_frame(&mut buf, 0x02, &payload_b).unwrap();
+        let mut reader = buf.as_slice();
+        let (ty_a, got_a, _) = read_frame(&mut reader).unwrap().unwrap();
+        let (ty_b, got_b, _) = read_frame(&mut reader).unwrap().unwrap();
+        prop_assert_eq!((ty_a, got_a), (0x01, payload_a));
+        prop_assert_eq!((ty_b, got_b), (0x02, payload_b));
+    }
+
+    #[test]
+    fn query_request_roundtrip(
+        sql in ".{0,120}",
+        measures in proptest::collection::vec(".{0,16}", 0..4),
+    ) {
+        let req = Request::Query { sql, measures };
+        let (ty, payload) = req.encode();
+        prop_assert_eq!(Request::decode(ty, &payload).unwrap(), req);
+    }
+
+    #[test]
+    fn result_set_roundtrip(result in result()) {
+        let resp = Response::ResultSet(result.clone());
+        let (ty, payload) = resp.encode();
+        match Response::decode(ty, &payload).unwrap() {
+            Response::ResultSet(decoded) => prop_assert_eq!(decoded, result),
+            other => prop_assert!(false, "expected a result set, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn error_response_roundtrip(code in 1u16..=9, message in ".{0,80}") {
+        let resp = Response::Error {
+            code: ErrorCode::from_u16(code).unwrap(),
+            message: message.clone(),
+        };
+        let (ty, payload) = resp.encode();
+        match Response::decode(ty, &payload).unwrap() {
+            Response::Error { code: c, message: m } => {
+                prop_assert_eq!(c.to_u16(), code);
+                prop_assert_eq!(m, message);
+            }
+            other => prop_assert!(false, "expected an error, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn truncated_result_payload_never_panics(result in result(), cut in 0usize..64) {
+        let resp = Response::ResultSet(result);
+        let (ty, payload) = resp.encode();
+        let keep = payload.len().saturating_sub(cut);
+        if keep < payload.len() {
+            // Must error, never panic or loop.
+            prop_assert!(Response::decode(ty, &payload[..keep]).is_err());
+        }
+    }
+
+    #[test]
+    fn corrupted_header_detected(flip_byte in 0usize..4, payload in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0x01, &payload).unwrap();
+        buf[flip_byte] ^= 0xFF;
+        prop_assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+}
+
+#[test]
+fn oversized_length_prefix_rejected() {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, 0x01, b"x").unwrap();
+    // Forge a payload length beyond MAX_PAYLOAD.
+    let huge = (protocol::MAX_PAYLOAD as u32 + 1).to_le_bytes();
+    buf[8..12].copy_from_slice(&huge);
+    assert!(read_frame(&mut buf.as_slice()).is_err());
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full verification gate: build, tests, lints, formatting.
+# Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace --offline
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> verify OK"

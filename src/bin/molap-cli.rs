@@ -1,7 +1,9 @@
-//! `molap-cli` — an interactive shell over a molap database file.
+//! `molap-cli` — an interactive shell over a molap database file, or
+//! over a running `molap-server`.
 //!
 //! ```sh
-//! cargo run --bin molap-cli -- /tmp/demo.molap
+//! cargo run --bin molap-cli -- /tmp/demo.molap          # embedded
+//! cargo run --bin molap-cli -- --connect 127.0.0.1:7171 # remote
 //! ```
 //!
 //! Meta commands start with a dot; anything else is parsed as a SQL
@@ -10,10 +12,12 @@
 //!
 //! ```text
 //! .tables                 list cataloged objects
-//! .schema <name>          show an object's dimensions and levels
-//! .load demo              generate + catalog a small demo star schema
-//! .stats                  buffer-pool I/O counters
-//! .checkpoint             flush + WAL checkpoint
+//! .schema <name>          show an object's dimensions and levels (embedded only)
+//! .load demo              generate + catalog a small demo star schema (embedded only)
+//! .stats                  buffer-pool I/O counters (server metrics when remote)
+//! .checkpoint             flush + WAL checkpoint (embedded only)
+//! .ping                   round-trip liveness probe (remote only)
+//! .shutdown-server        ask the server to drain and stop (remote only)
 //! .quit
 //! SELECT SUM(volume), dim0.h01 FROM sales GROUP BY dim0.h01
 //! ```
@@ -24,89 +28,208 @@ use std::time::Instant;
 use molap::array::ChunkFormat;
 use molap::core::{Database, JoinBitmapIndexes, ObjectKind, OlapArray, StarSchema};
 use molap::datagen::{generate, AttrLayout, CubeSpec};
+use molap::server::{ClientError, ServerClient};
+
+/// What the REPL talks to: an embedded database or a remote server.
+enum Backend {
+    Local(Database),
+    Remote(ServerClient),
+}
 
 fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(path) = args.first() else {
-        eprintln!("usage: molap-cli <database-file> [--create]");
-        std::process::exit(2);
-    };
-    let create = args.iter().any(|a| a == "--create") || !std::path::Path::new(path).exists();
-    let db = if create {
-        println!("creating {path}");
-        Database::create(path, 64 << 20).expect("create database")
-    } else {
-        println!("opening {path}");
-        Database::open(path, 64 << 20).expect("open database")
+    let mut backend = match parse_args(&args) {
+        Ok(b) => b,
+        Err(code) => return code,
     };
 
     println!("molap-cli — .help for commands");
     let stdin = std::io::stdin();
     loop {
         print!("molap> ");
-        std::io::stdout().flush().unwrap();
+        if std::io::stdout().flush().is_err() {
+            eprintln!("molap-cli: stdout is gone; exiting");
+            return 1;
+        }
         let mut line = String::new();
-        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
-            break; // EOF
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("molap-cli: failed to read stdin: {e}");
+                return 1;
+            }
         }
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        match run_command(&db, line) {
+        match run_command(&mut backend, line) {
             Ok(true) => break,
             Ok(false) => {}
             Err(e) => println!("error: {e}"),
         }
     }
-    if db.is_dirty() {
-        println!("checkpointing before exit");
-        db.checkpoint().expect("final checkpoint");
+
+    if let Backend::Local(db) = &backend {
+        if db.is_dirty() {
+            println!("checkpointing before exit");
+            if let Err(e) = db.checkpoint() {
+                eprintln!("molap-cli: final checkpoint failed: {e}");
+                eprintln!("molap-cli: the WAL preserves committed state; reopen to recover");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+fn parse_args(args: &[String]) -> Result<Backend, i32> {
+    let usage = "usage: molap-cli <database-file> [--create] | molap-cli --connect <host:port>";
+    if let Some(pos) = args.iter().position(|a| a == "--connect") {
+        let Some(addr) = args.get(pos + 1) else {
+            eprintln!("molap-cli: --connect needs an address\n{usage}");
+            return Err(2);
+        };
+        println!("connecting to {addr}");
+        match ServerClient::connect(addr.as_str()) {
+            Ok(client) => Ok(Backend::Remote(client)),
+            Err(e) => {
+                eprintln!("molap-cli: cannot connect to {addr}: {e}");
+                eprintln!("molap-cli: is a molap-server running there?");
+                Err(1)
+            }
+        }
+    } else {
+        let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+            eprintln!("{usage}");
+            return Err(2);
+        };
+        let create = args.iter().any(|a| a == "--create") || !std::path::Path::new(path).exists();
+        let opened = if create {
+            println!("creating {path}");
+            Database::create(path, 64 << 20)
+        } else {
+            println!("opening {path}");
+            Database::open(path, 64 << 20)
+        };
+        match opened {
+            Ok(db) => Ok(Backend::Local(db)),
+            Err(e) => {
+                let verb = if create { "create" } else { "open" };
+                eprintln!("molap-cli: cannot {verb} database {path}: {e}");
+                if !create {
+                    eprintln!("molap-cli: pass --create to start a fresh database file");
+                }
+                Err(1)
+            }
+        }
     }
 }
 
 /// Executes one line; returns Ok(true) to quit.
-fn run_command(db: &Database, line: &str) -> molap::core::Result<bool> {
+fn run_command(backend: &mut Backend, line: &str) -> Result<bool, Box<dyn std::error::Error>> {
     match line {
         ".quit" | ".exit" => return Ok(true),
         ".help" => {
             println!(
-                ".tables | .schema <name> | .load demo | .stats | .checkpoint | .quit\n\
+                ".tables | .schema <name> | .load demo | .stats | .checkpoint | .ping | \
+                 .shutdown-server | .quit\n\
                  or a SQL statement: SELECT SUM(volume), d.attr FROM <object> \
                  [WHERE d.attr = v | IN (..) | BETWEEN a AND b] [GROUP BY d.attr, ...]"
             );
         }
-        ".tables" => {
-            let objects = db.list();
-            if objects.is_empty() {
-                println!("(catalog is empty — try `.load demo`)");
+        ".tables" => match backend {
+            Backend::Local(db) => {
+                let objects = db.list();
+                if objects.is_empty() {
+                    println!("(catalog is empty — try `.load demo`)");
+                }
+                for (name, kind) in objects {
+                    println!("{name:<20} {kind:?}");
+                }
             }
-            for (name, kind) in objects {
-                println!("{name:<20} {kind:?}");
+            Backend::Remote(client) => {
+                let objects = client.list_objects()?;
+                if objects.is_empty() {
+                    println!("(catalog is empty)");
+                }
+                for (name, kind) in objects {
+                    println!("{name:<20} {kind}");
+                }
             }
-        }
-        ".stats" => {
-            let s = db.pool().stats().snapshot();
-            println!(
-                "logical reads {}, physical reads {} ({} sequential), writes {}",
-                s.logical_reads, s.physical_reads, s.seq_physical_reads, s.physical_writes
-            );
-        }
-        ".checkpoint" => {
-            db.checkpoint()?;
-            println!("checkpointed");
-        }
-        ".load demo" => load_demo(db)?,
+        },
+        ".stats" => match backend {
+            Backend::Local(db) => {
+                let s = db.pool().stats().snapshot();
+                println!(
+                    "logical reads {}, physical reads {} ({} sequential), writes {}",
+                    s.logical_reads, s.physical_reads, s.seq_physical_reads, s.physical_writes
+                );
+            }
+            Backend::Remote(client) => println!("{}", client.stats()?),
+        },
+        ".checkpoint" => match backend {
+            Backend::Local(db) => {
+                db.checkpoint()?;
+                println!("checkpointed");
+            }
+            Backend::Remote(_) => {
+                println!(".checkpoint is embedded-only; the server checkpoints on shutdown")
+            }
+        },
+        ".load demo" => match backend {
+            Backend::Local(db) => load_demo(db)?,
+            Backend::Remote(_) => {
+                println!(".load demo is embedded-only; load data on the server side")
+            }
+        },
+        ".ping" => match backend {
+            Backend::Local(_) => println!("pong (embedded — nothing to ping)"),
+            Backend::Remote(client) => {
+                let start = Instant::now();
+                client.ping()?;
+                println!("pong ({:.2} ms)", start.elapsed().as_secs_f64() * 1e3);
+            }
+        },
+        ".shutdown-server" => match backend {
+            Backend::Local(_) => println!(".shutdown-server only makes sense with --connect"),
+            Backend::Remote(client) => {
+                client.shutdown_server()?;
+                println!("server is draining; disconnecting");
+                return Ok(true);
+            }
+        },
         cmd if cmd.starts_with(".schema") => {
             let name = cmd.trim_start_matches(".schema").trim();
-            show_schema(db, name)?;
+            match backend {
+                Backend::Local(db) => show_schema(db, name)?,
+                Backend::Remote(_) => {
+                    println!(".schema is embedded-only for now; .tables lists objects")
+                }
+            }
         }
         cmd if cmd.starts_with('.') => {
             println!("unknown command {cmd:?}; .help lists commands");
         }
         sql => {
             let start = Instant::now();
-            let result = db.sql(sql, &["volume"])?;
+            let result = match backend {
+                Backend::Local(db) => db.sql(sql, &["volume"])?,
+                Backend::Remote(client) => match client.query(sql) {
+                    Ok(result) => result,
+                    // Query-level server errors keep the session alive.
+                    Err(ClientError::Server { code, message }) => {
+                        println!("server error [{code}]: {message}");
+                        return Ok(false);
+                    }
+                    Err(e) => return Err(e.into()),
+                },
+            };
             let ms = start.elapsed().as_secs_f64() * 1e3;
             print!("{}", result.to_table());
             println!("({} rows in {ms:.2} ms)", result.rows().len());
@@ -132,7 +255,12 @@ fn show_schema(db: &Database, name: &str) -> molap::core::Result<()> {
         let levels: Vec<&str> = (0..dim.num_levels())
             .map(|l| dim.level_name(l).unwrap_or("?"))
             .collect();
-        println!("{} ({} rows): key, {}", dim.name(), dim.len(), levels.join(", "));
+        println!(
+            "{} ({} rows): key, {}",
+            dim.name(),
+            dim.len(),
+            levels.join(", ")
+        );
     }
     Ok(())
 }

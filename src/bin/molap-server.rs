@@ -1,0 +1,164 @@
+//! `molap-server` — serve a molap database file over TCP.
+//!
+//! ```sh
+//! cargo run --release --bin molap-server -- /tmp/demo.molap --demo
+//! cargo run --bin molap-cli -- --connect 127.0.0.1:7171   # another terminal
+//! ```
+//!
+//! Options:
+//!
+//! ```text
+//! --listen <addr>      bind address          (default 127.0.0.1:7171)
+//! --create             create/truncate the database file
+//! --demo               catalog the demo star schema if absent
+//! --workers <n>        executor threads      (default: cores, capped at 8)
+//! --queue <n>          admission queue depth (default 64)
+//! --deadline-ms <n>    per-query deadline    (default 30000)
+//! ```
+//!
+//! The server runs until a client sends the `Shutdown` request (e.g.
+//! `.shutdown-server` in `molap-cli --connect`); it then drains
+//! in-flight queries, checkpoints, and exits.
+
+use std::time::Duration;
+
+use molap::array::ChunkFormat;
+use molap::core::{Database, JoinBitmapIndexes, OlapArray, StarSchema};
+use molap::datagen::{generate, AttrLayout, CubeSpec};
+use molap::server::{Server, ServerConfig};
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: molap-server <database-file> [--listen <addr>] [--create] [--demo] \
+                 [--workers <n>] [--queue <n>] [--deadline-ms <n>]";
+
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    let mut config = ServerConfig::default();
+    let mut listen = "127.0.0.1:7171".to_string();
+    if let Some(v) = flag_value(&args, "--listen") {
+        listen = v.to_string();
+    }
+    match parse_numeric_flags(&args, &mut config) {
+        Ok(()) => {}
+        Err(msg) => {
+            eprintln!("molap-server: {msg}\n{usage}");
+            return 2;
+        }
+    }
+
+    let create = args.iter().any(|a| a == "--create") || !std::path::Path::new(path).exists();
+    let opened = if create {
+        println!("creating {path}");
+        Database::create(path, 64 << 20)
+    } else {
+        println!("opening {path}");
+        Database::open(path, 64 << 20)
+    };
+    let db = match opened {
+        Ok(db) => db,
+        Err(e) => {
+            let verb = if create { "create" } else { "open" };
+            eprintln!("molap-server: cannot {verb} database {path}: {e}");
+            return 1;
+        }
+    };
+
+    if args.iter().any(|a| a == "--demo") && !db.contains("sales") {
+        if let Err(e) = load_demo(&db) {
+            eprintln!("molap-server: loading the demo schema failed: {e}");
+            return 1;
+        }
+    }
+
+    let handle = match Server::start(db, listen.as_str(), config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("molap-server: cannot listen on {listen}: {e}");
+            return 1;
+        }
+    };
+    println!("molap-server listening on {}", handle.local_addr());
+    println!("connect with: molap-cli --connect {}", handle.local_addr());
+    handle.wait();
+    println!("molap-server stopped\n{}", handle.metrics());
+    0
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_numeric_flags(args: &[String], config: &mut ServerConfig) -> Result<(), String> {
+    let parse = |flag: &str| -> Result<Option<u64>, String> {
+        match flag_value(args, flag) {
+            None => {
+                if args.iter().any(|a| a == flag) {
+                    return Err(format!("{flag} needs a value"));
+                }
+                Ok(None)
+            }
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| format!("{flag} wants a positive integer, got {v:?}")),
+        }
+    };
+    if let Some(n) = parse("--workers")? {
+        config.workers = (n as usize).max(1);
+    }
+    if let Some(n) = parse("--queue")? {
+        config.queue_capacity = (n as usize).max(1);
+    }
+    if let Some(n) = parse("--deadline-ms")? {
+        config.default_deadline = Duration::from_millis(n.max(1));
+    }
+    Ok(())
+}
+
+/// Same demo star schema `molap-cli` loads with `.load demo`.
+fn load_demo(db: &Database) -> molap::core::Result<()> {
+    let spec = CubeSpec {
+        dim_sizes: vec![30, 20, 16],
+        level_cards: vec![vec![5, 2], vec![4, 2], vec![4, 2]],
+        valid_cells: 2_000,
+        seed: 7,
+        n_measures: 1,
+        independent_last_level: false,
+        layout: AttrLayout::Blocked,
+    };
+    let cube = generate(&spec)?;
+    let adt = OlapArray::build(
+        db.pool().clone(),
+        cube.dims.clone(),
+        &[10, 10, 8],
+        ChunkFormat::ChunkOffset,
+        cube.cells.iter().cloned(),
+        1,
+    )?;
+    let schema = StarSchema::build(
+        db.pool().clone(),
+        cube.dims.clone(),
+        cube.cells.iter().cloned(),
+        1,
+    )?;
+    let indexes = JoinBitmapIndexes::build(db.pool().clone(), &schema)?;
+    db.save_olap_array("sales", &adt)?;
+    db.save_star_schema("sales_rel", &schema)?;
+    db.save_bitmap_indexes("sales_bm", &indexes)?;
+    db.checkpoint()?;
+    println!(
+        "loaded demo: {} cells into `sales`, `sales_rel`, `sales_bm`",
+        cube.len()
+    );
+    Ok(())
+}

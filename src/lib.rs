@@ -18,6 +18,7 @@
 //! | [`array`](mod@array) | `molap-array` | chunked arrays, chunk-offset compression, LZW |
 //! | [`core`] | `molap-core` | the OLAP Array ADT and the three query engines |
 //! | [`datagen`] | `molap-datagen` | the paper's synthetic datasets |
+//! | [`server`] | `molap-server` | concurrent TCP query service + blocking client |
 //!
 //! ## Quickstart
 //!
@@ -61,4 +62,5 @@ pub use molap_btree as btree;
 pub use molap_core as core;
 pub use molap_datagen as datagen;
 pub use molap_factfile as factfile;
+pub use molap_server as server;
 pub use molap_storage as storage;

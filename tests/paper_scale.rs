@@ -89,9 +89,7 @@ fn dataset2_smallest_density_full_pipeline() {
 
     // Materialize Query 1 and re-roll to the h2 level of dimension 0:
     // must equal the direct h2 consolidation of the source.
-    let hop = adt
-        .consolidate_to_array(&q1, pool.clone())
-        .unwrap();
+    let hop = adt.consolidate_to_array(&q1, pool.clone()).unwrap();
     let via_chain = hop
         .consolidate(&Query::new(vec![
             DimGrouping::Level(0), // carried h2 of dim0

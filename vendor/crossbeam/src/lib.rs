@@ -1,0 +1,74 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! The build environment has no crates.io access; this vendored crate
+//! provides the one API the workspace uses — [`thread::scope`] with
+//! crossbeam's signature (spawn closures receive a scope argument, the
+//! outer call returns a `Result`) — implemented over
+//! `std::thread::scope`.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// The value passed to every spawned closure. Crossbeam passes the
+    /// scope itself so workers can spawn nested threads; this shim
+    /// supports only closures that ignore the argument (`|_| ...`),
+    /// which is all the workspace uses.
+    pub struct NestedScope(());
+
+    /// A scope handed to the `scope` closure, from which threads are
+    /// spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread running `f`.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle(self.inner.spawn(move || f(&NestedScope(()))))
+        }
+    }
+
+    /// Creates a scope in which borrowed-data threads can be spawned.
+    /// All spawned threads are joined before this returns. Returns
+    /// `Ok(r)` with the closure's result; panics in unjoined threads
+    /// propagate (matching crossbeam closely enough for callers that
+    /// join every handle).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total = super::scope(|scope| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|c| scope.spawn(move |_| c.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+    }
+}

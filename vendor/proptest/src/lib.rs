@@ -1,0 +1,695 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no crates.io access; this vendored crate
+//! reimplements the subset of proptest used by the workspace's property
+//! tests: the [`strategy::Strategy`] trait with `prop_map`, ranges,
+//! tuples, [`collection::vec`], [`option::of`], [`bool::ANY`],
+//! [`arbitrary::any`], `Just`, the [`proptest!`] / [`prop_oneof!`] /
+//! `prop_assert*` macros, and a deterministic per-test RNG.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with
+//! the case number and seed; rerunning reproduces it deterministically),
+//! and `prop_assert*` panics immediately instead of returning a
+//! `TestCaseError`.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Runner configuration. Only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// The RNG handed to strategies.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// A generator seeded deterministically from a test's path, or
+        /// from `PROPTEST_SEED` if set (for replaying explorations).
+        pub fn deterministic(test_path: &str) -> Self {
+            let mut seed = match std::env::var("PROPTEST_SEED") {
+                Ok(v) => v.parse().unwrap_or(0xC0FFEE),
+                Err(_) => 0xC0FFEE,
+            };
+            // FNV-1a over the test path decorrelates sibling tests.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            seed ^= h;
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// Re-export so `ProptestConfig` reads naturally at use sites.
+pub use test_runner::Config as ProptestConfig;
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice among alternative strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        variants: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a uniform union over the given variants.
+        ///
+        /// # Panics
+        /// Panics if `variants` is empty.
+        pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+            Union::new_weighted(variants.into_iter().map(|s| (1, s)).collect())
+        }
+
+        /// Builds a union picking variants in proportion to weight.
+        ///
+        /// # Panics
+        /// Panics if `variants` is empty or all weights are zero.
+        pub fn new_weighted(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total_weight: u64 = variants.iter().map(|&(w, _)| w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof! needs positive total weight");
+            Union {
+                variants,
+                total_weight,
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.random_range(0..self.total_weight);
+            for (weight, strategy) in &self.variants {
+                if pick < *weight as u64 {
+                    return strategy.generate(rng);
+                }
+                pick -= *weight as u64;
+            }
+            unreachable!("weighted pick within total weight")
+        }
+    }
+
+    /// `&str` patterns act as regex-like string strategies, as in
+    /// upstream proptest. This shim supports the subset: literal
+    /// characters, `.` / `\PC` (any printable, non-control char),
+    /// `\d` / `\w` / `\s` classes, `[a-z0-9_]`-style classes, and the
+    /// quantifiers `{lo,hi}`, `{n}`, `*`, `+`, `?` applied to the
+    /// preceding atom.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )+};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy.
+        type Strategy: Strategy<Value = Self>;
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Whole-domain strategy for an integer type.
+    pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for FullRange<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = FullRange<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    FullRange(std::marker::PhantomData)
+                }
+            }
+        )+};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        type Strategy = crate::bool::Any;
+        fn arbitrary() -> Self::Strategy {
+            crate::bool::Any
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+
+    /// Fair-coin boolean strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Inclusive-exclusive element-count bounds for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+
+    /// Strategy for `Option<S::Value>` (50% `None`).
+    pub struct OptionStrategy<S>(S);
+
+    /// `proptest::option::of`: `None` or a generated `Some`.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-subset string generation backing `&str` strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+
+    /// One generatable pattern element.
+    enum Atom {
+        /// A fixed character.
+        Literal(char),
+        /// Any printable non-control character (`.`, `\PC`).
+        Printable,
+        /// ASCII digit (`\d`).
+        Digit,
+        /// ASCII word character (`\w`).
+        Word,
+        /// ASCII whitespace (`\s`).
+        Space,
+        /// An explicit class: single chars plus inclusive ranges.
+        Class(Vec<char>, Vec<(char, char)>),
+    }
+
+    fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Literal(c) => *c,
+            Atom::Printable => {
+                // Mostly ASCII printable; occasionally a multi-byte char
+                // so byte-offset bugs get exercised.
+                if rng.random_range(0..8usize) == 0 {
+                    ['é', 'λ', '→', '漢', '🙂'][rng.random_range(0..5usize)]
+                } else {
+                    char::from_u32(rng.random_range(0x20u32..0x7F)).unwrap()
+                }
+            }
+            Atom::Digit => char::from_u32(rng.random_range(0x30u32..0x3A)).unwrap(),
+            Atom::Word => {
+                let pool = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+                pool[rng.random_range(0..pool.len())] as char
+            }
+            Atom::Space => [' ', '\t', '\n'][rng.random_range(0..3usize)],
+            Atom::Class(singles, ranges) => {
+                let n = singles.len() + ranges.len();
+                let i = rng.random_range(0..n.max(1));
+                if i < singles.len() {
+                    singles[i]
+                } else {
+                    let (lo, hi) = ranges[i - singles.len()];
+                    char::from_u32(rng.random_range(lo as u32..=hi as u32)).unwrap_or(lo)
+                }
+            }
+        }
+    }
+
+    /// Generates one string matching `pattern`.
+    ///
+    /// # Panics
+    /// Panics on pattern constructs outside the supported subset.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Printable,
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        // Only \PC (printable) is supported.
+                        assert_eq!(chars.next(), Some('C'), "unsupported \\P class");
+                        Atom::Printable
+                    }
+                    Some('d') => Atom::Digit,
+                    Some('w') => Atom::Word,
+                    Some('s') => Atom::Space,
+                    Some(esc) => Atom::Literal(esc),
+                    None => panic!("dangling escape in pattern {pattern:?}"),
+                },
+                '[' => {
+                    let mut singles = Vec::new();
+                    let mut ranges = Vec::new();
+                    loop {
+                        match chars.next() {
+                            Some(']') => break,
+                            Some(lo) => {
+                                if chars.peek() == Some(&'-') {
+                                    chars.next();
+                                    let hi = chars.next().expect("unterminated class range");
+                                    ranges.push((lo, hi));
+                                } else {
+                                    singles.push(lo);
+                                }
+                            }
+                            None => panic!("unterminated class in pattern {pattern:?}"),
+                        }
+                    }
+                    Atom::Class(singles, ranges)
+                }
+                lit => Atom::Literal(lit),
+            };
+            // Optional quantifier on the atom just parsed.
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for q in chars.by_ref() {
+                        if q == '}' {
+                            break;
+                        }
+                        spec.push(q);
+                    }
+                    match spec.split_once(',') {
+                        Some((a, b)) => (
+                            a.parse().expect("bad quantifier"),
+                            b.parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n: usize = spec.parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            let n = if lo == hi {
+                lo
+            } else {
+                rng.random_range(lo..=hi)
+            };
+            for _ in 0..n {
+                out.push(sample_atom(&atom, rng));
+            }
+        }
+        // Keep the RNG moving even for empty outputs.
+        let _ = rng.next_u64();
+        out
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+    /// Alias so `prop::collection::vec(..)` style paths work.
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies, running each body over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let __strats = ($($s,)+);
+                let __path = concat!(module_path!(), "::", stringify!($name));
+                let mut __rng = $crate::test_runner::TestRng::deterministic(__path);
+                for __case in 0..__config.cases {
+                    let ($($p,)+) =
+                        $crate::strategy::Strategy::generate(&__strats, &mut __rng);
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(payload) = __result {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{} (deterministic seed; \
+                             rerun reproduces it)",
+                            __path, __case, __config.cases,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Choice among strategies producing the same value type; arms are
+/// either bare strategies (uniform) or `weight => strategy`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($arm))),+
+        ])
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vec_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("shim::smoke");
+        let strat = (
+            1u32..5,
+            crate::collection::vec(-3i64..3, 0..10),
+            crate::option::of(0usize..2),
+        );
+        for _ in 0..500 {
+            let (a, v, o) = strat.generate(&mut rng);
+            assert!((1..5).contains(&a));
+            assert!(v.len() < 10);
+            assert!(v.iter().all(|x| (-3..3).contains(x)));
+            if let Some(u) = o {
+                assert!(u < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_cover_all_arms() {
+        let mut rng = crate::test_runner::TestRng::deterministic("shim::oneof");
+        let strat = prop_oneof![Just("SUM"), Just("MIN"), (0u8..3).prop_map(|_| "N")];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_patterns(x in 0u32..10, mut v in crate::collection::vec(0i64..5, 2..4)) {
+            prop_assert!(x < 10);
+            v.push(0);
+            prop_assert!(v.len() >= 3 && v.len() <= 4);
+        }
+
+        #[test]
+        fn exact_vec_len(bytes in crate::collection::vec(any::<u8>(), 4)) {
+            prop_assert_eq!(bytes.len(), 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_single_param(b in crate::bool::ANY) {
+            prop_assert!(b as u8 <= 1);
+        }
+    }
+}
