@@ -44,6 +44,8 @@
 //! assert_eq!(array.valid_cells(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod array;
 mod chunk;
 mod geometry;

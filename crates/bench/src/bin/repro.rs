@@ -18,6 +18,8 @@
 //! Add `--quick` to shrink datasets ~10× (CI-sized smoke run). Results
 //! are printed as tables and also written as CSV under `target/repro/`.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::sync::Arc;
 

@@ -15,6 +15,8 @@
 //!   numbers, the algorithmic argument via wall time;
 //! * each query runs [`Harness::runs`] times; the median is reported.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;

@@ -41,6 +41,8 @@
 //! assert_eq!(result.count_ones(), 3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bitmap;
 mod index;
 pub mod rle;

@@ -38,6 +38,8 @@
 //! assert_eq!(tree.get(20).unwrap(), Some(200));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod node;
 mod tree;
 

@@ -331,16 +331,25 @@ impl OlapArray {
     // ------------------------------------------------- crate-internal
 
     pub(crate) fn dim_indexes(&self, d: usize) -> &DimIndexes {
+        debug_assert!(d < self.dim_indexes.len(), "dimension ordinal out of range");
         &self.dim_indexes[d]
     }
 
     /// Loads the IndexToIndex array for (dimension, level) from disk —
     /// phase 1 of the consolidation algorithms.
     pub(crate) fn load_i2i(&self, d: usize, level: usize) -> Result<Vec<u32>> {
-        let bytes = self.i2i_store.read(self.dim_indexes[d].i2i_lobs[level])?;
+        let lob = self
+            .dim_indexes
+            .get(d)
+            .and_then(|di| di.i2i_lobs.get(level))
+            .copied()
+            .ok_or_else(|| {
+                Error::Internal(format!("no IndexToIndex for dimension {d} level {level}"))
+            })?;
+        let bytes = self.i2i_store.read(lob)?;
         Ok(bytes
             .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect())
     }
 
@@ -348,6 +357,7 @@ impl OlapArray {
     /// `i2i[row] = rank of key in ascending key order`, plus the sorted
     /// keys as codes.
     pub(crate) fn key_i2i(&self, d: usize) -> (Vec<u32>, Vec<i64>) {
+        debug_assert!(d < self.dims.len(), "dimension ordinal out of range");
         let keys = self.dims[d].keys();
         let mut sorted: Vec<i64> = keys.to_vec();
         sorted.sort_unstable();
@@ -356,7 +366,11 @@ impl OlapArray {
             .enumerate()
             .map(|(r, &k)| (k, r as u32))
             .collect();
-        let i2i = keys.iter().map(|k| rank_of[k]).collect();
+        // Every key is present: `rank_of` was built from this very list.
+        let i2i = keys
+            .iter()
+            .map(|k| rank_of.get(k).copied().unwrap_or(0))
+            .collect();
         (i2i, sorted)
     }
 }

@@ -85,7 +85,13 @@ impl JoinBitmapIndexes {
                     return;
                 };
                 for (level, builder) in level_builders[d].iter_mut().enumerate() {
-                    let code = dim.attr_at(level, row).expect("level exists");
+                    let code = match dim.attr_at(level, row) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            errored = Some(e);
+                            return;
+                        }
+                    };
                     builder.add(code, t as usize);
                 }
                 if let Some(kb) = &mut key_builders[d] {
@@ -224,15 +230,25 @@ pub fn bitmap_consolidate(
     > = Default::default();
     let n_measures = schema.fact.schema().n_measures;
     let mut group_key = vec![0i64; grouped.len()];
+    let mut errored: Option<Error> = None;
 
     schema
         .fact
-        .fetch_bitmap(&result_bitmap, |_t, dims, measures| {
+        .fetch_bitmap(&result_bitmap, |t, dims, measures| {
+            if errored.is_some() {
+                return;
+            }
             for (g, &(d, table)) in grouped.iter().enumerate() {
-                group_key[g] = *table
-                    .table
-                    .get(&dims[d])
-                    .expect("fact key joined at build time");
+                group_key[g] = match table.table.get(&dims[d]) {
+                    Some(&code) => code,
+                    None => {
+                        errored = Some(Error::Internal(format!(
+                            "fact tuple {t} key was not joined at build time in `{}`",
+                            table.column
+                        )));
+                        return;
+                    }
+                };
             }
             let states = match groups.get_mut(group_key.as_slice()) {
                 Some(s) => s,
@@ -244,6 +260,9 @@ pub fn bitmap_consolidate(
                 s.add(v);
             }
         })?;
+    if let Some(e) = errored {
+        return Err(e);
+    }
 
     finalize_groups(columns, groups, query)
 }

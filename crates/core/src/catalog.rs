@@ -342,21 +342,20 @@ mod tests {
     use crate::starjoin::starjoin_consolidate;
     use molap_array::ChunkFormat;
 
+    type TestResult = std::result::Result<(), Box<dyn std::error::Error>>;
+
     fn temp_path(tag: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("molap-db-{}-{tag}.db", std::process::id()))
     }
 
-    fn dims() -> Vec<DimensionTable> {
+    fn dims() -> Result<Vec<DimensionTable>> {
         let mut store =
-            DimensionTable::build("store", &[0, 1, 2, 3], vec![("region", vec![0, 0, 1, 1])])
-                .unwrap();
-        store
-            .set_labels(0, vec!["midwest".into(), "west".into()])
-            .unwrap();
-        vec![
+            DimensionTable::build("store", &[0, 1, 2, 3], vec![("region", vec![0, 0, 1, 1])])?;
+        store.set_labels(0, vec!["midwest".into(), "west".into()])?;
+        Ok(vec![
             store,
-            DimensionTable::build("product", &[0, 1, 2], vec![("ptype", vec![5, 6, 5])]).unwrap(),
-        ]
+            DimensionTable::build("product", &[0, 1, 2], vec![("ptype", vec![5, 6, 5])])?,
+        ])
     }
 
     fn cells() -> Vec<(Vec<i64>, Vec<i64>)> {
@@ -369,146 +368,144 @@ mod tests {
     }
 
     #[test]
-    fn full_lifecycle_across_reopen() {
+    fn full_lifecycle_across_reopen() -> TestResult {
         let path = temp_path("lifecycle");
         let query = Query::new(vec![DimGrouping::Level(0), DimGrouping::Level(0)]);
         let expected;
         {
-            let db = Database::create(&path, 1 << 20).unwrap();
+            let db = Database::create(&path, 1 << 20)?;
             let adt = OlapArray::build(
                 db.pool().clone(),
-                dims(),
+                dims()?,
                 &[2, 2],
                 ChunkFormat::ChunkOffset,
                 cells(),
                 1,
-            )
-            .unwrap();
-            let schema = StarSchema::build(db.pool().clone(), dims(), cells(), 1).unwrap();
-            let indexes = JoinBitmapIndexes::build(db.pool().clone(), &schema).unwrap();
-            expected = adt.consolidate(&query).unwrap();
+            )?;
+            let schema = StarSchema::build(db.pool().clone(), dims()?, cells(), 1)?;
+            let indexes = JoinBitmapIndexes::build(db.pool().clone(), &schema)?;
+            expected = adt.consolidate(&query)?;
 
-            db.save_olap_array("sales", &adt).unwrap();
-            db.save_star_schema("sales_rel", &schema).unwrap();
-            db.save_bitmap_indexes("sales_bm", &indexes).unwrap();
+            db.save_olap_array("sales", &adt)?;
+            db.save_star_schema("sales_rel", &schema)?;
+            db.save_bitmap_indexes("sales_bm", &indexes)?;
             assert!(db.is_dirty());
-            db.checkpoint().unwrap();
+            db.checkpoint()?;
             assert!(!db.is_dirty());
         }
 
-        let db = Database::open(&path, 1 << 20).unwrap();
+        let db = Database::open(&path, 1 << 20)?;
         let mut names: Vec<String> = db.list().into_iter().map(|(n, _)| n).collect();
         names.sort();
         assert_eq!(names, vec!["sales", "sales_bm", "sales_rel"]);
 
-        let adt = db.open_olap_array("sales").unwrap();
-        assert_eq!(adt.consolidate(&query).unwrap(), expected);
-        assert_eq!(adt.get_by_keys(&[1, 2]).unwrap(), Some(vec![20]));
+        let adt = db.open_olap_array("sales")?;
+        assert_eq!(adt.consolidate(&query)?, expected);
+        assert_eq!(adt.get_by_keys(&[1, 2])?, Some(vec![20]));
         // Labels survived.
         assert_eq!(adt.dims()[0].label(0, 1), "west");
 
-        let schema = db.open_star_schema("sales_rel").unwrap();
-        assert_eq!(starjoin_consolidate(&schema, &query).unwrap(), expected);
+        let schema = db.open_star_schema("sales_rel")?;
+        assert_eq!(starjoin_consolidate(&schema, &query)?, expected);
 
-        let indexes = db.open_bitmap_indexes("sales_bm").unwrap();
+        let indexes = db.open_bitmap_indexes("sales_bm")?;
         assert_eq!(
-            crate::bitmapjoin::bitmap_consolidate(&schema, &indexes, &query).unwrap(),
+            crate::bitmapjoin::bitmap_consolidate(&schema, &indexes, &query)?,
             expected
         );
 
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path)?;
         let _ = std::fs::remove_file(wal_path(&path));
+        Ok(())
     }
 
     #[test]
-    fn type_confusion_and_missing_names_rejected() {
+    fn type_confusion_and_missing_names_rejected() -> TestResult {
         let path = temp_path("types");
-        let db = Database::create(&path, 1 << 20).unwrap();
-        let schema = StarSchema::build(db.pool().clone(), dims(), cells(), 1).unwrap();
-        db.save_star_schema("rel", &schema).unwrap();
+        let db = Database::create(&path, 1 << 20)?;
+        let schema = StarSchema::build(db.pool().clone(), dims()?, cells(), 1)?;
+        db.save_star_schema("rel", &schema)?;
         assert!(db.open_olap_array("rel").is_err(), "wrong kind");
         assert!(db.open_star_schema("nope").is_err(), "missing");
         assert!(db.contains("rel"));
         assert!(!db.contains("nope"));
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path)?;
         let _ = std::fs::remove_file(wal_path(&path));
+        Ok(())
     }
 
     #[test]
-    fn remove_and_replace() {
+    fn remove_and_replace() -> TestResult {
         let path = temp_path("remove");
-        let db = Database::create(&path, 1 << 20).unwrap();
-        let schema = StarSchema::build(db.pool().clone(), dims(), cells(), 1).unwrap();
-        db.save_star_schema("a", &schema).unwrap();
-        db.checkpoint().unwrap();
+        let db = Database::create(&path, 1 << 20)?;
+        let schema = StarSchema::build(db.pool().clone(), dims()?, cells(), 1)?;
+        db.save_star_schema("a", &schema)?;
+        db.checkpoint()?;
         assert!(db.remove("a"));
         assert!(!db.remove("a"));
-        db.checkpoint().unwrap();
+        db.checkpoint()?;
         drop(db);
-        let db = Database::open(&path, 1 << 20).unwrap();
+        let db = Database::open(&path, 1 << 20)?;
         assert!(db.list().is_empty());
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path)?;
         let _ = std::fs::remove_file(wal_path(&path));
+        Ok(())
     }
 
     #[test]
-    fn reopen_without_checkpoint_sees_old_catalog() {
+    fn reopen_without_checkpoint_sees_old_catalog() -> TestResult {
         let path = temp_path("shadow");
         {
-            let db = Database::create(&path, 1 << 20).unwrap();
-            let schema = StarSchema::build(db.pool().clone(), dims(), cells(), 1).unwrap();
-            db.save_star_schema("committed", &schema).unwrap();
-            db.checkpoint().unwrap();
-            db.save_star_schema("uncommitted", &schema).unwrap();
+            let db = Database::create(&path, 1 << 20)?;
+            let schema = StarSchema::build(db.pool().clone(), dims()?, cells(), 1)?;
+            db.save_star_schema("committed", &schema)?;
+            db.checkpoint()?;
+            db.save_star_schema("uncommitted", &schema)?;
             // No checkpoint: the entry must not survive.
-            db.pool().flush_all().unwrap();
+            db.pool().flush_all()?;
         }
-        let db = Database::open(&path, 1 << 20).unwrap();
+        let db = Database::open(&path, 1 << 20)?;
         assert!(db.contains("committed"));
         assert!(!db.contains("uncommitted"));
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path)?;
         let _ = std::fs::remove_file(wal_path(&path));
+        Ok(())
     }
 
     #[test]
-    fn sql_routes_by_object_kind() {
+    fn sql_routes_by_object_kind() -> TestResult {
         let path = temp_path("sql");
-        let db = Database::create(&path, 1 << 20).unwrap();
+        let db = Database::create(&path, 1 << 20)?;
         let adt = OlapArray::build(
             db.pool().clone(),
-            dims(),
+            dims()?,
             &[2, 2],
             ChunkFormat::ChunkOffset,
             cells(),
             1,
-        )
-        .unwrap();
-        let schema = StarSchema::build(db.pool().clone(), dims(), cells(), 1).unwrap();
-        let indexes = JoinBitmapIndexes::build(db.pool().clone(), &schema).unwrap();
-        db.save_olap_array("sales", &adt).unwrap();
-        db.save_star_schema("sales_rel", &schema).unwrap();
-        db.save_bitmap_indexes("sales_bm", &indexes).unwrap();
+        )?;
+        let schema = StarSchema::build(db.pool().clone(), dims()?, cells(), 1)?;
+        let indexes = JoinBitmapIndexes::build(db.pool().clone(), &schema)?;
+        db.save_olap_array("sales", &adt)?;
+        db.save_star_schema("sales_rel", &schema)?;
+        db.save_bitmap_indexes("sales_bm", &indexes)?;
 
         let q = "SELECT SUM(volume), store.region FROM sales GROUP BY store.region";
-        let via_array = db.sql(q, &["volume"]).unwrap();
-        let via_rel = db
-            .sql(
-                "SELECT SUM(volume), store.region FROM sales_rel GROUP BY store.region",
-                &["volume"],
-            )
-            .unwrap();
+        let via_array = db.sql(q, &["volume"])?;
+        let via_rel = db.sql(
+            "SELECT SUM(volume), store.region FROM sales_rel GROUP BY store.region",
+            &["volume"],
+        )?;
         assert_eq!(via_array, via_rel);
         assert_eq!(via_array.rows().len(), 2);
         // region 0 = keys 0,1 -> volumes 10 + 20 = 30.
         assert_eq!(via_array.rows()[0].values[0].as_int(), Some(30));
 
         // Labels resolve in WHERE.
-        let filtered = db
-            .sql(
-                "SELECT SUM(volume) FROM sales WHERE store.region = 'west'",
-                &["volume"],
-            )
-            .unwrap();
+        let filtered = db.sql(
+            "SELECT SUM(volume) FROM sales WHERE store.region = 'west'",
+            &["volume"],
+        )?;
         assert_eq!(filtered.rows()[0].values[0].as_int(), Some(70));
 
         assert!(db
@@ -518,29 +515,32 @@ mod tests {
             .sql("SELECT SUM(volume) FROM nothing", &["volume"])
             .is_err());
         assert!(db.sql("nonsense", &["volume"]).is_err());
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path)?;
         let _ = std::fs::remove_file(wal_path(&path));
+        Ok(())
     }
 
     #[test]
-    fn open_rejects_non_database_files() {
+    fn open_rejects_non_database_files() -> TestResult {
         let path = temp_path("garbage");
-        std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
+        std::fs::write(&path, vec![0u8; PAGE_SIZE])?;
         assert!(Database::open(&path, 1 << 20).is_err());
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path)?;
         let _ = std::fs::remove_file(wal_path(&path));
+        Ok(())
     }
 
     #[test]
-    fn empty_database_roundtrip() {
+    fn empty_database_roundtrip() -> TestResult {
         let path = temp_path("empty");
         {
-            let db = Database::create(&path, 1 << 20).unwrap();
-            db.checkpoint().unwrap();
+            let db = Database::create(&path, 1 << 20)?;
+            db.checkpoint()?;
         }
-        let db = Database::open(&path, 1 << 20).unwrap();
+        let db = Database::open(&path, 1 << 20)?;
         assert!(db.list().is_empty());
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path)?;
         let _ = std::fs::remove_file(wal_path(&path));
+        Ok(())
     }
 }

@@ -10,7 +10,7 @@
 use molap_btree::BTree;
 
 use crate::adt::OlapArray;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::query::{DimGrouping, Query};
 use crate::result::{ConsolidationResult, GroupedDim, ResultCube};
 
@@ -63,9 +63,9 @@ pub(crate) fn phase1(adt: &OlapArray, query: &Query) -> Result<(Vec<GroupMap>, V
         let mut result_btree = BTree::create(result_pool.clone())?;
         let key_btree = &adt.dim_indexes(d).key_btree;
         for &key in dim.keys() {
-            let idx = key_btree
-                .get(key)?
-                .expect("dimension key indexed at build time");
+            let idx = key_btree.get(key)?.ok_or_else(|| {
+                Error::Internal(format!("dimension key {key} missing from its key B-tree"))
+            })?;
             let rank = i2i[idx as usize];
             let code = match grouping {
                 DimGrouping::Key => key,

@@ -79,26 +79,40 @@ pub fn compute_cube(adt: &OlapArray, query: &Query) -> Result<Vec<CubeSlice>> {
         if cubes[mask].is_some() {
             continue;
         }
-        // Parents: mask with one extra bit set.
-        let parent = (0..g)
+        // Parents: mask with one extra bit set. The descending-popcount
+        // walk guarantees at least one is already computed.
+        let (parent, parent_cube) = (0..g)
             .filter(|&b| mask & (1 << b) == 0)
             .map(|b| mask | (1 << b))
-            .filter(|&p| cubes[p].is_some())
-            .min_by_key(|&p| cubes[p].as_ref().unwrap().num_cells())
-            .expect("lattice walk visits parents first");
+            .filter_map(|p| cubes.get(p).and_then(|c| c.as_ref()).map(|c| (p, c)))
+            .min_by_key(|(_, c)| c.num_cells())
+            .ok_or_else(|| {
+                Error::Internal(format!(
+                    "cube lattice walk found no parent for mask {mask:#b}"
+                ))
+            })?;
         // Project away the dimensions absent from `mask`, expressed in
         // the parent's dimension order.
-        let parent_cube = cubes[parent].as_ref().unwrap();
         let keep: Vec<bool> = (0..g)
             .filter(|&b| parent & (1 << b) != 0)
             .map(|b| mask & (1 << b) != 0)
             .collect();
-        cubes[mask] = Some(parent_cube.project(&keep)?);
+        let projected = parent_cube.project(&keep)?;
+        match cubes.get_mut(mask) {
+            Some(slot) => *slot = Some(projected),
+            None => {
+                return Err(Error::Internal(format!(
+                    "mask {mask:#b} outside cube lattice"
+                )))
+            }
+        }
     }
 
     let mut slices = Vec::with_capacity(total);
     for &mask in &order {
-        let cube = cubes[mask].take().expect("every mask computed");
+        let cube = cubes.get_mut(mask).and_then(|c| c.take()).ok_or_else(|| {
+            Error::Internal(format!("cube lattice slot {mask:#b} was never computed"))
+        })?;
         slices.push(CubeSlice {
             mask: (0..g).map(|b| mask & (1 << b) != 0).collect(),
             result: cube.into_result(&query.aggs)?,

@@ -15,6 +15,10 @@ pub enum Error {
     /// Input data violated the data model (arity mismatch, unknown
     /// dimension key, duplicate cell).
     Data(String),
+    /// An internal invariant did not hold. Unlike a panic, this
+    /// surfaces as a query error over the wire and leaves the server
+    /// worker alive.
+    Internal(String),
 }
 
 impl fmt::Display for Error {
@@ -24,6 +28,7 @@ impl fmt::Display for Error {
             Error::Array(e) => write!(f, "array error: {e}"),
             Error::Query(msg) => write!(f, "invalid query: {msg}"),
             Error::Data(msg) => write!(f, "invalid data: {msg}"),
+            Error::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }

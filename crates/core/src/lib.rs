@@ -73,6 +73,8 @@
 //! assert_eq!(a.rows().len(), 2); // regions 0 and 1
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod adt;
 mod aggregate;
 mod bitmapjoin;

@@ -94,7 +94,9 @@ impl OlapArray {
     /// source hierarchy's coarser levels (functional over the group, so
     /// any source row of the group supplies them).
     fn result_dimension(&self, query: &Query, map: &GroupMap) -> Result<DimensionTable> {
-        let source = &self.dims()[map.dim];
+        let source = self.dims().get(map.dim).ok_or_else(|| {
+            Error::Internal(format!("grouped dimension {} out of range", map.dim))
+        })?;
         // One representative source row per rank.
         let mut representative: Vec<Option<u32>> = vec![None; map.codes.len()];
         for row in 0..source.len() as u32 {
@@ -106,13 +108,22 @@ impl OlapArray {
         let carry_from = match query.group_by[map.dim] {
             DimGrouping::Key => 0,
             DimGrouping::Level(l) => l + 1,
-            DimGrouping::Drop => unreachable!("grouped dimensions only"),
+            DimGrouping::Drop => {
+                return Err(Error::Internal(
+                    "result_dimension called for a dropped dimension".into(),
+                ))
+            }
         };
         let mut attrs: Vec<(&str, Vec<i64>)> = Vec::new();
         for level in carry_from..source.num_levels() {
             let codes = representative
                 .iter()
-                .map(|row| source.attr_at(level, row.expect("every rank has a source row")))
+                .map(|row| {
+                    let row = row.ok_or_else(|| {
+                        Error::Internal("a group rank has no representative source row".into())
+                    })?;
+                    source.attr_at(level, row)
+                })
                 .collect::<Result<Vec<i64>>>()?;
             attrs.push((source.level_name(level).unwrap_or("?"), codes));
         }

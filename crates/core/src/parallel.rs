@@ -72,10 +72,14 @@ pub fn consolidate_parallel(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(Error::Internal("consolidation worker panicked".into()))
+                })
+            })
             .collect::<Result<Vec<_>>>()
     })
-    .expect("scope panicked")?;
+    .map_err(|_| Error::Internal("parallel consolidation scope panicked".into()))??;
 
     let mut iter = cubes.into_iter();
     let mut total = iter

@@ -181,13 +181,17 @@ impl ResultCube {
             let keys: Vec<i64> = (0..n)
                 .map(|d| self.dims[d].codes[ranks[d] as usize])
                 .collect();
-            let values: Vec<AggValue> = (0..self.n_measures)
-                .map(|m| {
-                    self.states[base + m]
-                        .finalize(aggs[m])
-                        .expect("non-empty state finalizes")
+            let values: Vec<AggValue> = self
+                .states
+                .get(base..base + self.n_measures)
+                .unwrap_or(&[])
+                .iter()
+                .zip(aggs)
+                .map(|(s, &f)| {
+                    s.finalize(f)
+                        .ok_or_else(|| Error::Internal("non-empty group failed to finalize".into()))
                 })
-                .collect();
+                .collect::<Result<Vec<AggValue>>>()?;
             rows.push(Row { keys, values });
         }
         // Linear order over sorted per-dim codes is already key order,
@@ -243,11 +247,11 @@ impl ConsolidationResult {
     pub fn to_table(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        writeln!(out, "{} | value(s)", self.columns.join(" | ")).unwrap();
+        let _ = writeln!(out, "{} | value(s)", self.columns.join(" | "));
         for row in &self.rows {
             let keys: Vec<String> = row.keys.iter().map(|k| k.to_string()).collect();
             let vals: Vec<String> = row.values.iter().map(|v| v.to_string()).collect();
-            writeln!(out, "{} | {}", keys.join(" | "), vals.join(" | ")).unwrap();
+            let _ = writeln!(out, "{} | {}", keys.join(" | "), vals.join(" | "));
         }
         out
     }

@@ -47,7 +47,7 @@ pub(crate) fn final_index_list(
     query: &Query,
     d: usize,
 ) -> Result<Option<Vec<u32>>> {
-    let sels = &query.selections[d];
+    let sels = query.selections.get(d).map_or(&[][..], Vec::as_slice);
     if sels.is_empty() {
         return Ok(None);
     }

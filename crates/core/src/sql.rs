@@ -183,18 +183,21 @@ struct ColumnRef {
 
 impl<'a> Parser<'a> {
     fn peek(&self) -> &Token {
-        &self.tokens[self.pos]
+        // The lexer always appends `Token::End`, and `next` never
+        // advances past it, so the position stays in bounds.
+        static END: Token = Token::End;
+        self.tokens.get(self.pos).unwrap_or(&END)
     }
 
     fn next(&mut self) -> Token {
-        let t = self.tokens[self.pos].clone();
+        let t = self.peek().clone();
         if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
         }
         t
     }
 
-    fn expect(&mut self, want: &Token, ctx: &str) -> Result<()> {
+    fn expect_token(&mut self, want: &Token, ctx: &str) -> Result<()> {
         let got = self.next();
         if &got == want {
             Ok(())
@@ -244,7 +247,7 @@ impl<'a> Parser<'a> {
             .iter()
             .position(|d| d.name().eq_ignore_ascii_case(&dim_name))
             .ok_or_else(|| Error::Query(format!("unknown dimension {dim_name:?}")))?;
-        self.expect(&Token::Dot, "after dimension name")?;
+        self.expect_token(&Token::Dot, "after dimension name")?;
         let attr_name = self.ident("as attribute name")?;
         let attr = if attr_name.eq_ignore_ascii_case("key") {
             AttrRef::Key
@@ -298,12 +301,12 @@ impl<'a> Parser<'a> {
                 )))
             }
         };
-        self.expect(&Token::LParen, "after aggregate function")?;
+        self.expect_token(&Token::LParen, "after aggregate function")?;
         // COUNT(*) counts joined cells; it maps to COUNT of the first
         // measure (all measures share the accumulator's count).
         if matches!(self.peek(), Token::Star) {
             self.next();
-            self.expect(&Token::RParen, "after *")?;
+            self.expect_token(&Token::RParen, "after *")?;
             if func != AggFunc::Count {
                 return Err(Error::Query(format!(
                     "{func:?}(*) is not valid; only COUNT(*)"
@@ -317,7 +320,7 @@ impl<'a> Parser<'a> {
             .iter()
             .position(|m| m.eq_ignore_ascii_case(&measure_name))
             .ok_or_else(|| Error::Query(format!("unknown measure {measure_name:?}")))?;
-        self.expect(&Token::RParen, "after measure name")?;
+        self.expect_token(&Token::RParen, "after measure name")?;
         Ok((func, measure))
     }
 
@@ -331,7 +334,7 @@ impl<'a> Parser<'a> {
         loop {
             // Lookahead: FUNC( vs column.
             let is_agg = matches!(
-                (&self.tokens[self.pos], self.tokens.get(self.pos + 1)),
+                (self.peek(), self.tokens.get(self.pos + 1)),
                 (Token::Ident(_), Some(Token::LParen))
             );
             if is_agg {
@@ -357,13 +360,13 @@ impl<'a> Parser<'a> {
             loop {
                 let col = self.column()?;
                 let sel = if self.keyword("IN") {
-                    self.expect(&Token::LParen, "after IN")?;
+                    self.expect_token(&Token::LParen, "after IN")?;
                     let mut values = vec![self.literal(&col)?];
                     while matches!(self.peek(), Token::Comma) {
                         self.next();
                         values.push(self.literal(&col)?);
                     }
-                    self.expect(&Token::RParen, "after IN list")?;
+                    self.expect_token(&Token::RParen, "after IN list")?;
                     Selection::in_list(col.attr, values)
                 } else if self.keyword("BETWEEN") {
                     let lo = self.literal(&col)?;
@@ -371,7 +374,7 @@ impl<'a> Parser<'a> {
                     let hi = self.literal(&col)?;
                     Selection::range(col.attr, lo, hi)
                 } else {
-                    self.expect(&Token::Eq, "in predicate")?;
+                    self.expect_token(&Token::Eq, "in predicate")?;
                     Selection::eq(col.attr, self.literal(&col)?)
                 };
                 selections.push((col.dim, sel));

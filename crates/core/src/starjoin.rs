@@ -210,8 +210,12 @@ pub(crate) fn finalize_groups(
         let values = states
             .iter()
             .zip(&query.aggs)
-            .map(|(s, &f)| s.finalize(f).expect("groups are only created on a value"))
-            .collect();
+            .map(|(s, &f)| {
+                s.finalize(f).ok_or_else(|| {
+                    Error::Internal("aggregate group created without a value".into())
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
         rows.push(Row {
             keys: keys.into_vec(),
             values,

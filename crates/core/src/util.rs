@@ -36,7 +36,9 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
-            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+            self.add(u64::from_le_bytes([
+                c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
+            ]));
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {
@@ -93,8 +95,8 @@ pub fn union_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
             }
         }
     }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
+    out.extend_from_slice(a.get(i..).unwrap_or(&[]));
+    out.extend_from_slice(b.get(j..).unwrap_or(&[]));
     out
 }
 

@@ -37,6 +37,8 @@
 //! sampled uniformly without replacement; all randomness is seeded and
 //! reproducible.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashSet;
 
 use molap_core::{DimensionTable, Result};

@@ -37,6 +37,8 @@
 //! assert_eq!(sum, 300);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 use molap_bitmap::Bitmap;

@@ -1,0 +1,165 @@
+//! `molap-lint` — repo-specific static analysis for the molap
+//! workspace.
+//!
+//! Four rule families, each with an inline escape hatch of the form
+//! `// lint:allow(<rule>): <reason>` (the reason is mandatory; a
+//! pragma without one does not suppress anything and is itself
+//! reported):
+//!
+//! | rule | scope | checks |
+//! |------|-------|--------|
+//! | `panic-freedom` | non-test code in `crates/core`, `crates/storage`, `crates/server` | no `unwrap()`, `expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!`; slice indexing needs literal indices or a nearby bounds guard |
+//! | `wire-spec` | `crates/server/src/protocol.rs` | module-doc spec tables (frame tags, error codes, payload field order) match the consts/enums/encoders |
+//! | `lock-io` | `crates/*/src` | no file/socket I/O while a lock guard is live |
+//! | `lock-order` | `crates/*/src` | acquisitions respect the declared lock order |
+//! | `unsafe-inventory` | whole workspace | every `unsafe` has a `// SAFETY:` comment; unsafe-free crates carry `#![forbid(unsafe_code)]` |
+//!
+//! The corpus under `crates/lint/tests/corpus/` proves each rule both
+//! fires and respects `lint:allow`; `scripts/verify.sh` runs the
+//! binary over the workspace (must be clean) and over the corpus
+//! (must fail).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+pub mod rules;
+pub mod source;
+
+use source::SourceFile;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Rule identifier (e.g. `panic-freedom`).
+    pub rule: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+impl Finding {
+    /// Machine-readable JSON encoding (one object per finding).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&self.path),
+            self.line,
+            json_escape(&self.rule),
+            json_escape(&self.message)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lints an in-memory set of `(relative_path, content)` sources. This
+/// is the pure core `lint_workspace` and the corpus tests share.
+pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
+    let parsed: Vec<SourceFile> = files
+        .iter()
+        .map(|(path, content)| SourceFile::parse(path, content))
+        .collect();
+
+    let mut findings = Vec::new();
+    for file in &parsed {
+        rules::panic_free::check(file, &mut findings);
+        rules::wire_spec::check(file, &mut findings);
+        rules::lock::check(file, &mut findings);
+        rules::unsafe_inv::check_file(file, &mut findings);
+        rules::pragma_hygiene(file, &mut findings);
+    }
+    rules::unsafe_inv::check_packages(&parsed, &mut findings);
+
+    // Drop findings covered by a reasoned lint:allow pragma.
+    findings.retain(|f| {
+        parsed
+            .iter()
+            .find(|p| p.path == f.path)
+            .map(|p| !p.allowed(&f.rule, f.line))
+            .unwrap_or(true)
+    });
+    findings.sort();
+    findings
+}
+
+/// Walks `root` for `.rs` files and lints them. Directories named
+/// `target`, `.git`, and `corpus` are skipped (the corpus is
+/// deliberately full of violations). A file whose first line is
+/// `//@ path: <virtual path>` is analyzed as if it lived at that
+/// path — that is how corpus snippets opt into path-scoped rules.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect(root, root, &mut files)?;
+    files.sort();
+    let sources = files
+        .iter()
+        .map(|rel| {
+            let content = std::fs::read_to_string(root.join(rel))?;
+            let path = virtual_path(rel, &content);
+            Ok((path, content))
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+    Ok(lint_sources(&sources))
+}
+
+/// Applies a `//@ path:` remap directive if present.
+fn virtual_path(rel: &str, content: &str) -> String {
+    content
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("//@ path:"))
+        .map(|p| p.trim().to_string())
+        .unwrap_or_else(|| rel.to_string())
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "corpus" {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! `molap-lint` CLI.
+//!
+//! ```text
+//! molap-lint --check <root> [--json]
+//! ```
+//!
+//! Lints every `.rs` file under `<root>` (skipping `target/`, `.git/`,
+//! and lint corpus directories) and prints findings as
+//! `path:line: [rule] message`, or as one JSON object per line with
+//! `--json`. Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut expect_root = false;
+    for arg in &args {
+        match arg.as_str() {
+            "--check" => expect_root = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: molap-lint --check <root> [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other if expect_root => {
+                root = Some(PathBuf::from(other));
+                expect_root = false;
+            }
+            other => {
+                eprintln!("molap-lint: unexpected argument {other:?}");
+                eprintln!("usage: molap-lint --check <root> [--json]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(root) = root else {
+        eprintln!("usage: molap-lint --check <root> [--json]");
+        return ExitCode::from(2);
+    };
+
+    let findings = match molap_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("molap-lint: cannot read {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &findings {
+        if json {
+            println!("{}", finding.to_json());
+        } else {
+            println!("{finding}");
+        }
+    }
+    if findings.is_empty() {
+        eprintln!("molap-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("molap-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

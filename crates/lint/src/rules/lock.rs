@@ -1,0 +1,261 @@
+//! Lock discipline, two rules:
+//!
+//! * `lock-io` — a lock guard held across file/socket I/O turns one
+//!   slow disk or one stalled peer into a pile-up of blocked threads.
+//!   Flagged lexically: a `let`/`for`/`match`/`if let` binding of
+//!   `<field>.lock()`/`.read()`/`.write()` is considered live until
+//!   its enclosing block closes (or an explicit `drop(<name>)`), and
+//!   any I/O marker inside the live span is a finding. Deliberate
+//!   latch-coupled write-back sites carry reasoned `lint:allow`
+//!   pragmas.
+//! * `lock-order` — acquisitions must respect [`DECLARED_ORDER`]
+//!   (outermost first); acquiring an earlier-ranked lock while a
+//!   later-ranked guard is live is an inversion that can deadlock
+//!   against a thread locking in the declared order. The runtime
+//!   counterpart is the `parking_lot` shim's `lock-order-tracking`
+//!   feature.
+//!
+//! Scope: non-test code under `crates/*/src`.
+
+use crate::rules::ident_ending_at;
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// The workspace's declared lock order, outermost (acquire first) to
+/// innermost. Field names are unambiguous across the workspace:
+/// `queue`/`sessions`/`supervisor` (server), `catalog` (core),
+/// `dir`/`pack` (LOB store), `state`/`data` (buffer pool: pool state,
+/// then per-frame latch), `pages` (MemDisk backing store).
+pub const DECLARED_ORDER: &[&str] = &[
+    "queue",
+    "sessions",
+    "supervisor",
+    "catalog",
+    "dir",
+    "pack",
+    "state",
+    "data",
+    "pages",
+];
+
+const IO_MARKERS: &[&str] = &[
+    ".write_all(",
+    ".read_exact(",
+    ".flush(",
+    ".sync_all(",
+    ".sync_data(",
+    ".set_len(",
+    ".shutdown(",
+    ".accept()",
+    "File::open",
+    "File::create",
+    "OpenOptions",
+    "TcpStream::connect",
+    "read_frame(",
+    "write_frame(",
+    ".write_page(",
+    ".read_page(",
+    ".log_page(",
+    ".allocate_contiguous(",
+    "std::fs::",
+];
+
+fn in_scope(path: &str) -> bool {
+    path.starts_with("crates/") && path.contains("/src/")
+}
+
+/// A guard that is live at the current line.
+struct LiveGuard {
+    /// Lock field name (`queue`, `state`, …).
+    lock: String,
+    /// Binding name, when one exists, for `drop(name)` tracking.
+    binding: Option<String>,
+    /// 1-indexed acquisition line.
+    line: usize,
+    /// The guard dies when the brace depth drops below this.
+    min_depth: i32,
+}
+
+/// Runs both lock rules over one file.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if !in_scope(&file.path) {
+        return;
+    }
+    let lines = file.scrubbed_lines();
+    let mut depth = 0i32;
+    let mut live: Vec<LiveGuard> = Vec::new();
+
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if file.is_test_line(lineno) {
+            // Keep depth bookkeeping but skip analysis inside tests.
+            depth += brace_delta(line);
+            live.retain(|g| depth >= g.min_depth);
+            continue;
+        }
+
+        let acquisitions = find_acquisitions(line);
+
+        // lock-order: every acquisition is checked against guards
+        // already live (including same-line earlier ones — handled by
+        // insertion order below).
+        for acq in &acquisitions {
+            if let Some(new_rank) = rank(&acq.lock) {
+                for g in &live {
+                    if let Some(held_rank) = rank(&g.lock) {
+                        if new_rank < held_rank {
+                            findings.push(Finding {
+                                path: file.path.clone(),
+                                line: lineno,
+                                rule: "lock-order".into(),
+                                message: format!(
+                                    "acquiring `{}` while holding `{}` (line {}) inverts the \
+                                     declared lock order ({} before {})",
+                                    acq.lock, g.lock, g.line, acq.lock, g.lock
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // lock-io: I/O markers while any guard is live. The guard may
+        // also be acquired on this same line (`for … in x.lock()…`).
+        let has_live_before = !live.is_empty();
+        let acquired_holding = !acquisitions.iter().all(|a| a.temporary);
+        if has_live_before || acquired_holding {
+            for marker in IO_MARKERS {
+                if line.contains(marker) {
+                    let holder = live
+                        .first()
+                        .map(|g| format!("`{}` (line {})", g.lock, g.line))
+                        .unwrap_or_else(|| {
+                            acquisitions
+                                .first()
+                                .map(|a| format!("`{}` (this line)", a.lock))
+                                .unwrap_or_default()
+                        });
+                    findings.push(Finding {
+                        path: file.path.clone(),
+                        line: lineno,
+                        rule: "lock-io".into(),
+                        message: format!(
+                            "I/O call `{}` while lock guard {} is held; move the I/O outside \
+                             the critical section",
+                            marker.trim_matches(|c| c == '.' || c == '('),
+                            holder
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Update liveness *after* analysis: a temporary dies with its
+        // statement, a held binding lives until its block closes.
+        let delta = brace_delta(line);
+        depth += delta;
+        for acq in acquisitions {
+            if !acq.temporary {
+                live.push(LiveGuard {
+                    lock: acq.lock,
+                    binding: acq.binding,
+                    line: lineno,
+                    // A `for`/`match` header that opened a brace owns
+                    // the guard for that block; a `let` owns it for
+                    // the current block.
+                    min_depth: depth,
+                });
+            }
+        }
+        // Explicit drops.
+        if let Some(dropped) = dropped_binding(line) {
+            live.retain(|g| g.binding.as_deref() != Some(dropped));
+        }
+        live.retain(|g| depth >= g.min_depth);
+    }
+}
+
+fn rank(lock: &str) -> Option<usize> {
+    DECLARED_ORDER.iter().position(|&l| l == lock)
+}
+
+struct Acquisition {
+    lock: String,
+    binding: Option<String>,
+    /// Statement-temporary: the guard cannot outlive this line.
+    temporary: bool,
+}
+
+/// Finds `<ident>.lock()` / `.read()` / `.write()` acquisitions on a
+/// scrubbed line and classifies how long the guard lives.
+fn find_acquisitions(line: &str) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    let trimmed = line.trim_start();
+    let is_binding = trimmed.starts_with("let ")
+        || trimmed.starts_with("if let ")
+        || trimmed.starts_with("while let ");
+    let is_header = trimmed.starts_with("for ")
+        || trimmed.starts_with("match ")
+        || line.contains("for (")
+        || line.contains(" in ");
+    for method in [".lock()", ".read()", ".write()"] {
+        let mut from = 0usize;
+        while let Some(rel) = line[from..].find(method) {
+            let at = from + rel;
+            from = at + method.len();
+            let lock = ident_ending_at(line, at).to_string();
+            if lock.is_empty() {
+                continue;
+            }
+            let binding = if is_binding {
+                binding_name(trimmed)
+            } else {
+                None
+            };
+            // `let _ = …` drops immediately; a bare expression
+            // statement (`x.lock().insert(…)`) is a temporary unless
+            // it is a `for`/`match` header, whose temporary lives for
+            // the whole block.
+            let temporary = if is_binding {
+                binding.as_deref() == Some("_")
+            } else {
+                !is_header
+            };
+            out.push(Acquisition {
+                lock,
+                binding,
+                temporary,
+            });
+        }
+    }
+    out
+}
+
+/// `let [mut] <name> = …` → the bound name, if it is a plain ident.
+fn binding_name(trimmed: &str) -> Option<String> {
+    let rest = trimmed
+        .strip_prefix("let ")
+        .or_else(|| trimmed.strip_prefix("if let "))
+        .or_else(|| trimmed.strip_prefix("while let "))?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+fn dropped_binding(line: &str) -> Option<&str> {
+    let at = line.find("drop(")?;
+    let rest = &line[at + 5..];
+    let end = rest.find(')')?;
+    let name = rest[..end].trim();
+    name.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        .then_some(name)
+}
+
+fn brace_delta(line: &str) -> i32 {
+    line.matches('{').count() as i32 - line.matches('}').count() as i32
+}

@@ -1,0 +1,43 @@
+//! The rule implementations.
+
+pub mod lock;
+pub mod panic_free;
+pub mod unsafe_inv;
+pub mod wire_spec;
+
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Reports `lint:allow` pragmas that are missing the mandatory
+/// `: <reason>` suffix — they do not suppress anything, so a silent
+/// typo would otherwise re-open the hole the pragma was masking.
+pub fn pragma_hygiene(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for pragma in &file.pragmas {
+        if !pragma.has_reason {
+            findings.push(Finding {
+                path: file.path.clone(),
+                line: pragma.line,
+                rule: "lint-pragma".into(),
+                message: format!(
+                    "lint:allow({}) needs a reason: `// lint:allow({}): <why>`",
+                    pragma.rule, pragma.rule
+                ),
+            });
+        }
+    }
+}
+
+/// Longest identifier ending exactly at byte `end` of `line`.
+pub(crate) fn ident_ending_at(line: &str, end: usize) -> &str {
+    let bytes = line.as_bytes();
+    let mut start = end;
+    while start > 0 {
+        let b = bytes[start - 1];
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    &line[start..end]
+}

@@ -1,0 +1,159 @@
+//! `panic-freedom`: the server-resident hot paths must not contain
+//! reachable panics. A panic in a worker thread turns a single bad
+//! query into lost availability; typed errors surface over the wire
+//! as `Error` frames instead.
+//!
+//! Scope: non-test code in `crates/core`, `crates/storage`, and
+//! `crates/server`. Forbidden: `unwrap()`, `expect()`, `panic!`,
+//! `unreachable!`, `todo!`, `unimplemented!`. Slice/array indexing is
+//! allowed only with pure literal indices/ranges, or when a bounds
+//! guard (`assert!`, `.len()`, `if`/`while`/`match`/`for`, `.min(`,
+//! `%`, `.get(`) appears within the preceding lines of the same
+//! non-test code.
+
+use crate::source::SourceFile;
+use crate::Finding;
+
+const RULE: &str = "panic-freedom";
+
+/// Lines of context searched for a bounds guard before an indexing
+/// expression.
+const GUARD_WINDOW: usize = 10;
+
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+const GUARD_TOKENS: &[&str] = &[
+    "assert!",
+    "assert_eq!",
+    "assert_ne!",
+    "debug_assert",
+    ".len()",
+    "if ",
+    "while ",
+    "match ",
+    "for ",
+    ".min(",
+    ".max(",
+    ".get(",
+    ".get_mut(",
+    "%",
+];
+
+fn in_scope(path: &str) -> bool {
+    [
+        "crates/core/src/",
+        "crates/storage/src/",
+        "crates/server/src/",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p))
+}
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if !in_scope(&file.path) {
+        return;
+    }
+    let lines = file.scrubbed_lines();
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if file.is_test_line(lineno) {
+            continue;
+        }
+        for token in PANIC_TOKENS {
+            if let Some(col) = line.find(token) {
+                // `.expect(` must be `Option/Result::expect`, not a
+                // method the file defines (e.g. a parser's
+                // `expect_token`); the token list already requires the
+                // exact name, so any hit is a panic path.
+                let _ = col;
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: lineno,
+                    rule: RULE.into(),
+                    message: format!(
+                        "`{}` can panic on a server thread; return a typed error instead",
+                        token.trim_matches(|c| c == '.' || c == '(')
+                    ),
+                });
+            }
+        }
+        check_indexing(file, &lines, idx, findings);
+    }
+}
+
+/// Flags `expr[...]` with a non-literal index and no nearby guard.
+fn check_indexing(file: &SourceFile, lines: &[&str], idx: usize, findings: &mut Vec<Finding>) {
+    let line = lines[idx];
+    let bytes = line.as_bytes();
+    let mut search_from = 0usize;
+    while let Some(rel) = line[search_from..].find('[') {
+        let open = search_from + rel;
+        search_from = open + 1;
+        // Indexing only when `[` directly follows an identifier, `)`,
+        // or `]` — everything else is a type, attribute, pattern, or
+        // literal position.
+        let prev = if open == 0 { b' ' } else { bytes[open - 1] };
+        if !(prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']') {
+            continue;
+        }
+        // Find the matching `]` on this line; expressions split
+        // across lines are rare enough to ignore.
+        let mut depth = 0i32;
+        let mut close = None;
+        for (j, &b) in bytes.iter().enumerate().skip(open) {
+            match b {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else { continue };
+        let index_expr = &line[open + 1..close];
+        search_from = close + 1;
+        if is_literal_index(index_expr) {
+            continue;
+        }
+        if has_nearby_guard(file, lines, idx) {
+            continue;
+        }
+        findings.push(Finding {
+            path: file.path.clone(),
+            line: idx + 1,
+            rule: RULE.into(),
+            message: format!(
+                "indexing `[{}]` has no nearby bounds guard; use `.get()` or guard the index",
+                index_expr.trim()
+            ),
+        });
+    }
+}
+
+/// Literal indices and ranges of literals never need a guard.
+fn is_literal_index(expr: &str) -> bool {
+    !expr.trim().is_empty()
+        && expr
+            .chars()
+            .all(|c| c.is_ascii_digit() || c == '.' || c == '_' || c.is_whitespace())
+        || expr.trim() == ".."
+}
+
+fn has_nearby_guard(file: &SourceFile, lines: &[&str], idx: usize) -> bool {
+    let from = idx.saturating_sub(GUARD_WINDOW);
+    lines[from..=idx].iter().enumerate().any(|(k, l)| {
+        !file.is_test_line(from + k + 1) && GUARD_TOKENS.iter().any(|g| l.contains(g))
+    })
+}

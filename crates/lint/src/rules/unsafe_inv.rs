@@ -1,0 +1,111 @@
+//! `unsafe-inventory`: every `unsafe` keyword must be justified by a
+//! `// SAFETY:` comment within the few lines above it, and any
+//! package with zero `unsafe` must declare `#![forbid(unsafe_code)]`
+//! in its crate roots so unsafety cannot creep in unreviewed.
+
+use crate::source::SourceFile;
+use crate::Finding;
+
+const RULE: &str = "unsafe-inventory";
+
+/// How many lines above an `unsafe` may carry its SAFETY comment.
+const SAFETY_WINDOW: usize = 6;
+
+/// Per-file check: SAFETY comments on each `unsafe`.
+pub fn check_file(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for (idx, line) in file.scrubbed_lines().iter().enumerate() {
+        let Some(col) = find_unsafe(line) else {
+            continue;
+        };
+        let _ = col;
+        let from = idx.saturating_sub(SAFETY_WINDOW);
+        let justified = file.comments[from..=idx]
+            .iter()
+            .any(|c| c.contains("SAFETY:"));
+        if !justified {
+            findings.push(Finding {
+                path: file.path.clone(),
+                line: idx + 1,
+                rule: RULE.into(),
+                message: "`unsafe` without a `// SAFETY:` comment explaining why the \
+                          invariants hold"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// `unsafe` as a standalone word on a scrubbed line.
+fn find_unsafe(line: &str) -> Option<usize> {
+    let mut from = 0usize;
+    while let Some(rel) = line[from..].find("unsafe") {
+        let at = from + rel;
+        from = at + "unsafe".len();
+        let before_ok = at == 0
+            || !line.as_bytes()[at - 1].is_ascii_alphanumeric()
+                && line.as_bytes()[at - 1] != b'_'
+                && line.as_bytes()[at - 1] != b'('; // skip forbid(unsafe_code)
+        let after = line.as_bytes().get(at + 6).copied().unwrap_or(b' ');
+        let after_ok = !after.is_ascii_alphanumeric() && after != b'_';
+        if before_ok && after_ok {
+            return Some(at);
+        }
+    }
+    None
+}
+
+/// Workspace check: packages without `unsafe` must carry
+/// `#![forbid(unsafe_code)]` in every crate root.
+pub fn check_packages(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let mut packages: Vec<(&str, Vec<&SourceFile>)> = Vec::new();
+    for file in files {
+        let Some(pkg) = package_of(&file.path) else {
+            continue;
+        };
+        match packages.iter_mut().find(|(p, _)| *p == pkg) {
+            Some((_, members)) => members.push(file),
+            None => packages.push((pkg, vec![file])),
+        }
+    }
+    for (pkg, members) in packages {
+        let has_unsafe = members
+            .iter()
+            .any(|f| f.scrubbed.lines().any(|l| find_unsafe(l).is_some()));
+        if has_unsafe {
+            continue;
+        }
+        for root in members.iter().filter(|f| is_crate_root(&f.path)) {
+            if !root.code.contains("#![forbid(unsafe_code)]") {
+                findings.push(Finding {
+                    path: root.path.clone(),
+                    line: 1,
+                    rule: RULE.into(),
+                    message: format!(
+                        "package `{pkg}` has no unsafe code; add `#![forbid(unsafe_code)]` \
+                         to this crate root"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The package prefix of a source path: everything before `/src/`
+/// (empty for the workspace-root package).
+fn package_of(path: &str) -> Option<&str> {
+    let at = path
+        .find("/src/")
+        .or_else(|| path.starts_with("src/").then_some(0))?;
+    Some(&path[..at])
+}
+
+/// lib.rs, main.rs, and bin targets are crate roots; everything else
+/// is a module of some root.
+fn is_crate_root(path: &str) -> bool {
+    path.ends_with("src/lib.rs")
+        || path.ends_with("src/main.rs")
+        || path
+            .rsplit_once("src/bin/")
+            .map(|(_, rest)| !rest.contains('/'))
+            .unwrap_or(false)
+}

@@ -1,0 +1,459 @@
+//! `wire-spec`: the protocol module's doc tables are the public spec
+//! of the wire format. This rule parses them and cross-checks frame
+//! tags, error codes, and payload field order against the actual
+//! consts, enum arms, and encoder bodies, so the documented protocol
+//! cannot drift from the implementation.
+
+use crate::rules::ident_ending_at;
+use crate::source::SourceFile;
+use crate::Finding;
+
+const RULE: &str = "wire-spec";
+
+fn in_scope(path: &str) -> bool {
+    path.ends_with("server/src/protocol.rs")
+}
+
+/// A `| 0xNN | Name | payload |` doc-table row.
+struct TagRow {
+    line: usize,
+    value: u16,
+    name: String,
+    payload: String,
+}
+
+/// A `| N | `NAME` | meaning |` error-code row.
+struct CodeRow {
+    line: usize,
+    code: u16,
+    name: String,
+}
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if !in_scope(&file.path) {
+        return;
+    }
+    let mut push = |line: usize, message: String| {
+        findings.push(Finding {
+            path: file.path.clone(),
+            line,
+            rule: RULE.into(),
+            message,
+        });
+    };
+
+    let (req_rows, resp_rows, code_rows) = parse_doc_tables(&file.raw);
+    let consts = parse_consts(file);
+
+    check_tags(&req_rows, &consts, "REQ_", "request", &mut push, file);
+    check_tags(&resp_rows, &consts, "RESP_", "response", &mut push, file);
+    check_error_codes(&code_rows, file, &mut push);
+}
+
+/// Parses the three spec tables out of `//!` module docs.
+fn parse_doc_tables(raw: &str) -> (Vec<TagRow>, Vec<TagRow>, Vec<CodeRow>) {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Requests,
+        Responses,
+        Codes,
+    }
+    let mut section = Section::None;
+    let mut requests = Vec::new();
+    let mut responses = Vec::new();
+    let mut codes = Vec::new();
+    for (idx, line) in raw.lines().enumerate() {
+        let Some(doc) = line.trim_start().strip_prefix("//!") else {
+            continue;
+        };
+        let doc = doc.trim();
+        if let Some(header) = doc.strip_prefix("# ") {
+            section = if header.contains("Request frame") {
+                Section::Requests
+            } else if header.contains("Response frame") {
+                Section::Responses
+            } else if header.contains("Error code") {
+                Section::Codes
+            } else {
+                Section::None
+            };
+            continue;
+        }
+        if section == Section::None || !doc.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = doc.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() < 2 || cells[0].starts_with('-') || cells[0].contains("--") {
+            continue;
+        }
+        let first = cells[0].trim_matches('`');
+        match section {
+            Section::Requests | Section::Responses => {
+                let Some(value) = parse_int(first) else {
+                    continue;
+                };
+                let row = TagRow {
+                    line: idx + 1,
+                    value,
+                    name: cells[1].trim_matches('`').to_string(),
+                    payload: cells.get(2).copied().unwrap_or("").to_string(),
+                };
+                if section == Section::Requests {
+                    requests.push(row);
+                } else {
+                    responses.push(row);
+                }
+            }
+            Section::Codes => {
+                let Some(code) = parse_int(first) else {
+                    continue;
+                };
+                codes.push(CodeRow {
+                    line: idx + 1,
+                    code,
+                    name: cells[1].trim_matches('`').to_string(),
+                });
+            }
+            Section::None => {}
+        }
+    }
+    (requests, responses, codes)
+}
+
+fn parse_int(s: &str) -> Option<u16> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x") {
+        u16::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+struct Const {
+    line: usize,
+    name: String,
+    value: u16,
+}
+
+/// Collects `const REQ_*`/`const RESP_*` tag declarations.
+fn parse_consts(file: &SourceFile) -> Vec<Const> {
+    let mut out = Vec::new();
+    for (idx, line) in file.code.lines().enumerate() {
+        let t = line.trim();
+        let t = t.strip_prefix("pub ").unwrap_or(t);
+        let t = t.strip_prefix("pub(crate) ").unwrap_or(t);
+        let Some(rest) = t.strip_prefix("const ") else {
+            continue;
+        };
+        let Some((name, rhs)) = rest.split_once(':') else {
+            continue;
+        };
+        let name = name.trim();
+        if !name.starts_with("REQ_") && !name.starts_with("RESP_") {
+            continue;
+        }
+        let Some((_, value)) = rhs.split_once('=') else {
+            continue;
+        };
+        let Some(value) = parse_int(value.trim().trim_end_matches(';')) else {
+            continue;
+        };
+        out.push(Const {
+            line: idx + 1,
+            name: name.to_string(),
+            value,
+        });
+    }
+    out
+}
+
+/// Lowercase alphanumerics only: `RESP_OBJECT_LIST` → `objectlist`,
+/// `ObjectList` → `objectlist`.
+fn normalize(name: &str) -> String {
+    name.chars()
+        .filter(char::is_ascii_alphanumeric)
+        .collect::<String>()
+        .to_ascii_lowercase()
+}
+
+fn names_compatible(const_suffix: &str, doc_name: &str) -> bool {
+    let a = normalize(const_suffix);
+    let b = normalize(doc_name);
+    a == b || (a.len() >= 3 && b.starts_with(&a)) || (b.len() >= 3 && a.starts_with(&b))
+}
+
+fn check_tags(
+    rows: &[TagRow],
+    consts: &[Const],
+    prefix: &str,
+    kind: &str,
+    push: &mut impl FnMut(usize, String),
+    file: &SourceFile,
+) {
+    let tagged: Vec<&Const> = consts
+        .iter()
+        .filter(|c| c.name.starts_with(prefix))
+        .collect();
+    for row in rows {
+        match tagged.iter().find(|c| c.value == row.value) {
+            None => push(
+                row.line,
+                format!(
+                    "documented {kind} tag {:#04x} ({}) has no `const {prefix}*` with that value",
+                    row.value, row.name
+                ),
+            ),
+            Some(c) => {
+                let suffix = c.name.trim_start_matches(prefix);
+                if !names_compatible(suffix, &row.name) {
+                    push(
+                        c.line,
+                        format!(
+                            "const `{}` does not match the documented name `{}` for tag {:#04x}",
+                            c.name, row.name, row.value
+                        ),
+                    );
+                }
+                check_field_order(row, c, kind, push, file);
+            }
+        }
+    }
+    for c in &tagged {
+        if !rows.iter().any(|r| r.value == c.value) {
+            push(
+                c.line,
+                format!(
+                    "const `{}` = {:#04x} is not documented in the {kind} frame table",
+                    c.name, c.value
+                ),
+            );
+        }
+    }
+}
+
+/// Field-order conformance: the documented payload field types must
+/// appear, in order, as the leading `put_*` calls of the encode arm.
+fn check_field_order(
+    row: &TagRow,
+    tag: &Const,
+    kind: &str,
+    push: &mut impl FnMut(usize, String),
+    file: &SourceFile,
+) {
+    let expected = payload_kinds(&row.payload);
+    let variant = format!(
+        "{}::{}",
+        if kind == "request" {
+            "Request"
+        } else {
+            "Response"
+        },
+        normalize_to_variant(&row.name)
+    );
+    let Some((arm_line, arm_text)) = find_encode_arm(file, &variant) else {
+        return;
+    };
+    if arm_text.contains("encode(") || arm_text.contains("encode_result(") {
+        return; // delegated encodings are opaque to the scan
+    }
+    let actual = put_calls(&arm_text);
+    if row.payload.trim() == "empty" && !actual.is_empty() {
+        push(
+            arm_line,
+            format!("`{variant}` is documented as an empty payload but encodes fields"),
+        );
+        return;
+    }
+    // Every documented field kind must appear in order (extra puts in
+    // between — e.g. per-element writes of a documented list — are
+    // fine).
+    let mut pos = 0usize;
+    for kind_name in &expected {
+        match actual[pos..].iter().position(|a| a == kind_name) {
+            Some(p) => pos += p + 1,
+            None => {
+                push(
+                    arm_line,
+                    format!(
+                        "`{variant}` encodes fields out of order: documented payload is `{}` \
+                         but the arm's put-calls are [{}] (tag {:#04x}, const `{}`)",
+                        row.payload,
+                        actual.join(", "),
+                        row.value,
+                        tag.name
+                    ),
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// `ObjectList` stays `ObjectList`; `StatsReply` → the enum variant
+/// is found by prefix matching inside `find_encode_arm`.
+fn normalize_to_variant(doc_name: &str) -> String {
+    doc_name.trim().to_string()
+}
+
+/// Finds the encode match arm for `variant` (e.g. `Request::Query`):
+/// a non-test line containing the variant path and `=>`. Returns the
+/// arm's text through its closing brace (or the single line).
+fn find_encode_arm(file: &SourceFile, variant: &str) -> Option<(usize, String)> {
+    let lines = file.scrubbed_lines();
+    // The doc name may be longer than the variant (`StatsReply` vs
+    // `Stats`), so accept a variant path that is a prefix-compatible
+    // match.
+    let (enum_name, doc_variant) = variant.split_once("::")?;
+    for (idx, line) in lines.iter().enumerate() {
+        if file.is_test_line(idx + 1) || !line.contains("=>") {
+            continue;
+        }
+        let Some(col) = line.find(&format!("{enum_name}::")) else {
+            continue;
+        };
+        let after = &line[col + enum_name.len() + 2..];
+        let arm_variant: String = after
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if arm_variant.is_empty() || !names_compatible(&arm_variant, doc_variant) {
+            continue;
+        }
+        // Single-line arm or braced arm?
+        let mut text = String::from(*line);
+        if line.trim_end().ends_with('{') {
+            let mut depth = 1i32;
+            for l in lines.iter().skip(idx + 1) {
+                text.push('\n');
+                text.push_str(l);
+                depth += l.matches('{').count() as i32 - l.matches('}').count() as i32;
+                if depth <= 0 {
+                    break;
+                }
+            }
+        }
+        return Some((idx + 1, text));
+    }
+    None
+}
+
+/// Maps a documented payload cell to the expected sequence of put
+/// kinds: each backticked `field: type` item contributes its leading
+/// primitive.
+fn payload_kinds(payload: &str) -> Vec<String> {
+    let mut kinds = Vec::new();
+    let mut rest = payload;
+    while let Some(start) = rest.find('`') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('`') else { break };
+        let item = &after[..end];
+        rest = &after[end + 1..];
+        // `name: type…` items drop the field name; items that *start*
+        // with a type (`u32 count + …`) are scanned whole.
+        let spec = match item.split_once(':') {
+            Some((name, t)) if !name.contains(' ') && !name.contains('(') => t,
+            _ => item,
+        };
+        if let Some(kind) = spec.split_whitespace().find_map(|tok| {
+            let tok = tok.trim_matches(|c: char| !c.is_ascii_alphanumeric());
+            match tok {
+                "str" => Some("put_str"),
+                "u16" => Some("put_u16"),
+                "u32" => Some("put_u32"),
+                "u64" => Some("put_u64"),
+                "i64" => Some("put_i64"),
+                _ => None,
+            }
+        }) {
+            kinds.push(kind.to_string());
+        }
+    }
+    kinds
+}
+
+/// The ordered `put_*` calls appearing in an arm's text.
+fn put_calls(arm: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = arm[from..].find("put_") {
+        let start = from + rel;
+        let name_end = arm[start..]
+            .find('(')
+            .map(|p| start + p)
+            .unwrap_or(arm.len());
+        // Must be a call, not part of a longer identifier.
+        let is_call = name_end < arm.len()
+            && ident_ending_at(arm, start).is_empty()
+            && arm[start..name_end]
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_');
+        if is_call {
+            out.push(arm[start..name_end].to_string());
+        }
+        from = start + 4;
+    }
+    out
+}
+
+/// Cross-checks the error-code table against `to_u16` and `Display`.
+fn check_error_codes(rows: &[CodeRow], file: &SourceFile, push: &mut impl FnMut(usize, String)) {
+    if rows.is_empty() {
+        return;
+    }
+    // variant → numeric code, from `ErrorCode::X => N,` arms.
+    let mut to_u16: Vec<(String, u16, usize)> = Vec::new();
+    // variant → wire name, from `ErrorCode::X => "NAME",` arms.
+    let mut display: Vec<(String, String)> = Vec::new();
+    for (idx, line) in file.code.lines().enumerate() {
+        let t = line.trim();
+        let Some(rest) = t.strip_prefix("ErrorCode::") else {
+            continue;
+        };
+        let Some((variant, rhs)) = rest.split_once("=>") else {
+            continue;
+        };
+        let variant = variant.trim().to_string();
+        let rhs = rhs.trim().trim_end_matches(',').trim();
+        if let Some(name) = rhs.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
+            display.push((variant, name.to_string()));
+        } else if let Ok(n) = rhs.parse::<u16>() {
+            to_u16.push((variant, n, idx + 1));
+        }
+    }
+    if to_u16.is_empty() {
+        return;
+    }
+    for row in rows {
+        let Some((variant, _, _)) = to_u16.iter().find(|(_, n, _)| *n == row.code) else {
+            push(
+                row.line,
+                format!(
+                    "documented error code {} ({}) is not produced by `ErrorCode::to_u16`",
+                    row.code, row.name
+                ),
+            );
+            continue;
+        };
+        match display.iter().find(|(v, _)| v == variant) {
+            Some((_, wire_name)) if *wire_name != row.name => push(
+                row.line,
+                format!(
+                    "error code {} is documented as `{}` but `ErrorCode::{variant}` displays \
+                     as `{wire_name}`",
+                    row.code, row.name
+                ),
+            ),
+            _ => {}
+        }
+    }
+    for (variant, code, line) in &to_u16 {
+        if !rows.iter().any(|r| r.code == *code) {
+            push(
+                *line,
+                format!("`ErrorCode::{variant}` = {code} is missing from the error-code table"),
+            );
+        }
+    }
+}

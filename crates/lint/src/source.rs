@@ -1,0 +1,482 @@
+//! Lexical source model shared by every rule.
+//!
+//! The build environment is offline — no `syn`, no `rustc` internals —
+//! so the rules work on a scrubbed view of each file produced by a
+//! small hand-rolled lexer. The lexer walks the file once, tracking
+//! string/char/comment state, and produces:
+//!
+//! * `code` — the source with comments blanked (string literals kept),
+//! * `scrubbed` — comments *and* literal contents blanked, so token
+//!   scans cannot be fooled by `"panic!(…)"` inside a string or a doc
+//!   example,
+//! * per-line comment text, for `// lint:allow` pragmas and
+//!   `// SAFETY:` comments,
+//! * per-line `in_test` flags from `#[cfg(test)]`/`#[test]` spans and
+//!   `tests/`/`benches/`/`examples/` paths.
+//!
+//! Blanking preserves byte positions and line structure, so a finding's
+//! line number always refers to the original file.
+
+/// One analyzed file.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Original text.
+    pub raw: String,
+    /// Comments blanked; string literals kept.
+    pub code: String,
+    /// Comments blanked and string/char literal contents blanked.
+    pub scrubbed: String,
+    /// Comment text found on each line (0-indexed by line).
+    pub comments: Vec<String>,
+    /// Whether each line is test-only code.
+    pub in_test: Vec<bool>,
+    /// Parsed `lint:allow` pragmas.
+    pub pragmas: Vec<Pragma>,
+}
+
+/// An inline `// lint:allow(<rule>): <reason>` escape hatch.
+pub struct Pragma {
+    /// The rule being allowed.
+    pub rule: String,
+    /// 1-indexed line the pragma comment sits on.
+    pub line: usize,
+    /// 1-indexed line the pragma applies to: its own line for a
+    /// trailing comment, otherwise the next line carrying code.
+    pub applies_to: usize,
+    /// Whether a non-empty reason followed the rule name.
+    pub has_reason: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+impl SourceFile {
+    /// Lexes `raw` into the scrubbed views.
+    pub fn parse(path: &str, raw: &str) -> SourceFile {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut code: Vec<char> = Vec::with_capacity(chars.len());
+        let mut scrubbed: Vec<char> = Vec::with_capacity(chars.len());
+        let n_lines = raw.lines().count().max(1);
+        let mut comments = vec![String::new(); n_lines];
+        let mut line = 0usize;
+
+        let mut state = State::Normal;
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied().unwrap_or('\0');
+            if c == '\n' {
+                if state == State::LineComment {
+                    state = State::Normal;
+                }
+                code.push('\n');
+                scrubbed.push('\n');
+                line += 1;
+                i += 1;
+                continue;
+            }
+            match state {
+                State::Normal => {
+                    if c == '/' && next == '/' {
+                        state = State::LineComment;
+                        comments[line].push(c);
+                        code.push(' ');
+                        scrubbed.push(' ');
+                    } else if c == '/' && next == '*' {
+                        state = State::BlockComment(1);
+                        comments[line].push(c);
+                        code.push(' ');
+                        scrubbed.push(' ');
+                    } else if let Some(hashes) = raw_string_start(&chars, i) {
+                        // Emit the prefix (r/br + hashes + quote) as-is
+                        // in `code`, blanked in `scrubbed`.
+                        let prefix_len = raw_prefix_len(&chars, i);
+                        for &p in chars.iter().skip(i).take(prefix_len) {
+                            code.push(p);
+                            scrubbed.push(' ');
+                        }
+                        i += prefix_len;
+                        state = State::RawStr(hashes);
+                        continue;
+                    } else if c == '"' || (c == 'b' && next == '"' && !ident_before(&chars, i)) {
+                        if c == 'b' {
+                            code.push('b');
+                            scrubbed.push(' ');
+                            code.push('"');
+                            scrubbed.push(' ');
+                            i += 2;
+                        } else {
+                            code.push('"');
+                            scrubbed.push(' ');
+                            i += 1;
+                        }
+                        state = State::Str;
+                        continue;
+                    } else if c == '\'' && is_char_literal(&chars, i) {
+                        code.push('\'');
+                        scrubbed.push(' ');
+                        state = State::Char;
+                    } else if c == 'b' && next == '\'' && !ident_before(&chars, i) {
+                        code.push('b');
+                        scrubbed.push(' ');
+                        code.push('\'');
+                        scrubbed.push(' ');
+                        i += 2;
+                        state = State::Char;
+                        continue;
+                    } else {
+                        code.push(c);
+                        scrubbed.push(c);
+                    }
+                }
+                State::LineComment => {
+                    comments[line].push(c);
+                    code.push(' ');
+                    scrubbed.push(' ');
+                }
+                State::BlockComment(depth) => {
+                    comments[line].push(c);
+                    code.push(' ');
+                    scrubbed.push(' ');
+                    if c == '/' && next == '*' {
+                        state = State::BlockComment(depth + 1);
+                        comments[line].push(next);
+                        code.push(' ');
+                        scrubbed.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if c == '*' && next == '/' {
+                        comments[line].push(next);
+                        code.push(' ');
+                        scrubbed.push(' ');
+                        state = if depth > 1 {
+                            State::BlockComment(depth - 1)
+                        } else {
+                            State::Normal
+                        };
+                        i += 2;
+                        continue;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        code.push(c);
+                        scrubbed.push(' ');
+                        if next != '\n' {
+                            code.push(next);
+                            scrubbed.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                    } else if c == '"' {
+                        code.push('"');
+                        scrubbed.push(' ');
+                        state = State::Normal;
+                    } else {
+                        code.push(c);
+                        scrubbed.push(' ');
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' && raw_string_ends(&chars, i, hashes) {
+                        for k in 0..=(hashes as usize) {
+                            if let Some(&p) = chars.get(i + k) {
+                                code.push(p);
+                                scrubbed.push(' ');
+                            }
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Normal;
+                        continue;
+                    }
+                    code.push(c);
+                    scrubbed.push(' ');
+                }
+                State::Char => {
+                    if c == '\\' && next != '\n' {
+                        code.push(c);
+                        scrubbed.push(' ');
+                        code.push(next);
+                        scrubbed.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if c == '\'' {
+                        code.push('\'');
+                        scrubbed.push(' ');
+                        state = State::Normal;
+                    } else {
+                        code.push(c);
+                        scrubbed.push(' ');
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        let code: String = code.into_iter().collect();
+        let scrubbed: String = scrubbed.into_iter().collect();
+        let in_test = test_spans(path, &scrubbed, n_lines);
+        let pragmas = parse_pragmas(&comments, &scrubbed);
+        SourceFile {
+            path: path.to_string(),
+            raw: raw.to_string(),
+            code,
+            scrubbed,
+            comments,
+            in_test,
+            pragmas,
+        }
+    }
+
+    /// 1-indexed scrubbed lines.
+    pub fn scrubbed_lines(&self) -> Vec<&str> {
+        self.scrubbed.lines().collect()
+    }
+
+    /// True if a pragma allows `rule` on 1-indexed `line`.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.pragmas
+            .iter()
+            .any(|p| p.rule == rule && p.has_reason && (p.applies_to == line || p.line == line))
+    }
+
+    /// True if 1-indexed `line` is test-only code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.in_test
+            .get(line.wrapping_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+/// Is `chars[i]` the quote-or-prefix start of a raw string? Returns
+/// the hash count if so.
+fn raw_string_start(chars: &[char], i: usize) -> Option<u32> {
+    let c = chars[i];
+    let mut j = i;
+    if c == 'b' {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    if ident_before(chars, i) {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Length of the `r#*"` / `br#*"` prefix starting at `i`.
+fn raw_prefix_len(chars: &[char], i: usize) -> usize {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // r
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    j + 1 - i // closing quote
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` hashes?
+fn raw_string_ends(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Is the previous character part of an identifier (so `r`/`b` here is
+/// the tail of a name, not a literal prefix)?
+fn ident_before(chars: &[char], i: usize) -> bool {
+    i > 0
+        && chars
+            .get(i - 1)
+            .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+}
+
+/// Is the `'` at `i` a char literal (vs a lifetime)?
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(c) if c.is_alphanumeric() || *c == '_' => chars.get(i + 2) == Some(&'\''),
+        Some('\'') => false, // '' is not valid either way
+        Some(_) => true,     // e.g. '(' — punctuation char literal
+        None => false,
+    }
+}
+
+/// Marks lines inside `#[cfg(test)]` / `#[test]` item spans, plus
+/// whole files under test-only directory roots.
+fn test_spans(path: &str, scrubbed: &str, n_lines: usize) -> Vec<bool> {
+    let mut in_test = vec![false; n_lines];
+    let p = path.replace('\\', "/");
+    if p.split('/')
+        .any(|c| c == "tests" || c == "benches" || c == "examples")
+    {
+        in_test.iter_mut().for_each(|t| *t = true);
+        return in_test;
+    }
+
+    // Byte offset of each attribute occurrence, then brace-match the
+    // item that follows.
+    let bytes = scrubbed.as_bytes();
+    let mut line_of = Vec::with_capacity(bytes.len());
+    let mut ln = 0usize;
+    for &b in bytes {
+        line_of.push(ln);
+        if b == b'\n' {
+            ln += 1;
+        }
+    }
+    for pat in ["#[cfg(test)]", "#[cfg(all(test", "#[test]"] {
+        let mut from = 0usize;
+        while let Some(rel) = scrubbed[from..].find(pat) {
+            let start = from + rel;
+            from = start + pat.len();
+            // Find the opening brace of the annotated item; bail at a
+            // `;` (e.g. `#[cfg(test)] use x;`).
+            let mut j = start + pat.len();
+            let mut open = None;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'{' => {
+                        open = Some(j);
+                        break;
+                    }
+                    b';' => break,
+                    _ => j += 1,
+                }
+            }
+            let Some(open) = open else { continue };
+            let mut depth = 0i32;
+            let mut k = open;
+            while k < bytes.len() {
+                match bytes[k] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let first = line_of.get(start).copied().unwrap_or(0);
+            let last = line_of
+                .get(k.min(bytes.len() - 1))
+                .copied()
+                .unwrap_or(n_lines - 1);
+            for t in in_test.iter_mut().take(last + 1).skip(first) {
+                *t = true;
+            }
+        }
+    }
+    in_test
+}
+
+/// Extracts `lint:allow(<rule>): <reason>` pragmas from comment text.
+fn parse_pragmas(comments: &[String], scrubbed: &str) -> Vec<Pragma> {
+    let scrubbed_lines: Vec<&str> = scrubbed.lines().collect();
+    let mut pragmas = Vec::new();
+    for (idx, comment) in comments.iter().enumerate() {
+        let mut from = 0usize;
+        while let Some(rel) = comment[from..].find("lint:allow(") {
+            let start = from + rel + "lint:allow(".len();
+            from = start;
+            let Some(close) = comment[start..].find(')') else {
+                break;
+            };
+            let rule = comment[start..start + close].trim().to_string();
+            let rest = &comment[start + close + 1..];
+            let has_reason = rest
+                .strip_prefix(':')
+                .map(|r| !r.trim().is_empty())
+                .unwrap_or(false);
+            // Trailing comment applies to its own line; a comment-only
+            // line applies to the next line carrying code.
+            let own_line_has_code = scrubbed_lines
+                .get(idx)
+                .map(|l| !l.trim().is_empty())
+                .unwrap_or(false);
+            let applies_to = if own_line_has_code {
+                idx + 1
+            } else {
+                let mut j = idx + 1;
+                while j < scrubbed_lines.len() && scrubbed_lines[j].trim().is_empty() {
+                    j += 1;
+                }
+                j + 1
+            };
+            pragmas.push(Pragma {
+                rule,
+                line: idx + 1,
+                applies_to,
+                has_reason,
+            });
+        }
+    }
+    pragmas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let a = \"panic!(x)\"; // unwrap() here\nlet b = 'x';\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(!f.scrubbed.contains("panic!"));
+        assert!(!f.scrubbed.contains("unwrap"));
+        assert!(f.code.contains("panic!(x)")); // strings kept in `code`
+        assert!(f.comments[0].contains("unwrap() here"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let s = r#\"un\"wrap()\"#; }\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(!f.scrubbed.contains("wrap"));
+        assert!(f.scrubbed.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn cfg_test_spans_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+    }
+
+    #[test]
+    fn pragma_parsing() {
+        let src = "a(); // lint:allow(panic-freedom): guarded above\n// lint:allow(lock-io): flush on drop\nb();\nc(); // lint:allow(lock-io)\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(f.allowed("panic-freedom", 1));
+        assert!(f.allowed("lock-io", 3));
+        assert!(!f.allowed("lock-io", 4)); // no reason given
+    }
+}

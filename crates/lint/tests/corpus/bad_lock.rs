@@ -1,0 +1,39 @@
+//@ path: crates/server/src/corpus_lock.rs
+//! Corpus: lock-discipline violations. Lines carrying a tilde annotation must
+//! produce exactly that finding.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub queue: Mutex<Vec<u32>>,
+    pub sessions: Mutex<Vec<u32>>,
+}
+
+pub fn io_under_lock(s: &Shared, out: &mut std::net::TcpStream) {
+    let guard = s.sessions.lock();
+    out.write_all(b"hello").ok(); //~ lock-io
+    drop(guard);
+    out.flush().ok();
+}
+
+pub fn inverted_order(s: &Shared) {
+    let outer = s.sessions.lock();
+    let inner = s.queue.lock(); //~ lock-order
+    drop(inner);
+    drop(outer);
+}
+
+pub fn declared_order_is_fine(s: &Shared) {
+    let outer = s.queue.lock();
+    let inner = s.sessions.lock();
+    drop(inner);
+    drop(outer);
+}
+
+pub fn allowed_io(s: &Shared, out: &mut std::net::TcpStream) {
+    let guard = s.queue.lock();
+    // lint:allow(lock-io): corpus shows a reasoned allow suppresses the finding
+    out.write_all(b"x").ok();
+    drop(guard);
+}

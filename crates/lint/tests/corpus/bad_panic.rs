@@ -1,0 +1,49 @@
+//@ path: crates/core/src/corpus_panic.rs
+//! Corpus: panic paths the `panic-freedom` rule must flag. Lines
+//! carrying a tilde annotation must produce exactly that finding.
+
+pub fn unguarded(v: &[u32], i: usize) -> u32 {
+    v[i] //~ panic-freedom
+}
+
+pub fn bad(v: &[u32], n: usize) -> u32 {
+    let first = v.first().unwrap(); //~ panic-freedom
+    let second = v.get(1).expect("has two"); //~ panic-freedom
+    if n > 100 {
+        panic!("too big"); //~ panic-freedom
+    }
+    match n {
+        0 => unreachable!("zero handled"), //~ panic-freedom
+        1 => todo!(), //~ panic-freedom
+        2 => unimplemented!(), //~ panic-freedom
+        _ => {}
+    }
+    first + second
+}
+
+pub fn guarded(v: &[u32], i: usize) -> u32 {
+    if i < v.len() {
+        v[i]
+    } else {
+        0
+    }
+}
+
+pub fn allowed() -> u32 {
+    // lint:allow(panic-freedom): corpus demonstrates a reasoned allow
+    "42".parse::<u32>().unwrap()
+}
+
+pub fn reasonless_pragma_does_not_suppress() -> u32 {
+    // lint:allow(panic-freedom) //~ lint-pragma
+    "7".parse::<u32>().unwrap() //~ panic-freedom
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

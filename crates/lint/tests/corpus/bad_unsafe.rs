@@ -1,0 +1,17 @@
+//@ path: crates/storage/src/corpus_unsafe.rs
+//! Corpus: unsafe-inventory violations. Lines carrying a tilde annotation
+//! must produce exactly that finding.
+
+pub fn missing_safety(p: *const u8) -> u8 {
+    unsafe { *p } //~ unsafe-inventory
+}
+
+pub fn with_safety(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for one byte.
+    unsafe { *p }
+}
+
+pub fn allowed_unsafe(p: *const u8) -> u8 {
+    // lint:allow(unsafe-inventory): corpus demonstrates the escape hatch
+    unsafe { *p }
+}

@@ -1,0 +1,71 @@
+//@ path: crates/server/src/protocol.rs
+//! Corpus: a protocol module whose doc-table spec drifts from the
+//! code. Lines carrying a tilde annotation must produce exactly that finding.
+//!
+//! # Request frames
+//!
+//! | tag | name | payload |
+//! |-----|------|---------|
+//! | 0x01 | `Query` | `sql: str` |
+//! | 0x02 | `Ping` | empty | //~ wire-spec
+//!
+//! # Response frames
+//!
+//! | tag | name | payload |
+//! |-----|------|---------|
+//! | 0x81 | `Pong` | empty |
+//!
+//! # Error codes
+//!
+//! | code | name | meaning |
+//! |------|------|---------|
+//! | 1 | `BAD_QUERY` | malformed query |
+//! | 2 | `INTERNAL` | invariant violated | //~ wire-spec
+//! | 3 | `GONE` | never produced | //~ wire-spec
+
+pub const REQ_QUERY: u8 = 0x01;
+pub const RESP_RESULT: u8 = 0x81; //~ wire-spec
+pub const RESP_EXTRA: u8 = 0x99; //~ wire-spec
+pub const RESP_DEBUG: u8 = 0xFE; // lint:allow(wire-spec): internal-only debugging tag, not part of the public spec
+
+pub enum Request {
+    Query { sql: String },
+}
+
+pub enum ErrorCode {
+    BadQuery,
+    Internal,
+    Shutdown,
+}
+
+impl Request {
+    pub fn emit(&self, buf: &mut Vec<u8>) {
+        match self {
+            Request::Query { sql } => { //~ wire-spec
+                put_u32(buf, sql.len() as u32);
+            }
+        }
+    }
+}
+
+impl ErrorCode {
+    pub fn to_u16(&self) -> u16 {
+        match self {
+            ErrorCode::BadQuery => 1,
+            ErrorCode::Internal => 2,
+            ErrorCode::Shutdown => 7, //~ wire-spec
+        }
+    }
+
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            ErrorCode::BadQuery => "BAD_QUERY",
+            ErrorCode::Internal => "OOPS",
+            ErrorCode::Shutdown => "SHUTDOWN",
+        }
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}

@@ -1,0 +1,7 @@
+//@ path: crates/demo/src/lib.rs
+//! Corpus: a crate root for an unsafe-free package that is missing
+//! `#![forbid(unsafe_code)]`. The finding anchors at line 1, where
+//! the path directive sits, so the integration test asserts it
+//! explicitly rather than via a tilde annotation.
+
+pub fn noop() {}

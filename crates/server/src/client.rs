@@ -63,6 +63,23 @@ impl ClientError {
             _ => None,
         }
     }
+
+    /// True when the failure means no server was reachable at all
+    /// (connection refused, timed out, host/network unreachable) as
+    /// opposed to a server that answered but misbehaved. Callers use
+    /// this to pick exit codes: retrying an unreachable address may
+    /// help, retrying a protocol violation will not.
+    pub fn is_unreachable(&self) -> bool {
+        match self {
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::AddrNotAvailable
+            ),
+            ClientError::Protocol(_) | ClientError::Server { .. } => false,
+        }
+    }
 }
 
 /// A blocking connection to a `molap-server`.
@@ -167,5 +184,28 @@ impl ServerClient {
                 "expected shutdown acknowledgment, got {other:?}"
             ))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unreachable_classification() {
+        let refused = ClientError::Io(io::Error::from(io::ErrorKind::ConnectionRefused));
+        let timeout = ClientError::Io(io::Error::from(io::ErrorKind::TimedOut));
+        let reset = ClientError::Io(io::Error::from(io::ErrorKind::ConnectionReset));
+        let protocol = ClientError::Protocol("bad magic".into());
+        let server = ClientError::Server {
+            code: ErrorCode::Internal,
+            message: "boom".into(),
+        };
+        assert!(refused.is_unreachable());
+        assert!(timeout.is_unreachable());
+        // A reset mid-conversation means a server *was* there.
+        assert!(!reset.is_unreachable());
+        assert!(!protocol.is_unreachable());
+        assert!(!server.is_unreachable());
     }
 }

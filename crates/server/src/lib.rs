@@ -29,6 +29,12 @@
 //! handle.shutdown();
 //! ```
 
+#![forbid(unsafe_code)]
+// Panic-freedom is enforced twice: molap-lint's `panic-freedom` rule in
+// CI scripts, and clippy's lints for anyone running `cargo clippy`.
+// Tests are exempt (unwrap in a test is the assertion).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod client;
 pub mod metrics;
 pub mod protocol;

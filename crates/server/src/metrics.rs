@@ -288,6 +288,63 @@ mod tests {
     }
 
     #[test]
+    fn zero_duration_lands_in_bucket_zero() {
+        let m = ServerMetrics::new();
+        m.query_ok(Duration::ZERO);
+        let snap = m.snapshot(IoSnapshot::default());
+        assert_eq!(snap.latency_histogram[0], 1);
+        assert_eq!(snap.latency_histogram[1..].iter().sum::<u64>(), 0);
+        assert_eq!(snap.latency_micros_total, 0);
+        assert_eq!(snap.mean_latency_micros(), 0);
+    }
+
+    #[test]
+    fn extreme_latencies_clamp_into_the_open_top_bucket() {
+        let m = ServerMetrics::new();
+        // First duration of the top bucket, last duration of the bucket
+        // below it, and a latency whose microseconds exceed u64.
+        m.query_ok(Duration::from_micros(1 << (LATENCY_BUCKETS - 1)));
+        m.query_ok(Duration::from_micros((1 << (LATENCY_BUCKETS - 1)) - 1));
+        m.query_ok(Duration::MAX);
+        let snap = m.snapshot(IoSnapshot::default());
+        assert_eq!(snap.latency_histogram[LATENCY_BUCKETS - 1], 2);
+        assert_eq!(snap.latency_histogram[LATENCY_BUCKETS - 2], 1);
+        assert_eq!(snap.queries_ok, 3);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_samples() {
+        let m = std::sync::Arc::new(ServerMetrics::new());
+        let threads = 8u64;
+        let per_thread = 1000u64;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    m.query_ok(Duration::from_micros(i % 1024));
+                    m.add_bytes_in(1);
+                    if t % 2 == 0 {
+                        m.session_opened();
+                        m.session_closed();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("metrics thread");
+        }
+        let snap = m.snapshot(IoSnapshot::default());
+        assert_eq!(snap.queries_ok, threads * per_thread);
+        assert_eq!(
+            snap.latency_histogram.iter().sum::<u64>(),
+            threads * per_thread
+        );
+        assert_eq!(snap.bytes_in, threads * per_thread);
+        assert_eq!(snap.active_sessions, 0);
+    }
+
+    #[test]
     fn session_gauge_tracks_open_close() {
         let m = ServerMetrics::new();
         m.session_opened();

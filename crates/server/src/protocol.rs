@@ -285,19 +285,27 @@ impl<'a> Cursor<'a> {
     }
 
     pub(crate) fn u16(&mut self) -> Result<u16, ProtocolError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        let mut b = [0u8; 2];
+        b.copy_from_slice(self.take(2)?);
+        Ok(u16::from_le_bytes(b))
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32, ProtocolError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(b))
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64, ProtocolError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(b))
     }
 
     pub(crate) fn i64(&mut self) -> Result<i64, ProtocolError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(i64::from_le_bytes(b))
     }
 
     pub(crate) fn str(&mut self) -> Result<String, ProtocolError> {
@@ -360,14 +368,14 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>, usize)>, Pro
             Err(e) => return Err(ProtocolError::Io(e)),
         }
     }
-    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
     if magic != MAGIC {
         return Err(ProtocolError::Corrupt(format!("bad magic {magic:#010x}")));
     }
     if header[4] != VERSION {
         return Err(ProtocolError::UnsupportedVersion(header[4]));
     }
-    let len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+    let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
     if len > MAX_PAYLOAD {
         return Err(ProtocolError::Corrupt(format!(
             "payload length {len} exceeds cap"
@@ -383,7 +391,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>, usize)>, Pro
 const REQ_QUERY: u8 = 0x01;
 const REQ_PING: u8 = 0x02;
 const REQ_STATS: u8 = 0x03;
-const REQ_LIST: u8 = 0x04;
+const REQ_LIST_OBJECTS: u8 = 0x04;
 const REQ_SHUTDOWN: u8 = 0x05;
 
 impl Request {
@@ -401,7 +409,7 @@ impl Request {
             }
             Request::Ping => (REQ_PING, Vec::new()),
             Request::Stats => (REQ_STATS, Vec::new()),
-            Request::ListObjects => (REQ_LIST, Vec::new()),
+            Request::ListObjects => (REQ_LIST_OBJECTS, Vec::new()),
             Request::Shutdown => (REQ_SHUTDOWN, Vec::new()),
         }
     }
@@ -418,7 +426,7 @@ impl Request {
             }
             REQ_PING => Request::Ping,
             REQ_STATS => Request::Stats,
-            REQ_LIST => Request::ListObjects,
+            REQ_LIST_OBJECTS => Request::ListObjects,
             REQ_SHUTDOWN => Request::Shutdown,
             other => {
                 return Err(ProtocolError::Corrupt(format!(
@@ -433,12 +441,12 @@ impl Request {
 
 // ---------------------------------------------------------- responses
 
-const RESP_RESULT: u8 = 0x81;
+const RESP_RESULT_SET: u8 = 0x81;
 const RESP_PONG: u8 = 0x82;
-const RESP_STATS: u8 = 0x83;
-const RESP_OBJECTS: u8 = 0x84;
+const RESP_STATS_REPLY: u8 = 0x83;
+const RESP_OBJECT_LIST: u8 = 0x84;
 const RESP_ERROR: u8 = 0x85;
-const RESP_SHUTDOWN: u8 = 0x86;
+const RESP_SHUTDOWN_STARTED: u8 = 0x86;
 
 fn put_agg_value(out: &mut Vec<u8>, v: &AggValue) {
     match *v {
@@ -515,13 +523,13 @@ impl Response {
             Response::ResultSet(result) => {
                 let mut out = Vec::new();
                 encode_result(result, &mut out);
-                (RESP_RESULT, out)
+                (RESP_RESULT_SET, out)
             }
             Response::Pong => (RESP_PONG, Vec::new()),
             Response::Stats(snapshot) => {
                 let mut out = Vec::new();
                 snapshot.encode(&mut out);
-                (RESP_STATS, out)
+                (RESP_STATS_REPLY, out)
             }
             Response::Objects(objects) => {
                 let mut out = Vec::new();
@@ -530,7 +538,7 @@ impl Response {
                     put_str(&mut out, name);
                     put_str(&mut out, kind);
                 }
-                (RESP_OBJECTS, out)
+                (RESP_OBJECT_LIST, out)
             }
             Response::Error { code, message } => {
                 let mut out = Vec::new();
@@ -538,7 +546,7 @@ impl Response {
                 put_str(&mut out, message);
                 (RESP_ERROR, out)
             }
-            Response::ShutdownStarted => (RESP_SHUTDOWN, Vec::new()),
+            Response::ShutdownStarted => (RESP_SHUTDOWN_STARTED, Vec::new()),
         }
     }
 
@@ -546,10 +554,10 @@ impl Response {
     pub fn decode(frame_type: u8, payload: &[u8]) -> Result<Self, ProtocolError> {
         let mut c = Cursor::new(payload);
         let resp = match frame_type {
-            RESP_RESULT => Response::ResultSet(decode_result(&mut c)?),
+            RESP_RESULT_SET => Response::ResultSet(decode_result(&mut c)?),
             RESP_PONG => Response::Pong,
-            RESP_STATS => Response::Stats(MetricsSnapshot::decode(&mut c)?),
-            RESP_OBJECTS => {
+            RESP_STATS_REPLY => Response::Stats(MetricsSnapshot::decode(&mut c)?),
+            RESP_OBJECT_LIST => {
                 let n = c.u32()? as usize;
                 let mut objects = Vec::with_capacity(n.min(1 << 16));
                 for _ in 0..n {
@@ -563,7 +571,7 @@ impl Response {
                 code: ErrorCode::from_u16(c.u16()?)?,
                 message: c.str()?,
             },
-            RESP_SHUTDOWN => Response::ShutdownStarted,
+            RESP_SHUTDOWN_STARTED => Response::ShutdownStarted,
             other => {
                 return Err(ProtocolError::Corrupt(format!(
                     "unknown response frame type {other:#04x}"
@@ -581,6 +589,7 @@ pub fn error_code_for(err: &molap_core::Error) -> ErrorCode {
         molap_core::Error::Query(_) => ErrorCode::QueryError,
         molap_core::Error::Data(_) => ErrorCode::DataError,
         molap_core::Error::Storage(_) | molap_core::Error::Array(_) => ErrorCode::StorageError,
+        molap_core::Error::Internal(_) => ErrorCode::Internal,
     }
 }
 

@@ -328,9 +328,23 @@ fn supervise(listener: TcpListener, shared: Arc<Shared>, workers: Vec<JoinHandle
     for w in workers {
         let _ = w.join();
     }
-    // Unblock sessions parked in read_frame and wait for them.
-    for (_, stream) in shared.sessions.lock().drain() {
-        let _ = stream.shutdown(std::net::Shutdown::Both);
+    // Unblock sessions parked in read_frame and wait for them. The
+    // streams are drained out of the lock first: shutdown() can block
+    // on the socket, and session threads still take this lock to
+    // deregister themselves. Only the read half is shut down: a worker
+    // may have handed its final response to a session thread that has
+    // not yet written it, and killing the write half here would race
+    // that delivery (the drain contract promises in-flight queries
+    // deliver their results). The session sees EOF on its next read,
+    // exits, and drops the stream, closing the write half.
+    let streams: Vec<_> = shared
+        .sessions
+        .lock()
+        .drain()
+        .map(|(_, stream)| stream)
+        .collect();
+    for stream in streams {
+        let _ = stream.shutdown(std::net::Shutdown::Read);
     }
     for h in session_threads {
         let _ = h.join();

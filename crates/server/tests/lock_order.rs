@@ -1,0 +1,64 @@
+//! Runtime lock-order detector demonstration (requires
+//! `--features lock-order-tracking`).
+//!
+//! Seeds an intentional ABBA cycle across two mutexes and asserts the
+//! tracker panics at the *second* acquisition of the inverted pair,
+//! reporting the `#[track_caller]` acquisition sites of both edges —
+//! i.e. the deadlock is diagnosed deterministically, without needing
+//! two threads to actually interleave into it.
+
+#![cfg(feature = "lock-order-tracking")]
+
+use parking_lot::Mutex;
+
+#[test]
+fn abba_cycle_is_detected_with_both_sites() {
+    let account = Mutex::new(100_i64);
+    let audit_log = Mutex::new(Vec::<String>::new());
+
+    // Establish the order account -> audit_log. Note the line of the
+    // inner acquisition: it must appear in the panic report.
+    {
+        let balance = account.lock();
+        audit_log.lock().push(format!("balance {}", *balance)); // line 23: account -> audit_log
+    }
+
+    // Invert it: audit_log -> account. The tracker must panic at the
+    // `account.lock()` below rather than let a concurrent schedule
+    // deadlock.
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let log = audit_log.lock();
+        let _balance = account.lock(); // line 31: the inverted edge
+        drop(log);
+    }))
+    .expect_err("inverted acquisition order must panic under lock-order-tracking");
+
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+
+    assert!(msg.contains("lock-order cycle"), "unexpected panic: {msg}");
+    // Both acquisition sites of the new inverted edge…
+    assert!(
+        msg.contains("lock_order.rs:31") && msg.contains("lock_order.rs:30"),
+        "inverted-edge sites missing from report: {msg}"
+    );
+    // …and the site that recorded the original account -> audit_log edge.
+    assert!(
+        msg.contains("lock_order.rs:23"),
+        "established-edge site missing from report: {msg}"
+    );
+}
+
+#[test]
+fn consistent_nesting_stays_quiet() {
+    let outer = Mutex::new(0);
+    let inner = Mutex::new(0);
+    for i in 0..4 {
+        let mut o = outer.lock();
+        *inner.lock() += i;
+        *o += i;
+    }
+}

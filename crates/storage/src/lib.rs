@@ -43,6 +43,12 @@
 //! assert_eq!(page.len(), PAGE_SIZE);
 //! ```
 
+#![forbid(unsafe_code)]
+// Panic-freedom is enforced twice: molap-lint's `panic-freedom` rule in
+// CI scripts, and clippy's lints for anyone running `cargo clippy`.
+// Tests are exempt (unwrap in a test is the assertion).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod disk;
 mod error;
 mod lob;

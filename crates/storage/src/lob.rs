@@ -174,7 +174,9 @@ impl LobStore {
             pack.allocated_pages += self.extent_pages;
             pack.extent = Some((base, self.extent_pages, 0, 0));
         }
-        let (base, pages, used, init) = pack.extent.unwrap();
+        let (base, pages, used, init) = pack.extent.ok_or(StorageError::Corrupt(
+            "LOB pack extent missing after refill",
+        ))?;
         let start = base.offset(used / PAGE_SIZE as u64);
         let byte_off = (used % PAGE_SIZE as u64) as u32;
         let fresh_from = base.offset(init);

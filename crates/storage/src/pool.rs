@@ -151,10 +151,18 @@ impl BufferPool {
         self.disk.allocate_contiguous(n)
     }
 
+    /// The frame at `idx`; `pin_frame` only hands out indices below
+    /// capacity, so the lookup failing means pool-state corruption.
+    fn frame(&self, idx: usize) -> Result<&Frame> {
+        self.frames
+            .get(idx)
+            .ok_or(StorageError::Corrupt("buffer frame index out of range"))
+    }
+
     /// Fetches page `pid` for reading.
     pub fn fetch(&self, pid: PageId) -> Result<PageRef<'_>> {
         let idx = self.pin_frame(pid, false)?;
-        let guard = self.frames[idx].data.read();
+        let guard = self.frame(idx)?.data.read();
         debug_assert_eq!(guard.pid, Some(pid));
         Ok(PageRef {
             pool: self,
@@ -166,7 +174,7 @@ impl BufferPool {
     /// Fetches page `pid` for writing; the frame is marked dirty.
     pub fn fetch_mut(&self, pid: PageId) -> Result<PageMut<'_>> {
         let idx = self.pin_frame(pid, false)?;
-        let mut guard = self.frames[idx].data.write();
+        let mut guard = self.frame(idx)?.data.write();
         debug_assert_eq!(guard.pid, Some(pid));
         guard.dirty = true;
         Ok(PageMut {
@@ -183,7 +191,7 @@ impl BufferPool {
     /// the old contents are silently discarded.
     pub fn create_page(&self, pid: PageId) -> Result<PageMut<'_>> {
         let idx = self.pin_frame(pid, true)?;
-        let mut guard = self.frames[idx].data.write();
+        let mut guard = self.frame(idx)?.data.write();
         debug_assert_eq!(guard.pid, Some(pid));
         guard.dirty = true;
         Ok(PageMut {
@@ -204,6 +212,7 @@ impl BufferPool {
                 let fd = frame.data.read();
                 if fd.dirty {
                     if let Some(pid) = fd.pid {
+                        // lint:allow(lock-io): flushing is a latch-coupled batch by design; the state lock must block remapping while the journal is written
                         wal.log_page(pid, &fd.buf)?;
                     }
                 }
@@ -214,6 +223,7 @@ impl BufferPool {
             let mut fd = frame.data.write();
             if fd.dirty {
                 if let Some(pid) = fd.pid {
+                    // lint:allow(lock-io): dirty write-back under the frame latch is the pool's consistency protocol (no remap during flush)
                     self.disk.write_page(pid, &fd.buf)?;
                     self.stats.physical_write();
                 }
@@ -265,9 +275,10 @@ impl BufferPool {
         }
 
         let idx = self.find_victim(&mut state)?;
+        let frame = self.frame(idx)?;
         // Claim the frame before releasing any locks.
-        self.frames[idx].pin.fetch_add(1, Ordering::AcqRel);
-        self.frames[idx].referenced.store(true, Ordering::Release);
+        frame.pin.fetch_add(1, Ordering::AcqRel);
+        frame.referenced.store(true, Ordering::Release);
 
         // Failure discipline: the victim's table entry is only removed
         // after its dirty contents are safely on disk, and the frame is
@@ -275,12 +286,12 @@ impl BufferPool {
         // failing leaves the pool consistent (the dirty page stays
         // cached and reachable; a clean victim is simply dropped) and
         // releases this claim.
-        let mut fd = self.frames[idx].data.write();
+        let mut fd = frame.data.write();
         if let Some(old) = fd.pid {
             if fd.dirty {
                 if let Err(e) = self.write_back(old, &fd.buf, true) {
                     drop(fd);
-                    self.frames[idx].pin.fetch_sub(1, Ordering::AcqRel);
+                    frame.pin.fetch_sub(1, Ordering::AcqRel);
                     return Err(e);
                 }
                 fd.dirty = false;
@@ -290,13 +301,14 @@ impl BufferPool {
         }
         if fresh {
             fd.buf.fill(0);
+        // lint:allow(lock-io): faulting the page in under its freshly claimed frame latch is the pool's remap protocol
         } else if let Err(e) = self.disk.read_page(pid, &mut fd.buf) {
             // The old contents were cleanly persisted above; the frame
             // is now simply empty.
             fd.pid = None;
             fd.dirty = false;
             drop(fd);
-            self.frames[idx].pin.fetch_sub(1, Ordering::AcqRel);
+            frame.pin.fetch_sub(1, Ordering::AcqRel);
             return Err(e);
         } else {
             self.stats.physical_read(pid.0);

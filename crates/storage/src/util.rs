@@ -3,53 +3,71 @@
 //! Every persisted structure in the workspace (B-tree nodes, fact-file
 //! tuples, bitmap segments, array chunk directories) lays integers out
 //! little-endian at computed offsets; these helpers keep that code free
-//! of ad-hoc slicing.
+//! of ad-hoc slicing. Callers own the offset invariant (`off + width
+//! <= buf.len()`); debug builds check it with a named assertion so an
+//! out-of-bounds access fails at the codec, not deep inside `core`.
 
 /// Reads a `u16` at byte offset `off`.
 #[inline]
 pub fn read_u16(buf: &[u8], off: usize) -> u16 {
-    u16::from_le_bytes(buf[off..off + 2].try_into().unwrap())
+    debug_assert!(off + 2 <= buf.len(), "read_u16 past end of buffer");
+    let mut b = [0u8; 2];
+    b.copy_from_slice(&buf[off..off + 2]);
+    u16::from_le_bytes(b)
 }
 
 /// Writes a `u16` at byte offset `off`.
 #[inline]
 pub fn write_u16(buf: &mut [u8], off: usize, v: u16) {
+    debug_assert!(off + 2 <= buf.len(), "write_u16 past end of buffer");
     buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
 }
 
 /// Reads a `u32` at byte offset `off`.
 #[inline]
 pub fn read_u32(buf: &[u8], off: usize) -> u32 {
-    u32::from_le_bytes(buf[off..off + 4].try_into().unwrap())
+    debug_assert!(off + 4 <= buf.len(), "read_u32 past end of buffer");
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[off..off + 4]);
+    u32::from_le_bytes(b)
 }
 
 /// Writes a `u32` at byte offset `off`.
 #[inline]
 pub fn write_u32(buf: &mut [u8], off: usize, v: u32) {
+    debug_assert!(off + 4 <= buf.len(), "write_u32 past end of buffer");
     buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
 }
 
 /// Reads a `u64` at byte offset `off`.
 #[inline]
 pub fn read_u64(buf: &[u8], off: usize) -> u64 {
-    u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+    debug_assert!(off + 8 <= buf.len(), "read_u64 past end of buffer");
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(b)
 }
 
 /// Writes a `u64` at byte offset `off`.
 #[inline]
 pub fn write_u64(buf: &mut [u8], off: usize, v: u64) {
+    debug_assert!(off + 8 <= buf.len(), "write_u64 past end of buffer");
     buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
 }
 
 /// Reads an `i64` at byte offset `off`.
 #[inline]
 pub fn read_i64(buf: &[u8], off: usize) -> i64 {
-    i64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+    debug_assert!(off + 8 <= buf.len(), "read_i64 past end of buffer");
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    i64::from_le_bytes(b)
 }
 
 /// Writes an `i64` at byte offset `off`.
 #[inline]
 pub fn write_i64(buf: &mut [u8], off: usize, v: i64) {
+    debug_assert!(off + 8 <= buf.len(), "write_i64 past end of buffer");
     buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
 }
 

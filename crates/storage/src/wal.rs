@@ -146,8 +146,8 @@ impl Wal {
                 self.file.read_exact_at(&mut header, off)?;
                 self.file.read_exact_at(&mut page, off + 12)?;
             }
-            let pid = u64::from_le_bytes(header[0..8].try_into().unwrap());
-            let crc = u32::from_le_bytes(header[8..12].try_into().unwrap());
+            let pid = crate::util::read_u64(&header, 0);
+            let crc = crate::util::read_u32(&header, 8);
             if record_crc(pid, &page) != crc {
                 // Torn tail: everything before it is valid and replayed.
                 break;

@@ -16,6 +16,24 @@ cargo test -q --workspace --offline
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> molap-lint --check . (repo-specific static analysis)"
+cargo run -q -p molap-lint --offline -- --check .
+
+echo "==> molap-lint --check crates/lint/tests/corpus (must report findings)"
+# The seeded-violation corpus keeps the lint honest: if the rules rot
+# into always-green, this gate fails. Exit 1 means findings; anything
+# else (0 = spuriously clean, 2 = I/O or usage error) is a failure.
+corpus_status=0
+cargo run -q -p molap-lint --offline -- --check crates/lint/tests/corpus \
+  > /dev/null || corpus_status=$?
+if [ "$corpus_status" -ne 1 ]; then
+  echo "verify: expected molap-lint to exit 1 on the seeded corpus, got $corpus_status" >&2
+  exit 1
+fi
+
+echo "==> cargo test -p molap-server --features lock-order-tracking"
+cargo test -q -p molap-server --features lock-order-tracking --offline
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -21,6 +21,13 @@
 //! .quit
 //! SELECT SUM(volume), dim0.h01 FROM sales GROUP BY dim0.h01
 //! ```
+//!
+//! Exit codes: `0` success, `1` runtime failure (e.g. the database
+//! file cannot be opened), `2` usage error, `3` no server reachable at
+//! the `--connect` address (refused/timed out — retrying may help),
+//! `4` a server answered but violated the wire protocol.
+
+#![forbid(unsafe_code)]
 
 use std::io::{BufRead, Write};
 use std::time::Instant;
@@ -96,12 +103,24 @@ fn parse_args(args: &[String]) -> Result<Backend, i32> {
             return Err(2);
         };
         println!("connecting to {addr}");
-        match ServerClient::connect(addr.as_str()) {
+        // Probe with a ping so "a molap-server is draining" and "that
+        // port speaks some other protocol" are caught here, not on the
+        // first command.
+        let probed = ServerClient::connect(addr.as_str()).and_then(|mut client| {
+            client.ping()?;
+            Ok(client)
+        });
+        match probed {
             Ok(client) => Ok(Backend::Remote(client)),
-            Err(e) => {
+            Err(e) if e.is_unreachable() => {
                 eprintln!("molap-cli: cannot connect to {addr}: {e}");
                 eprintln!("molap-cli: is a molap-server running there?");
-                Err(1)
+                Err(3)
+            }
+            Err(e) => {
+                eprintln!("molap-cli: {addr} answered but the handshake failed: {e}");
+                eprintln!("molap-cli: is that endpoint really a molap-server?");
+                Err(4)
             }
         }
     } else {

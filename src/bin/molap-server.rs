@@ -20,6 +20,8 @@
 //! `.shutdown-server` in `molap-cli --connect`); it then drains
 //! in-flight queries, checkpoints, and exits.
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 use molap::array::ChunkFormat;

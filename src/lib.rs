@@ -56,6 +56,8 @@
 //! );
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use molap_array as array;
 pub use molap_bitmap as bitmap;
 pub use molap_btree as btree;

@@ -8,6 +8,8 @@
 //! warm-up, then `sample_size` samples, and reports the median sample
 //! with min/max, plus derived throughput when annotated.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

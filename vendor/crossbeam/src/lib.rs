@@ -6,6 +6,8 @@
 //! outer call returns a `Result`) — implemented over
 //! `std::thread::scope`.
 
+#![forbid(unsafe_code)]
+
 pub mod thread {
     use std::any::Any;
 

@@ -6,48 +6,106 @@
 //! implemented over `std::sync` with parking_lot's *non-poisoning*
 //! semantics: a panic while holding a lock releases it instead of
 //! poisoning it for every later acquirer.
+//!
+//! # `lock-order-tracking`
+//!
+//! With the opt-in `lock-order-tracking` cargo feature, every
+//! *blocking* [`Mutex`] acquisition records a per-thread acquisition
+//! edge (held lock → newly requested lock) into a global lock-order
+//! graph. If a requested edge would close a cycle — the classic ABBA
+//! deadlock shape — the acquiring thread panics *before* blocking,
+//! reporting the acquisition sites (`#[track_caller]` locations) of
+//! both the new inverted edge and the previously recorded edge.
+//!
+//! The tracker is deliberately scoped to `Mutex`: the buffer pool's
+//! per-frame `RwLock` latches are reused for different pages over
+//! time, so frame-latch edges would alias unrelated orderings and
+//! produce false cycles. Frame-latch ordering is instead covered by
+//! the static `molap-lint` lock-discipline rule and the pool's pin
+//! protocol. `try_lock` never blocks and therefore never deadlocks,
+//! so it registers the hold without recording an edge.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
 use std::time::Duration;
 
+#[cfg(feature = "lock-order-tracking")]
+pub mod order;
+
 /// A mutual-exclusion lock that does not poison on panic.
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lock-order-tracking")]
+    order_id: std::sync::atomic::AtomicUsize,
+    inner: std::sync::Mutex<T>,
+}
 
 /// RAII guard returned by [`Mutex::lock`].
-pub struct MutexGuard<'a, T: ?Sized>(std::sync::MutexGuard<'a, T>);
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order-tracking")]
+    _order: order::HeldToken,
+    inner: std::sync::MutexGuard<'a, T>,
+}
 
 impl<T> Mutex<T> {
     /// Creates a new mutex.
     pub const fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            #[cfg(feature = "lock-order-tracking")]
+            order_id: std::sync::atomic::AtomicUsize::new(0),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(self.0.lock().unwrap_or_else(PoisonError::into_inner))
+        MutexGuard {
+            #[cfg(feature = "lock-order-tracking")]
+            _order: order::blocking_acquire(
+                order::lock_id(&self.order_id),
+                std::panic::Location::caller(),
+            ),
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+        }
     }
 
     /// Attempts to acquire the lock without blocking.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard(g)),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard(p.into_inner())),
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard {
+                #[cfg(feature = "lock-order-tracking")]
+                _order: order::nonblocking_acquire(
+                    order::lock_id(&self.order_id),
+                    std::panic::Location::caller(),
+                ),
+                inner: g,
+            }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                #[cfg(feature = "lock-order-tracking")]
+                _order: order::nonblocking_acquire(
+                    order::lock_id(&self.order_id),
+                    std::panic::Location::caller(),
+                ),
+                inner: p.into_inner(),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -69,13 +127,13 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        &mut self.inner
     }
 }
 
@@ -181,6 +239,10 @@ impl Condvar {
     }
 
     /// Blocks until notified, releasing the guard's lock while waiting.
+    ///
+    /// Under `lock-order-tracking` the hold registration is kept for
+    /// the duration of the wait: the thread is parked, so it cannot
+    /// acquire other locks, and on wakeup it holds the mutex again.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         // Temporarily move the std guard out to satisfy the std API.
         replace_guard(guard, |g| {
@@ -221,16 +283,17 @@ impl fmt::Debug for Condvar {
 }
 
 /// Runs `f` on the std guard inside `guard`, replacing it with the
-/// guard `f` returns. Safe because the slot is never observed empty:
-/// `ptr::read` moves the guard out and `ptr::write` installs the
-/// replacement before control returns, and `f` (a condvar wait) does
-/// not unwind into the empty window.
+/// guard `f` returns.
 fn replace_guard<'a, T>(
     guard: &mut MutexGuard<'a, T>,
     f: impl FnOnce(std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T>,
 ) {
+    // SAFETY: the slot is never observed empty. `ptr::read` moves the
+    // std guard out and `ptr::write` installs the replacement before
+    // control returns to the caller, and `f` (a condvar wait with
+    // non-poisoning recovery) does not unwind into the empty window.
     unsafe {
-        let slot = &mut guard.0 as *mut std::sync::MutexGuard<'a, T>;
+        let slot = &mut guard.inner as *mut std::sync::MutexGuard<'a, T>;
         let inner = std::ptr::read(slot);
         std::ptr::write(slot, f(inner));
     }

@@ -1,0 +1,189 @@
+//! Runtime lock-order tracking (the `lock-order-tracking` feature).
+//!
+//! Every live [`crate::Mutex`] gets a process-unique id on first
+//! acquisition. Each thread keeps a stack of the locks it currently
+//! holds; a *blocking* acquisition while holding other locks records
+//! the directed edges `held → requested` into a global graph, each
+//! edge remembering the `#[track_caller]` source locations of the two
+//! acquisitions that established it. Before an edge is inserted the
+//! graph is checked for a path in the opposite direction — if one
+//! exists the new acquisition inverts an established order and two
+//! threads interleaving those paths could deadlock, so the tracker
+//! panics immediately (while the thread can still make progress)
+//! instead of letting the schedule decide.
+//!
+//! Ids are handed out by a monotone counter, never reused, so a
+//! dropped and reallocated `Mutex` cannot alias an old node in the
+//! graph.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+type Site = &'static Location<'static>;
+
+/// The two acquisition sites that established a recorded edge: the
+/// lock already held was taken at `held_at`, the new lock at
+/// `acquired_at`.
+#[derive(Clone, Copy)]
+struct Edge {
+    held_at: Site,
+    acquired_at: Site,
+}
+
+#[derive(Default)]
+struct Graph {
+    /// `(from, to)` → the first pair of sites that established it.
+    edges: HashMap<(usize, usize), Edge>,
+    /// Adjacency view of `edges`, for reachability checks.
+    successors: HashMap<usize, Vec<usize>>,
+}
+
+impl Graph {
+    fn insert(&mut self, from: usize, to: usize, edge: Edge) {
+        if self.edges.insert((from, to), edge).is_none() {
+            self.successors.entry(from).or_default().push(to);
+        }
+    }
+
+    /// Depth-first search for a path `from → … → to`; returns the
+    /// first edge on the path (enough to report where the established
+    /// order came from).
+    fn find_path(&self, from: usize, to: usize) -> Option<(usize, usize)> {
+        let mut stack: Vec<(usize, Option<(usize, usize)>)> = vec![(from, None)];
+        let mut seen = vec![from];
+        while let Some((node, first_edge)) = stack.pop() {
+            for &next in self.successors.get(&node).map_or(&[][..], Vec::as_slice) {
+                let via = first_edge.unwrap_or((node, next));
+                if next == to {
+                    return Some(via);
+                }
+                if !seen.contains(&next) {
+                    seen.push(next);
+                    stack.push((next, Some(via)));
+                }
+            }
+        }
+        None
+    }
+}
+
+static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
+static GRAPH: std::sync::Mutex<Option<Graph>> = std::sync::Mutex::new(None);
+
+thread_local! {
+    /// Stack of locks this thread currently holds.
+    static HELD: RefCell<Vec<(usize, Site)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Returns the lock's process-unique id, assigning one on first use.
+pub(crate) fn lock_id(slot: &AtomicUsize) -> usize {
+    let current = slot.load(Ordering::Relaxed);
+    if current != 0 {
+        return current;
+    }
+    let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    match slot.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => fresh,
+        Err(winner) => winner,
+    }
+}
+
+/// Registered hold of a lock; popped from the thread's stack on drop.
+pub struct HeldToken {
+    id: usize,
+}
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&(id, _)| id == self.id) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// Records edges from every held lock to `id`, panicking if any edge
+/// closes a cycle. Call *before* blocking on the lock, so an inverted
+/// order panics instead of deadlocking when the schedule is unlucky.
+pub(crate) fn blocking_acquire(id: usize, site: Site) -> HeldToken {
+    HELD.with(|held| {
+        let held = held.borrow();
+        if held.is_empty() {
+            return;
+        }
+        let mut graph = GRAPH
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let graph = graph.get_or_insert_with(Graph::default);
+        for &(held_id, held_site) in held.iter() {
+            if held_id == id {
+                continue;
+            }
+            if let Some((via_from, via_to)) = graph.find_path(id, held_id) {
+                let prior = graph.edges[&(via_from, via_to)];
+                panic!(
+                    "lock-order cycle: acquiring lock #{id} at {site} while holding lock \
+                     #{held_id} (acquired at {held_site}) inverts the established order \
+                     #{via_from} -> #{via_to}, recorded when a thread holding the lock \
+                     acquired at {} then acquired the lock at {}",
+                    prior.held_at, prior.acquired_at,
+                );
+            }
+            graph.insert(
+                held_id,
+                id,
+                Edge {
+                    held_at: held_site,
+                    acquired_at: site,
+                },
+            );
+        }
+    });
+    HELD.with(|held| held.borrow_mut().push((id, site)));
+    HeldToken { id }
+}
+
+/// Registers a hold without recording order edges: a `try_lock` never
+/// blocks, so it cannot participate in a deadlock as the *waiting*
+/// side, but locks acquired while it is held still edge from it.
+pub(crate) fn nonblocking_acquire(id: usize, site: Site) -> HeldToken {
+    HELD.with(|held| held.borrow_mut().push((id, site)));
+    HeldToken { id }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Mutex;
+
+    #[test]
+    fn abba_panics_with_both_sites() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // establishes a -> b
+        }
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _gb = b.lock();
+            let _ga = a.lock(); // b -> a closes the cycle
+        }))
+        .expect_err("inverted acquisition must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lock-order cycle"), "got: {msg}");
+        assert!(msg.contains("order.rs"), "sites missing: {msg}");
+    }
+
+    #[test]
+    fn consistent_order_is_fine() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        for _ in 0..2 {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+    }
+}

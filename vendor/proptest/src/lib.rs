@@ -12,6 +12,8 @@
 //! and `prop_assert*` panics immediately instead of returning a
 //! `TestCaseError`.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     use rand::rngs::StdRng;
     use rand::{RngCore, SeedableRng};

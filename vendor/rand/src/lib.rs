@@ -8,6 +8,8 @@
 //! for equal seeds (what the datagen contract requires), though its
 //! streams differ from upstream `rand`'s `StdRng`.
 
+#![forbid(unsafe_code)]
+
 /// A source of random 64-bit words.
 pub trait RngCore {
     /// Returns the next 64 random bits.
