@@ -12,6 +12,7 @@ use std::sync::Arc;
 use molap_storage::util::{read_u32, read_u64, write_u32, write_u64};
 use molap_storage::{BufferPool, LobId, LobStore};
 
+use crate::cache::{shared_chunk_cache, ChunkCache, ChunkKey};
 use crate::chunk::{ChunkBuilder, CompressedChunk, DenseChunk};
 use crate::geometry::Shape;
 use crate::{lzw, ArrayError, Result};
@@ -90,6 +91,15 @@ impl Chunk {
             Chunk::Dense(d) => d.compress(),
         }
     }
+
+    /// Decoded in-memory footprint in bytes — the accounting unit for
+    /// the decoded-chunk cache's byte cap.
+    pub fn decoded_bytes(&self) -> usize {
+        match self {
+            Chunk::Compressed(c) => c.byte_size(),
+            Chunk::Dense(d) => d.byte_size(),
+        }
+    }
 }
 
 /// A chunked n-dimensional array stored on buffer-pool pages.
@@ -99,6 +109,9 @@ pub struct ChunkedArray {
     format: ChunkFormat,
     lobs: LobStore,
     valid_cells: u64,
+    /// Pool-shared decoded-chunk cache; `None` only if the pool's
+    /// extension slot was claimed by a foreign type.
+    cache: Option<Arc<ChunkCache>>,
 }
 
 impl ChunkedArray {
@@ -138,10 +151,15 @@ impl ChunkedArray {
     }
 
     /// Reads and decodes chunk `chunk_no`.
-    pub fn read_chunk(&self, chunk_no: u64) -> Result<Chunk> {
+    ///
+    /// Decoded chunks are served from (and inserted into) the pool's
+    /// shared [`ChunkCache`], so repeated reads of a hot chunk skip both
+    /// the buffer pool and the codec. Empty chunks are materialized
+    /// fresh and never cached.
+    pub fn read_chunk(&self, chunk_no: u64) -> Result<Arc<Chunk>> {
         let id = LobId(chunk_no as u32);
         if self.lobs.object_len(id)? == 0 {
-            return Ok(match self.format {
+            return Ok(Arc::new(match self.format {
                 ChunkFormat::ChunkOffset => {
                     Chunk::Compressed(CompressedChunk::empty(self.n_measures))
                 }
@@ -149,10 +167,37 @@ impl ChunkedArray {
                     self.shape.chunk_cells() as usize,
                     self.n_measures,
                 )),
-            });
+            }));
+        }
+        let Some(cache) = self.cache.as_deref() else {
+            let bytes = self.lobs.read(id)?;
+            return Ok(Arc::new(self.decode_chunk(&bytes)?));
+        };
+        let key = self.chunk_key(id)?;
+        let pool = self.lobs.pool();
+        let epoch = pool.epoch();
+        if let Some(hit) = cache.get(&key, epoch) {
+            pool.stats().chunk_cache_hit();
+            return Ok(hit);
         }
         let bytes = self.lobs.read(id)?;
-        self.decode_chunk(&bytes)
+        let chunk = Arc::new(self.decode_chunk(&bytes)?);
+        let evicted = cache.insert(key, epoch, chunk.clone(), chunk.decoded_bytes());
+        pool.stats().chunk_cache_miss();
+        if evicted > 0 {
+            pool.stats().chunk_cache_evictions_add(evicted);
+        }
+        Ok(chunk)
+    }
+
+    /// The chunk's cache key: its current disk location.
+    fn chunk_key(&self, id: LobId) -> Result<ChunkKey> {
+        let (start_page, byte_off, len) = self.lobs.location(id)?;
+        Ok(ChunkKey {
+            start_page,
+            byte_off,
+            len,
+        })
     }
 
     fn decode_chunk(&self, bytes: &[u8]) -> Result<Chunk> {
@@ -213,7 +258,7 @@ impl ChunkedArray {
         let (chunk_no, offset) = self.shape.locate(coords)?;
         let chunk = self.read_chunk(chunk_no)?;
         let was_valid;
-        let new_chunk = match chunk {
+        let new_chunk = match &*chunk {
             Chunk::Compressed(c) => {
                 was_valid = c.probe(offset).is_some();
                 let mut b = ChunkBuilder::new(self.n_measures);
@@ -225,14 +270,21 @@ impl ChunkedArray {
                 b.add(offset, values);
                 Chunk::Compressed(b.build()?)
             }
-            Chunk::Dense(mut d) => {
+            Chunk::Dense(d) => {
+                let mut d = d.clone();
                 was_valid = d.probe(offset).is_some();
                 d.set(offset, values);
                 Chunk::Dense(d)
             }
         };
         let bytes = self.encode_chunk(&new_chunk);
-        self.lobs.overwrite(LobId(chunk_no as u32), &bytes)?;
+        // An in-place overwrite reuses the object's disk location, so
+        // the cached decode (keyed by that location) must go first.
+        let id = LobId(chunk_no as u32);
+        if let Some(cache) = self.cache.as_deref() {
+            cache.remove(&self.chunk_key(id)?);
+        }
+        self.lobs.overwrite(id, &bytes)?;
         if !was_valid {
             self.valid_cells += 1;
         }
@@ -382,6 +434,7 @@ impl ChunkedArray {
             return Err(ArrayError::Corrupt("array meta truncated"));
         }
         let shape = Shape::from_bytes(&bytes[24..24 + shape_len])?;
+        let cache = shared_chunk_cache(&pool);
         let lobs =
             LobStore::from_directory_bytes(pool, &bytes[24 + shape_len..24 + shape_len + dir_len])?;
         Ok(ChunkedArray {
@@ -390,6 +443,7 @@ impl ChunkedArray {
             format,
             lobs,
             valid_cells,
+            cache,
         })
     }
 }
@@ -457,6 +511,7 @@ impl ArrayBuilder {
             }
         }
 
+        let cache = shared_chunk_cache(&pool);
         let lobs = LobStore::new(pool);
         let valid_cells = positions.len() as u64;
         let chunk_cells = shape.chunk_cells() as usize;
@@ -505,6 +560,7 @@ impl ArrayBuilder {
             format,
             lobs,
             valid_cells,
+            cache,
         })
     }
 }
@@ -736,6 +792,61 @@ mod tests {
         assert_eq!(reopened.get(&[1, 2, 3]).unwrap(), Some(vec![10, 20]));
         assert_eq!(reopened.get(&[7, 7, 7]).unwrap(), Some(vec![-1, -2]));
         assert!(ChunkedArray::from_meta_bytes(pool(), &meta[..10]).is_err());
+    }
+
+    #[test]
+    fn read_chunk_hits_the_decoded_cache() {
+        let p = pool();
+        let shape = Shape::new(vec![8], vec![4]).unwrap();
+        let mut b = ArrayBuilder::new(shape, 1, ChunkFormat::ChunkOffset);
+        b.add(&[1], &[10]).unwrap();
+        let mut a = b.build(p.clone()).unwrap();
+
+        let before = p.stats().snapshot();
+        a.read_chunk(0).unwrap();
+        a.read_chunk(0).unwrap();
+        a.read_chunk(0).unwrap();
+        let d = p.stats().snapshot().since(&before);
+        assert_eq!((d.chunk_cache_misses, d.chunk_cache_hits), (1, 2));
+
+        // A write invalidates the cached decode; the next read re-decodes
+        // and must see the new value.
+        a.set(&[2], &[20]).unwrap();
+        let before = p.stats().snapshot();
+        let chunk = a.read_chunk(0).unwrap();
+        assert_eq!(p.stats().snapshot().since(&before).chunk_cache_misses, 1);
+        assert_eq!(chunk.probe(2), Some(&[20i64][..]));
+
+        // Clearing the pool makes cached decodes read as cold.
+        p.clear().unwrap();
+        let before = p.stats().snapshot();
+        a.read_chunk(0).unwrap();
+        let d = p.stats().snapshot().since(&before);
+        assert_eq!((d.chunk_cache_misses, d.chunk_cache_hits), (1, 0));
+
+        // Empty chunks bypass the cache entirely.
+        let before = p.stats().snapshot();
+        a.read_chunk(1).unwrap();
+        let d = p.stats().snapshot().since(&before);
+        assert_eq!(d.chunk_cache_lookups(), 0);
+    }
+
+    #[test]
+    fn arrays_on_one_pool_share_the_cache() {
+        let p = pool();
+        let shape = Shape::new(vec![8], vec![4]).unwrap();
+        let mut b = ArrayBuilder::new(shape, 1, ChunkFormat::ChunkOffset);
+        b.add(&[1], &[10]).unwrap();
+        let a = b.build(p.clone()).unwrap();
+        a.read_chunk(0).unwrap(); // warm
+
+        // Reopening over the same pool sees the same cache, so the first
+        // read of the reopened array is already a hit.
+        let reopened = ChunkedArray::from_meta_bytes(p.clone(), &a.meta_to_bytes()).unwrap();
+        let before = p.stats().snapshot();
+        reopened.read_chunk(0).unwrap();
+        let d = p.stats().snapshot().since(&before);
+        assert_eq!((d.chunk_cache_hits, d.chunk_cache_misses), (1, 0));
     }
 
     #[test]

@@ -251,6 +251,12 @@ impl DenseChunk {
         self.valid.nbits()
     }
 
+    /// Decoded footprint in bytes (header + validity bitmap + values) —
+    /// the accounting unit for the decoded-chunk cache's byte cap.
+    pub fn byte_size(&self) -> usize {
+        16 + self.cells().div_ceil(8) + self.values.len() * 8
+    }
+
     /// Measures per cell.
     pub fn n_measures(&self) -> usize {
         self.n_measures

@@ -47,11 +47,13 @@
 #![forbid(unsafe_code)]
 
 mod array;
+mod cache;
 mod chunk;
 mod geometry;
 pub mod lzw;
 
 pub use array::{ArrayBuilder, Chunk, ChunkFormat, ChunkedArray};
+pub use cache::{shared_chunk_cache, ChunkCache, ChunkKey};
 pub use chunk::{ChunkBuilder, CompressedChunk, DenseChunk};
 pub use geometry::Shape;
 

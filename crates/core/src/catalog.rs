@@ -320,7 +320,7 @@ impl Database {
             ObjectKind::OlapArray => {
                 let adt = self.open_olap_array(&name)?;
                 let stmt = crate::sql::parse_query(statement, adt.dims(), measures)?;
-                adt.consolidate(&stmt.query)
+                crate::parallel::consolidate_auto(&adt, &stmt.query)
             }
             ObjectKind::StarSchema => {
                 let schema = self.open_star_schema(&name)?;

@@ -14,6 +14,21 @@ use crate::error::{Error, Result};
 use crate::query::{DimGrouping, Query};
 use crate::result::{ConsolidationResult, GroupedDim, ResultCube};
 
+/// Whether phase 1 should construct the result object's B-trees.
+///
+/// The §4.1 algorithm builds them so the result ADT supports further
+/// value-based lookups — but a query that only produces rows (the SQL
+/// path, parallel workers, partitioned bands) discards them unread, and
+/// the dimension-table scan + B-tree inserts are pure overhead there.
+/// Materialization passes `Yes`; hot row-producing paths pass `No`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BuildResultBtrees {
+    /// Construct result B-trees (result will become an ADT).
+    Yes,
+    /// Skip them (result is consumed as rows).
+    No,
+}
+
 /// Phase-1 output for one grouped dimension.
 pub(crate) struct GroupMap {
     /// Source dimension index.
@@ -30,16 +45,28 @@ pub(crate) struct GroupMap {
 /// array, and build the result OLAP object's B-tree by scanning the
 /// dimension table and probing the key B-tree for each row.
 ///
-/// The result B-trees are genuinely constructed (the dimension scans,
-/// key-B-tree probes, and B-tree inserts are real work, as in the
-/// paper) and returned so callers may hang them off a result ADT. They
-/// are built on an ephemeral in-memory pool: allocating them on the
-/// input's pool would grow the database file on every query, and the
-/// paper's result object is transient unless explicitly materialized.
-pub(crate) fn phase1(adt: &OlapArray, query: &Query) -> Result<(Vec<GroupMap>, Vec<BTree>)> {
+/// With [`BuildResultBtrees::Yes`], the result B-trees are genuinely
+/// constructed (the dimension scans, key-B-tree probes, and B-tree
+/// inserts are real work, as in the paper) and returned so callers may
+/// hang them off a result ADT. They are built on an ephemeral in-memory
+/// pool: allocating them on the input's pool would grow the database
+/// file on every query, and the paper's result object is transient
+/// unless explicitly materialized. With [`BuildResultBtrees::No`] that
+/// whole phase-1 step is skipped and the returned vec is empty.
+pub(crate) fn phase1(
+    adt: &OlapArray,
+    query: &Query,
+    build: BuildResultBtrees,
+) -> Result<(Vec<GroupMap>, Vec<BTree>)> {
     use molap_storage::{BufferPool, MemDisk};
     use std::sync::Arc;
-    let result_pool = Arc::new(BufferPool::with_bytes(Arc::new(MemDisk::new()), 4 << 20));
+    let result_pool = match build {
+        BuildResultBtrees::Yes => Some(Arc::new(BufferPool::with_bytes(
+            Arc::new(MemDisk::new()),
+            4 << 20,
+        ))),
+        BuildResultBtrees::No => None,
+    };
     let mut maps = Vec::new();
     let mut result_btrees = Vec::new();
     for (d, grouping) in query.group_by.iter().enumerate() {
@@ -60,20 +87,22 @@ pub(crate) fn phase1(adt: &OlapArray, query: &Query) -> Result<(Vec<GroupMap>, V
         // Build the result B-tree: scan the dimension table, probe the
         // key B-tree for each tuple's array index, insert its group
         // value with the group's result index.
-        let mut result_btree = BTree::create(result_pool.clone())?;
-        let key_btree = &adt.dim_indexes(d).key_btree;
-        for &key in dim.keys() {
-            let idx = key_btree.get(key)?.ok_or_else(|| {
-                Error::Internal(format!("dimension key {key} missing from its key B-tree"))
-            })?;
-            let rank = i2i[idx as usize];
-            let code = match grouping {
-                DimGrouping::Key => key,
-                _ => codes[rank as usize],
-            };
-            result_btree.insert(code, rank as u64)?;
+        if let Some(result_pool) = &result_pool {
+            let mut result_btree = BTree::create(result_pool.clone())?;
+            let key_btree = &adt.dim_indexes(d).key_btree;
+            for &key in dim.keys() {
+                let idx = key_btree.get(key)?.ok_or_else(|| {
+                    Error::Internal(format!("dimension key {key} missing from its key B-tree"))
+                })?;
+                let rank = i2i[idx as usize];
+                let code = match grouping {
+                    DimGrouping::Key => key,
+                    _ => codes[rank as usize],
+                };
+                result_btree.insert(code, rank as u64)?;
+            }
+            result_btrees.push(result_btree);
         }
-        result_btrees.push(result_btree);
         maps.push(GroupMap {
             dim: d,
             i2i,
@@ -99,7 +128,7 @@ pub(crate) fn make_cube(maps: &[GroupMap], n_measures: usize) -> ResultCube {
 
 /// The §4.1 algorithm: full consolidation, no selections.
 pub(crate) fn consolidate_full(adt: &OlapArray, query: &Query) -> Result<ConsolidationResult> {
-    let (_, cube) = consolidate_full_cube(adt, query)?;
+    let (_, cube) = consolidate_full_cube(adt, query, BuildResultBtrees::No)?;
     cube.into_result(&query.aggs)
 }
 
@@ -108,8 +137,9 @@ pub(crate) fn consolidate_full(adt: &OlapArray, query: &Query) -> Result<Consoli
 pub(crate) fn consolidate_full_cube(
     adt: &OlapArray,
     query: &Query,
+    build: BuildResultBtrees,
 ) -> Result<(Vec<GroupMap>, ResultCube)> {
-    let (maps, _result_btrees) = phase1(adt, query)?;
+    let (maps, _result_btrees) = phase1(adt, query, build)?;
     let mut cube = make_cube(&maps, adt.n_measures());
 
     // Phase 2: one scan of the input array; position-based aggregation.
@@ -140,7 +170,7 @@ pub(crate) fn consolidate_partitioned(
     query: &Query,
     max_result_cells: usize,
 ) -> Result<ConsolidationResult> {
-    let (maps, _result_btrees) = phase1(adt, query)?;
+    let (maps, _result_btrees) = phase1(adt, query, BuildResultBtrees::No)?;
     if maps.is_empty() {
         // Global aggregate: nothing to partition.
         let mut cube = make_cube(&maps, adt.n_measures());
@@ -336,7 +366,7 @@ mod tests {
     fn phase1_builds_result_btrees() {
         let adt = build();
         let q = Query::new(vec![DimGrouping::Level(1), DimGrouping::Level(0)]);
-        let (maps, btrees) = phase1(&adt, &q).unwrap();
+        let (maps, btrees) = phase1(&adt, &q, BuildResultBtrees::Yes).unwrap();
         assert_eq!(maps.len(), 2);
         assert_eq!(btrees.len(), 2);
         // store.region result B-tree: one entry per dimension row.
@@ -345,6 +375,15 @@ mod tests {
         assert_eq!(btrees[0].get(5).unwrap(), Some(0));
         assert_eq!(btrees[0].get(6).unwrap(), Some(1));
         assert_eq!(btrees[1].get(7).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn phase1_can_skip_result_btrees() {
+        let adt = build();
+        let q = Query::new(vec![DimGrouping::Level(1), DimGrouping::Level(0)]);
+        let (maps, btrees) = phase1(&adt, &q, BuildResultBtrees::No).unwrap();
+        assert_eq!(maps.len(), 2, "group maps are unaffected by the opt-out");
+        assert!(btrees.is_empty());
     }
 
     #[test]

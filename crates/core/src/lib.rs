@@ -99,7 +99,7 @@ pub use catalog::{Database, ObjectKind};
 pub use cube_op::{compute_cube, CubeSlice};
 pub use dimension::DimensionTable;
 pub use error::{Error, Result};
-pub use parallel::consolidate_parallel;
+pub use parallel::{consolidate_auto, consolidate_parallel};
 pub use query::{AttrRef, DimGrouping, Query, Selection};
 pub use result::{ConsolidationResult, ResultCube, Row};
 pub use sql::{parse_query, SqlStatement};

@@ -18,7 +18,7 @@ use molap_storage::BufferPool;
 
 use crate::adt::OlapArray;
 use crate::aggregate::{AggFunc, AggValue};
-use crate::consolidate::{consolidate_full_cube, GroupMap};
+use crate::consolidate::{consolidate_full_cube, BuildResultBtrees, GroupMap};
 use crate::dimension::DimensionTable;
 use crate::error::{Error, Result};
 use crate::query::{DimGrouping, Query};
@@ -44,7 +44,7 @@ impl OlapArray {
         let (maps, cube) = if query.has_selection() {
             consolidate_with_selection_cube(self, query)?
         } else {
-            consolidate_full_cube(self, query)?
+            consolidate_full_cube(self, query, BuildResultBtrees::Yes)?
         };
         if maps.is_empty() {
             return Err(Error::Query(

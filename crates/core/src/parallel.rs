@@ -7,68 +7,159 @@
 //! independent, the IndexToIndex mapping is read-only, and aggregation
 //! into a *private* result cube per worker needs no synchronization —
 //! cubes merge associatively at the end ([`crate::ResultCube::merge`]).
-//! Workers share the buffer pool (frames are individually latched), so
-//! this is intra-operator parallelism on one store, not partitioned
-//! data.
+//! Workers share the buffer pool (frames are individually latched, the
+//! page table is sharded) and the decoded-chunk cache, so this is
+//! intra-operator parallelism on one store, not partitioned data.
 //!
-//! Selection queries keep the sequential §4.2 path: their cost is
-//! dominated by the chunk-ordered probe whose monotonic cursor is
-//! inherently sequential per chunk, and the paper's selective queries
-//! touch little data anyway.
+//! Selection queries (§4.2) parallelize the same way: the qualifying
+//! chunks are enumerated once in chunk-number order, the list is split
+//! into contiguous spans, and each worker runs the per-chunk
+//! probe-or-scan evaluation over its span. The probe cursor's
+//! monotonicity is per chunk, so chunk-granular partitioning preserves
+//! it.
 
 use crate::adt::OlapArray;
-use crate::consolidate::{make_cube, phase1};
+use crate::consolidate::{make_cube, phase1, BuildResultBtrees};
 use crate::error::{Error, Result};
 use crate::query::Query;
-use crate::result::ConsolidationResult;
+use crate::result::{ConsolidationResult, ResultCube};
+use crate::select::{build_probes, candidate_chunks, eval_chunk, DimProbe};
 
-/// Like [`OlapArray::consolidate`] for selection-free queries, but
-/// scanning chunks with `threads` workers. Results are identical to the
-/// sequential algorithm.
+/// Fewer qualifying chunks than this and [`consolidate_auto`] stays
+/// sequential: thread spin-up would cost more than it saves.
+const AUTO_MIN_CHUNKS_PER_WORKER: u64 = 4;
+
+/// Like [`OlapArray::consolidate`], but evaluating chunks with
+/// `threads` workers. Supports both the §4.1 (no selections) and §4.2
+/// (with selections) algorithms; results are identical to the
+/// sequential paths for any thread count.
 pub fn consolidate_parallel(
     adt: &OlapArray,
     query: &Query,
     threads: usize,
 ) -> Result<ConsolidationResult> {
     query.validate(adt.dims(), adt.n_measures())?;
-    if query.has_selection() {
-        return Err(Error::Query(
-            "parallel consolidation does not support selections; use consolidate()".into(),
-        ));
-    }
     let threads = threads.max(1);
-    let (maps, _result_btrees) = phase1(adt, query)?;
-    let num_chunks = adt.array().shape().num_chunks();
+    let (maps, _result_btrees) = phase1(adt, query, BuildResultBtrees::No)?;
 
-    // Contiguous chunk spans per worker (chunk order = disk order, so
-    // each worker reads sequentially within its span).
+    let cubes = if query.has_selection() {
+        let (probes, any_empty) = build_probes(adt, query)?;
+        if any_empty {
+            Vec::new()
+        } else {
+            let candidates = candidate_chunks(adt.array().shape(), &probes);
+            scan_selected_chunks(adt, &maps, &probes, &candidates, threads)?
+        }
+    } else {
+        scan_all_chunks(adt, &maps, threads)?
+    };
+
+    let mut iter = cubes.into_iter();
+    let mut total = iter
+        .next()
+        .unwrap_or_else(|| make_cube(&maps, adt.n_measures()));
+    for cube in iter {
+        total.merge(&cube)?;
+    }
+    total.into_result(&query.aggs)
+}
+
+/// Chooses a worker count from the machine's parallelism and the size
+/// of the job, then dispatches: the engine's default consolidation
+/// entry point. Small queries (or single-CPU machines) run the plain
+/// sequential algorithms.
+pub fn consolidate_auto(adt: &OlapArray, query: &Query) -> Result<ConsolidationResult> {
+    query.validate(adt.dims(), adt.n_measures())?;
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    let num_chunks = adt.array().shape().num_chunks();
+    let threads = cpus.min(num_chunks / AUTO_MIN_CHUNKS_PER_WORKER);
+    if threads <= 1 {
+        return adt.consolidate(query);
+    }
+    consolidate_parallel(adt, query, threads as usize)
+}
+
+/// §4.1 phase 2 with `threads` workers: contiguous chunk spans per
+/// worker (chunk order = disk order, so each worker reads sequentially
+/// within its span), private cubes.
+fn scan_all_chunks(
+    adt: &OlapArray,
+    maps: &[crate::consolidate::GroupMap],
+    threads: usize,
+) -> Result<Vec<ResultCube>> {
+    let num_chunks = adt.array().shape().num_chunks();
     let span = num_chunks.div_ceil(threads as u64).max(1);
-    let cubes = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for w in 0..threads as u64 {
-            let lo = w * span;
-            let hi = ((w + 1) * span).min(num_chunks);
-            if lo >= hi {
-                break;
+    run_workers(threads, |w| {
+        let lo = w as u64 * span;
+        let hi = ((w as u64 + 1) * span).min(num_chunks);
+        if lo >= hi {
+            return None;
+        }
+        Some(move || -> Result<ResultCube> {
+            let mut cube = make_cube(maps, adt.n_measures());
+            let shape = adt.array().shape();
+            let mut coords = vec![0u32; shape.n_dims()];
+            let mut ranks = vec![0u32; maps.len()];
+            for chunk_no in lo..hi {
+                let chunk = adt.array().read_chunk(chunk_no)?;
+                chunk.for_each_valid(|offset, values| {
+                    shape.decode(chunk_no, offset, &mut coords);
+                    for (g, map) in maps.iter().enumerate() {
+                        ranks[g] = map.i2i[coords[map.dim] as usize];
+                    }
+                    cube.add(&ranks, values);
+                });
             }
-            let maps = &maps;
-            handles.push(scope.spawn(move |_| -> Result<crate::result::ResultCube> {
-                let mut cube = make_cube(maps, adt.n_measures());
-                let shape = adt.array().shape();
-                let mut coords = vec![0u32; shape.n_dims()];
-                let mut ranks = vec![0u32; maps.len()];
-                for chunk_no in lo..hi {
-                    let chunk = adt.array().read_chunk(chunk_no)?;
-                    chunk.for_each_valid(|offset, values| {
-                        shape.decode(chunk_no, offset, &mut coords);
-                        for (g, map) in maps.iter().enumerate() {
-                            ranks[g] = map.i2i[coords[map.dim] as usize];
-                        }
-                        cube.add(&ranks, values);
-                    });
-                }
-                Ok(cube)
-            }));
+            Ok(cube)
+        })
+    })
+}
+
+/// §4.2 step 2 with `threads` workers: the qualifying-chunk list is
+/// split into contiguous spans (preserving its ascending chunk-number
+/// order within each worker), private cubes.
+fn scan_selected_chunks(
+    adt: &OlapArray,
+    maps: &[crate::consolidate::GroupMap],
+    probes: &[DimProbe],
+    candidates: &[(u64, Vec<usize>)],
+    threads: usize,
+) -> Result<Vec<ResultCube>> {
+    let span = candidates.len().div_ceil(threads).max(1);
+    run_workers(threads, |w| {
+        let lo = w * span;
+        let hi = ((w + 1) * span).min(candidates.len());
+        if lo >= hi {
+            return None;
+        }
+        Some(move || -> Result<ResultCube> {
+            let mut cube = make_cube(maps, adt.n_measures());
+            let mut ranks = vec![0u32; maps.len()];
+            for (chunk_no, chunk_sel) in &candidates[lo..hi] {
+                let chunk = adt.array().read_chunk(*chunk_no)?;
+                eval_chunk(adt, &chunk, probes, chunk_sel, maps, &mut ranks, &mut cube);
+            }
+            Ok(cube)
+        })
+    })
+}
+
+/// Spawns up to `threads` scoped workers (the factory may decline a
+/// slot by returning `None`) and collects their cubes.
+fn run_workers<'e, F, W>(threads: usize, mut make_worker: F) -> Result<Vec<ResultCube>>
+where
+    F: FnMut(usize) -> Option<W>,
+    W: FnOnce() -> Result<ResultCube> + Send + 'e,
+{
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..threads {
+            let Some(work) = make_worker(w) else {
+                break;
+            };
+            handles.push(scope.spawn(move |_| work()));
         }
         handles
             .into_iter()
@@ -79,16 +170,7 @@ pub fn consolidate_parallel(
             })
             .collect::<Result<Vec<_>>>()
     })
-    .map_err(|_| Error::Internal("parallel consolidation scope panicked".into()))??;
-
-    let mut iter = cubes.into_iter();
-    let mut total = iter
-        .next()
-        .unwrap_or_else(|| make_cube(&maps, adt.n_measures()));
-    for cube in iter {
-        total.merge(&cube)?;
-    }
-    total.into_result(&query.aggs)
+    .map_err(|_| Error::Internal("parallel consolidation scope panicked".into()))?
 }
 
 #[cfg(test)]
@@ -160,14 +242,58 @@ mod tests {
     }
 
     #[test]
-    fn selections_are_rejected() {
-        let adt = build(50);
-        let q = Query::new(vec![DimGrouping::Drop, DimGrouping::Drop])
-            .with_selection(0, Selection::eq(AttrRef::Level(0), 1));
-        assert!(matches!(
-            consolidate_parallel(&adt, &q, 2),
-            Err(Error::Query(_))
-        ));
+    fn parallel_selection_equals_sequential_for_all_thread_counts() {
+        let adt = build(300);
+        let selections: Vec<Vec<(usize, Selection)>> = vec![
+            // One-dimension attribute selection.
+            vec![(0, Selection::eq(AttrRef::Level(0), 1))],
+            // Conjunction across both dimensions.
+            vec![
+                (0, Selection::in_list(AttrRef::Level(0), vec![0, 2])),
+                (1, Selection::in_list(AttrRef::Level(0), vec![1, 3])),
+            ],
+            // Narrow key probes.
+            vec![
+                (0, Selection::in_list(AttrRef::Key, vec![3, 17, 29])),
+                (1, Selection::eq(AttrRef::Key, 5)),
+            ],
+            // Empty result.
+            vec![(0, Selection::eq(AttrRef::Level(0), 99))],
+        ];
+        for sels in selections {
+            for group_by in [
+                vec![DimGrouping::Level(0), DimGrouping::Level(0)],
+                vec![DimGrouping::Key, DimGrouping::Drop],
+                vec![DimGrouping::Drop, DimGrouping::Drop],
+            ] {
+                let mut q = Query::new(group_by);
+                for (d, sel) in &sels {
+                    q = q.with_selection(*d, sel.clone());
+                }
+                let sequential = adt.consolidate(&q).unwrap();
+                for threads in [1, 2, 3, 8, 64] {
+                    let parallel = consolidate_parallel(&adt, &q, threads).unwrap();
+                    assert_eq!(parallel, sequential, "{threads} threads, {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_matches_sequential() {
+        let adt = build(300);
+        let plain = Query::new(vec![DimGrouping::Level(0), DimGrouping::Drop]);
+        let selected = Query::new(vec![DimGrouping::Key, DimGrouping::Drop])
+            .with_selection(1, Selection::in_list(AttrRef::Level(0), vec![0, 2]));
+        for q in [plain, selected] {
+            assert_eq!(
+                consolidate_auto(&adt, &q).unwrap(),
+                adt.consolidate(&q).unwrap(),
+                "{q:?}"
+            );
+        }
+        // Invalid queries are rejected up front.
+        assert!(consolidate_auto(&adt, &Query::new(vec![DimGrouping::Drop])).is_err());
     }
 
     #[test]

@@ -17,27 +17,27 @@
 //! 3. Hits are mapped through the IndexToIndex arrays and aggregated
 //!    into the result cube, exactly as in the §4.1 phase 2.
 
-use molap_array::Chunk;
+use molap_array::{Chunk, Shape};
 
 use crate::adt::OlapArray;
-use crate::consolidate::{make_cube, phase1, GroupMap};
+use crate::consolidate::{make_cube, phase1, BuildResultBtrees, GroupMap};
 use crate::error::Result;
 use crate::query::{AttrRef, Pred, Query};
 use crate::result::ConsolidationResult;
 use crate::util::{intersect_sorted, union_sorted};
 
 /// One dimension's selected indices, pre-split by chunk coordinate.
-struct DimProbe {
+pub(crate) struct DimProbe {
     /// Groups in ascending chunk-coordinate order; each group's indices
     /// ascend (so within-chunk offsets ascend too).
-    groups: Vec<ChunkGroup>,
+    pub(crate) groups: Vec<ChunkGroup>,
 }
 
-struct ChunkGroup {
+pub(crate) struct ChunkGroup {
     /// Chunk-grid coordinate along this dimension.
-    chunk_coord: u32,
+    pub(crate) chunk_coord: u32,
     /// Selected array indices in this chunk slab, ascending.
-    indices: Vec<u32>,
+    pub(crate) indices: Vec<u32>,
 }
 
 /// Computes the merged, sorted final index list for dimension `d`, or
@@ -121,21 +121,15 @@ pub(crate) fn consolidate_with_selection(
     adt: &OlapArray,
     query: &Query,
 ) -> Result<ConsolidationResult> {
-    let (_, cube) = consolidate_with_selection_cube(adt, query)?;
+    let (_, cube) = consolidate_with_selection_cube_opt(adt, query, BuildResultBtrees::No)?;
     cube.into_result(&query.aggs)
 }
 
-/// §4.2 core returning the positional result cube.
-pub(crate) fn consolidate_with_selection_cube(
-    adt: &OlapArray,
-    query: &Query,
-) -> Result<(Vec<GroupMap>, crate::result::ResultCube)> {
-    let (maps, _result_btrees) = phase1(adt, query)?;
-    let mut cube = make_cube(&maps, adt.n_measures());
-    let shape = adt.array().shape();
-    let n = shape.n_dims();
-
-    // Step 1: final index lists.
+/// Step 1 of §4.2 for every dimension: the final index lists, split by
+/// chunk coordinate. The flag is true when some dimension selected
+/// nothing (the whole query result is empty — no chunk qualifies).
+pub(crate) fn build_probes(adt: &OlapArray, query: &Query) -> Result<(Vec<DimProbe>, bool)> {
+    let n = adt.array().shape().n_dims();
     let mut probes = Vec::with_capacity(n);
     let mut any_empty = false;
     for d in 0..n {
@@ -143,51 +137,106 @@ pub(crate) fn consolidate_with_selection_cube(
         any_empty |= probe.groups.is_empty();
         probes.push(probe);
     }
+    Ok((probes, any_empty))
+}
+
+/// The qualifying chunks, in ascending chunk-number (= disk) order.
+/// Each entry carries the per-dimension group cursor selecting which
+/// [`ChunkGroup`] of each probe covers the chunk.
+///
+/// The list is chunk-granular (bounded by the array's chunk count);
+/// the *cell* cross-product is still generated on the fly inside
+/// [`eval_chunk`], as §4.2 requires.
+pub(crate) fn candidate_chunks(shape: &Shape, probes: &[DimProbe]) -> Vec<(u64, Vec<usize>)> {
+    let n = probes.len();
+    if probes.iter().any(|p| p.groups.is_empty()) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut chunk_sel = vec![0usize; n]; // group cursor per dim
+    'chunks: loop {
+        let chunk_no: u64 = (0..n)
+            .map(|d| probes[d].groups[chunk_sel[d]].chunk_coord as u64 * shape.chunk_stride(d))
+            .sum();
+        out.push((chunk_no, chunk_sel.clone()));
+        // Advance the chunk odometer (row-major: ascending chunk_no).
+        let mut d = n;
+        loop {
+            if d == 0 {
+                break 'chunks;
+            }
+            d -= 1;
+            if chunk_sel[d] + 1 < probes[d].groups.len() {
+                chunk_sel[d] += 1;
+                for x in chunk_sel.iter_mut().skip(d + 1) {
+                    *x = 0;
+                }
+                break;
+            }
+            chunk_sel[d] = 0;
+        }
+    }
+    out
+}
+
+/// Evaluates one qualifying chunk into `cube`, choosing the probe or
+/// scan direction adaptively (extension beyond the paper's fixed probe
+/// order): when the chunk's cross-product is larger than its valid-cell
+/// count, probing every cross-product element costs more than scanning
+/// the valid cells and testing membership per dimension.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eval_chunk(
+    adt: &OlapArray,
+    chunk: &Chunk,
+    probes: &[DimProbe],
+    chunk_sel: &[usize],
+    maps: &[GroupMap],
+    ranks: &mut [u32],
+    cube: &mut crate::result::ResultCube,
+) {
+    if chunk.valid_cells() == 0 {
+        return;
+    }
+    let n = probes.len();
+    let cross: u64 = (0..n)
+        .map(|d| probes[d].groups[chunk_sel[d]].indices.len() as u64)
+        .product();
+    if cross > chunk.valid_cells() {
+        scan_chunk(adt, chunk, probes, chunk_sel, maps, ranks, cube);
+    } else {
+        probe_chunk(adt, chunk, probes, chunk_sel, maps, ranks, cube);
+    }
+}
+
+/// §4.2 core returning the positional result cube.
+pub(crate) fn consolidate_with_selection_cube(
+    adt: &OlapArray,
+    query: &Query,
+) -> Result<(Vec<GroupMap>, crate::result::ResultCube)> {
+    consolidate_with_selection_cube_opt(adt, query, BuildResultBtrees::Yes)
+}
+
+/// §4.2 core with the result-B-tree opt-out exposed.
+pub(crate) fn consolidate_with_selection_cube_opt(
+    adt: &OlapArray,
+    query: &Query,
+    build: BuildResultBtrees,
+) -> Result<(Vec<GroupMap>, crate::result::ResultCube)> {
+    let (maps, _result_btrees) = phase1(adt, query, build)?;
+    let mut cube = make_cube(&maps, adt.n_measures());
+    let shape = adt.array().shape();
+
+    // Step 1: final index lists.
+    let (probes, any_empty) = build_probes(adt, query)?;
 
     if !any_empty {
         // Step 2: cross-product in (chunk number, chunk offset) order.
-        let mut chunk_sel = vec![0usize; n]; // group cursor per dim
         let mut ranks = vec![0u32; maps.len()];
-        'chunks: loop {
-            let chunk_no: u64 = (0..n)
-                .map(|d| probes[d].groups[chunk_sel[d]].chunk_coord as u64 * shape.chunk_stride(d))
-                .sum();
+        for (chunk_no, chunk_sel) in candidate_chunks(shape, &probes) {
             let chunk = adt.array().read_chunk(chunk_no)?;
-            if chunk.valid_cells() > 0 {
-                // Adaptive direction (extension beyond the paper's
-                // fixed probe order): when the chunk's cross-product is
-                // larger than its valid-cell count, probing every
-                // cross-product element costs more than scanning the
-                // valid cells and testing membership per dimension.
-                let cross: u64 = (0..n)
-                    .map(|d| probes[d].groups[chunk_sel[d]].indices.len() as u64)
-                    .product();
-                if cross > chunk.valid_cells() {
-                    scan_chunk(
-                        adt, &chunk, &probes, &chunk_sel, &maps, &mut ranks, &mut cube,
-                    );
-                } else {
-                    probe_chunk(
-                        adt, &chunk, &probes, &chunk_sel, &maps, &mut ranks, &mut cube,
-                    );
-                }
-            }
-            // Advance the chunk odometer (row-major: ascending chunk_no).
-            let mut d = n;
-            loop {
-                if d == 0 {
-                    break 'chunks;
-                }
-                d -= 1;
-                if chunk_sel[d] + 1 < probes[d].groups.len() {
-                    chunk_sel[d] += 1;
-                    for x in chunk_sel.iter_mut().skip(d + 1) {
-                        *x = 0;
-                    }
-                    break;
-                }
-                chunk_sel[d] = 0;
-            }
+            eval_chunk(
+                adt, &chunk, &probes, &chunk_sel, &maps, &mut ranks, &mut cube,
+            );
         }
     }
 

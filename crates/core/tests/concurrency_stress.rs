@@ -1,0 +1,132 @@
+//! Multi-threaded stress over one shared [`Database`]: concurrent full,
+//! selection, parallel, and SQL consolidations must all return the
+//! sequential answers while racing on the sharded buffer pool and the
+//! shared decoded-chunk cache.
+//!
+//! Run with `--features lock-order-tracking` to additionally have the
+//! vendored `parking_lot` panic on any lock acquisition that inverts
+//! the declared order (the runtime counterpart of molap-lint's static
+//! `lock-order` rule).
+
+use std::sync::Arc;
+
+use molap_array::ChunkFormat;
+use molap_core::{
+    consolidate_auto, consolidate_parallel, AttrRef, ConsolidationResult, Database, DimGrouping,
+    DimensionTable, OlapArray, Query, Selection,
+};
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 12;
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("molap-stress-{}-{tag}.db", std::process::id()))
+}
+
+fn build_sales(db: &Database) -> OlapArray {
+    let dims = vec![
+        DimensionTable::build(
+            "store",
+            &(0..30i64).collect::<Vec<_>>(),
+            vec![("region", (0..30i64).map(|k| k / 10).collect())],
+        )
+        .unwrap(),
+        DimensionTable::build(
+            "product",
+            &(0..20i64).collect::<Vec<_>>(),
+            vec![("ptype", (0..20i64).map(|k| k % 4).collect())],
+        )
+        .unwrap(),
+    ];
+    let cells: Vec<(Vec<i64>, Vec<i64>)> = (0..30i64)
+        .flat_map(|x| (0..20i64).map(move |y| (vec![x, y], vec![x * 31 + y])))
+        .filter(|(k, _)| (k[0] * 13 + k[1] * 7) % 3 != 0)
+        .collect();
+    OlapArray::build(
+        db.pool().clone(),
+        dims,
+        &[7, 6],
+        ChunkFormat::ChunkOffset,
+        cells,
+        1,
+    )
+    .unwrap()
+}
+
+#[test]
+fn mixed_concurrent_consolidations_match_sequential() {
+    let path = temp_path("mixed");
+    let db = Arc::new(Database::create(&path, 1 << 20).unwrap());
+    let adt = build_sales(&db);
+    db.save_olap_array("sales", &adt).unwrap();
+    db.checkpoint().unwrap();
+
+    // The query mix, with sequential oracle answers computed up front.
+    let full = Query::new(vec![DimGrouping::Level(0), DimGrouping::Level(0)]);
+    let keyed = Query::new(vec![DimGrouping::Key, DimGrouping::Drop]);
+    let selected = Query::new(vec![DimGrouping::Level(0), DimGrouping::Drop])
+        .with_selection(0, Selection::in_list(AttrRef::Level(0), vec![0, 2]))
+        .with_selection(1, Selection::eq(AttrRef::Level(0), 1));
+    let queries: Vec<(Query, ConsolidationResult)> = [full, keyed, selected]
+        .into_iter()
+        .map(|q| {
+            let expect = adt.consolidate(&q).unwrap();
+            (q, expect)
+        })
+        .collect();
+    let queries = Arc::new(queries);
+    let sql = "SELECT SUM(volume), store.region FROM sales GROUP BY store.region";
+    let sql_expect = db.sql(sql, &["volume"]).unwrap();
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let db = db.clone();
+            let queries = queries.clone();
+            let sql_expect = sql_expect.clone();
+            std::thread::spawn(move || {
+                // Each thread reopens the ADT, as a session would.
+                let adt = db.open_olap_array("sales").unwrap();
+                for i in 0..ROUNDS {
+                    let (q, expect) = &queries[(t + i) % queries.len()];
+                    let got = match i % 4 {
+                        0 => adt.consolidate(q).unwrap(),
+                        1 => consolidate_parallel(&adt, q, 1 + (t + i) % 4).unwrap(),
+                        2 => consolidate_auto(&adt, q).unwrap(),
+                        _ => {
+                            assert_eq!(db.sql(sql, &["volume"]).unwrap(), sql_expect);
+                            continue;
+                        }
+                    };
+                    assert_eq!(&got, expect, "thread {t} round {i} diverged on {q:?}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Counter consistency across all the racing: every chunk-cache
+    // lookup is exactly one hit or one miss, and the workload was hot
+    // enough that the cache did real work.
+    let s = db.pool().stats().snapshot();
+    assert_eq!(
+        s.chunk_cache_lookups(),
+        s.chunk_cache_hits + s.chunk_cache_misses
+    );
+    assert!(s.chunk_cache_hits > 0, "hot reruns must hit the cache");
+    assert!(s.chunk_cache_misses > 0, "cold first reads must miss");
+    let shard_totals: u64 = db
+        .pool()
+        .shard_stats()
+        .iter()
+        .map(|sh| sh.hits + sh.misses)
+        .sum();
+    assert!(shard_totals > 0, "pool shards must have seen traffic");
+
+    drop(db);
+    let _ = std::fs::remove_file(&path);
+    let mut wal = path.into_os_string();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(wal);
+}

@@ -24,13 +24,15 @@ use crate::Finding;
 /// The workspace's declared lock order, outermost (acquire first) to
 /// innermost. Field names are unambiguous across the workspace:
 /// `queue`/`sessions`/`supervisor` (server), `catalog` (core),
-/// `dir`/`pack` (LOB store), `state`/`data` (buffer pool: pool state,
-/// then per-frame latch), `pages` (MemDisk backing store).
+/// `chunks` (decoded-chunk cache shard), `dir`/`pack` (LOB store),
+/// `state`/`data` (buffer pool: shard state, then per-frame latch),
+/// `pages` (MemDisk backing store).
 pub const DECLARED_ORDER: &[&str] = &[
     "queue",
     "sessions",
     "supervisor",
     "catalog",
+    "chunks",
     "dir",
     "pack",
     "state",

@@ -158,7 +158,7 @@ impl ServerClient {
     /// Fetches server metrics.
     pub fn stats(&mut self) -> Result<MetricsSnapshot, ClientError> {
         match self.round_trip(&Request::Stats)? {
-            Response::Stats(snapshot) => Ok(snapshot),
+            Response::Stats(snapshot) => Ok(*snapshot),
             other => Err(ClientError::Protocol(format!(
                 "expected stats, got {other:?}"
             ))),

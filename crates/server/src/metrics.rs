@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use molap_storage::IoSnapshot;
+use molap_storage::{IoSnapshot, ShardStats};
 
 use crate::protocol::{put_u64, Cursor, ProtocolError};
 
@@ -88,6 +88,12 @@ impl ServerMetrics {
 
     /// Copies the counters, folding in the buffer pool's I/O stats.
     pub fn snapshot(&self, io: IoSnapshot) -> MetricsSnapshot {
+        self.snapshot_full(io, Vec::new())
+    }
+
+    /// Like [`ServerMetrics::snapshot`], additionally carrying the
+    /// pool's per-shard hit/miss counters.
+    pub fn snapshot_full(&self, io: IoSnapshot, shards: Vec<ShardStats>) -> MetricsSnapshot {
         let mut latency_histogram = [0u64; LATENCY_BUCKETS];
         for (slot, counter) in latency_histogram.iter_mut().zip(&self.latency_histogram) {
             *slot = counter.load(Ordering::Relaxed);
@@ -104,6 +110,7 @@ impl ServerMetrics {
             latency_micros_total: self.latency_micros_total.load(Ordering::Relaxed),
             latency_histogram,
             io,
+            shards,
         }
     }
 }
@@ -133,6 +140,8 @@ pub struct MetricsSnapshot {
     pub latency_histogram: [u64; LATENCY_BUCKETS],
     /// Buffer-pool I/O counters, passed through from storage.
     pub io: IoSnapshot,
+    /// Per-shard page-table hit/miss counters (empty if not collected).
+    pub shards: Vec<ShardStats>,
 }
 
 impl MetricsSnapshot {
@@ -172,8 +181,16 @@ impl MetricsSnapshot {
             self.io.seq_physical_reads,
             self.io.physical_writes,
             self.io.evictions,
+            self.io.chunk_cache_hits,
+            self.io.chunk_cache_misses,
+            self.io.chunk_cache_evictions,
         ] {
             put_u64(out, v);
+        }
+        put_u64(out, self.shards.len() as u64);
+        for s in &self.shards {
+            put_u64(out, s.hits);
+            put_u64(out, s.misses);
         }
     }
 
@@ -200,7 +217,25 @@ impl MetricsSnapshot {
             seq_physical_reads: c.u64()?,
             physical_writes: c.u64()?,
             evictions: c.u64()?,
+            chunk_cache_hits: c.u64()?,
+            chunk_cache_misses: c.u64()?,
+            chunk_cache_evictions: c.u64()?,
         };
+        let n_shards = c.u64()? as usize;
+        // Cap the allocation by what the payload can actually hold.
+        if n_shards > c.remaining() / 16 {
+            return Err(ProtocolError::Corrupt(format!(
+                "shard stat count {n_shards} exceeds payload"
+            )));
+        }
+        snap.shards = (0..n_shards)
+            .map(|_| {
+                Ok(ShardStats {
+                    hits: c.u64()?,
+                    misses: c.u64()?,
+                })
+            })
+            .collect::<Result<_, ProtocolError>>()?;
         Ok(snap)
     }
 }
@@ -228,7 +263,7 @@ impl std::fmt::Display for MetricsSnapshot {
             "traffic:  {} B in, {} B out",
             self.bytes_in, self.bytes_out
         )?;
-        write!(
+        writeln!(
             f,
             "pool I/O: {} logical, {} physical ({} seq), {} writes, {} evictions",
             self.io.logical_reads,
@@ -236,7 +271,25 @@ impl std::fmt::Display for MetricsSnapshot {
             self.io.seq_physical_reads,
             self.io.physical_writes,
             self.io.evictions
-        )
+        )?;
+        write!(
+            f,
+            "chunks:   {} cached hits / {} lookups ({:.0}% hit rate), {} evicted",
+            self.io.chunk_cache_hits,
+            self.io.chunk_cache_lookups(),
+            self.io.chunk_cache_hit_rate() * 100.0,
+            self.io.chunk_cache_evictions
+        )?;
+        if !self.shards.is_empty() {
+            let hits: u64 = self.shards.iter().map(|s| s.hits).sum();
+            let misses: u64 = self.shards.iter().map(|s| s.misses).sum();
+            write!(
+                f,
+                "\nshards:   {} pool shards, {hits} hits / {misses} misses",
+                self.shards.len()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -276,8 +329,15 @@ mod tests {
             seq_physical_reads: 2,
             physical_writes: 1,
             evictions: 0,
+            chunk_cache_hits: 7,
+            chunk_cache_misses: 3,
+            chunk_cache_evictions: 1,
         };
-        let snap = m.snapshot(io);
+        let shards = vec![
+            ShardStats { hits: 6, misses: 2 },
+            ShardStats { hits: 4, misses: 2 },
+        ];
+        let snap = m.snapshot_full(io, shards);
         let mut buf = Vec::new();
         snap.encode(&mut buf);
         let decoded = MetricsSnapshot::decode(&mut Cursor::new(&buf)).unwrap();

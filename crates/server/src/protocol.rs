@@ -218,8 +218,9 @@ pub enum Response {
     ResultSet(ConsolidationResult),
     /// Reply to [`Request::Ping`].
     Pong,
-    /// Reply to [`Request::Stats`].
-    Stats(MetricsSnapshot),
+    /// Reply to [`Request::Stats`]. Boxed: the snapshot (histogram +
+    /// per-shard counters) dwarfs every other variant.
+    Stats(Box<MetricsSnapshot>),
     /// Reply to [`Request::ListObjects`]: `(name, kind)` pairs.
     Objects(Vec<(String, String)>),
     /// A structured error.
@@ -318,6 +319,12 @@ impl<'a> Cursor<'a> {
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| ProtocolError::Corrupt("string is not UTF-8".into()))
+    }
+
+    /// Bytes not yet consumed — lets decoders sanity-check claimed
+    /// element counts before allocating.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     pub(crate) fn finish(&self) -> Result<(), ProtocolError> {
@@ -556,7 +563,7 @@ impl Response {
         let resp = match frame_type {
             RESP_RESULT_SET => Response::ResultSet(decode_result(&mut c)?),
             RESP_PONG => Response::Pong,
-            RESP_STATS_REPLY => Response::Stats(MetricsSnapshot::decode(&mut c)?),
+            RESP_STATS_REPLY => Response::Stats(Box::new(MetricsSnapshot::decode(&mut c)?)),
             RESP_OBJECT_LIST => {
                 let n = c.u32()? as usize;
                 let mut objects = Vec::with_capacity(n.min(1 << 16));

@@ -101,7 +101,12 @@ fn handle(shared: &Shared, request: Request) -> Response {
         },
         Request::Ping => Response::Pong,
         Request::Stats => {
-            Response::Stats(shared.metrics.snapshot(shared.db.pool().stats().snapshot()))
+            let pool = shared.db.pool();
+            Response::Stats(Box::new(
+                shared
+                    .metrics
+                    .snapshot_full(pool.stats().snapshot(), pool.shard_stats()),
+            ))
         }
         Request::ListObjects => Response::Objects(
             shared

@@ -63,5 +63,5 @@ pub use error::{Result, StorageError};
 pub use lob::{LobId, LobStore};
 pub use page::{PageBuf, PageId, INVALID_PAGE, PAGE_SIZE};
 pub use pool::{BufferPool, PageMut, PageRef};
-pub use stats::{IoSnapshot, IoStats};
+pub use stats::{IoSnapshot, IoStats, ShardStats};
 pub use wal::{validate_wal_path, Wal};

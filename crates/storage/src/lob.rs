@@ -106,6 +106,25 @@ impl LobStore {
             .ok_or(StorageError::UnknownLob(id.0 as u64))
     }
 
+    /// Disk location of object `id` as `(start page, byte offset, len)`.
+    ///
+    /// Pack space is never reclaimed, so a location names at most one
+    /// live object and is stable across directory reopens — which makes
+    /// it a sound cache key for decoded forms of the object, *provided*
+    /// the cache is invalidated on [`LobStore::overwrite`] (an in-place
+    /// overwrite changes the bytes behind an unchanged location).
+    pub fn location(&self, id: LobId) -> Result<(u64, u32, u64)> {
+        let dir = self.dir.lock();
+        dir.get(id.0 as usize)
+            .map(|e| (e.start.0, e.byte_off, e.len))
+            .ok_or(StorageError::UnknownLob(id.0 as u64))
+    }
+
+    /// The buffer pool this store writes through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
     /// Pages holding data (the on-disk footprint, net of the current
     /// extent's unfilled whole pages).
     pub fn total_pages(&self) -> u64 {

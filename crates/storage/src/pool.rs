@@ -1,4 +1,4 @@
-//! Clock buffer pool with pinned page guards.
+//! Sharded clock buffer pool with pinned page guards.
 //!
 //! The paper configures Paradise with a 16 MB buffer pool and flushes it
 //! before every query so each run starts cold (§5.3). This pool mirrors
@@ -9,23 +9,54 @@
 //! the frame for their lifetime; the clock hand never recycles a pinned
 //! frame. A frame is latched by a `parking_lot::RwLock`, so concurrent
 //! readers of the same page are allowed (used by the parallel chunk-scan
-//! extension). Page faults are serviced while holding the pool's mapping
-//! mutex — a deliberately coarse latch that keeps the miss path simple;
-//! the workloads in this reproduction are scan-heavy, not
-//! latch-contention benchmarks.
+//! extension).
+//!
+//! # Sharding and the miss protocol
+//!
+//! The page table and clock hand are partitioned into shards by a
+//! multiplicative hash of the `PageId`; each shard owns a contiguous,
+//! disjoint range of frames, so concurrent hits on pages of different
+//! shards never touch the same mutex. Tiny pools (the tests use 2-frame
+//! pools) collapse to a single shard.
+//!
+//! Faults do their I/O *outside* the shard mutex. The miss path claims a
+//! victim under the shard lock (pin + frame write latch + a table
+//! *reservation* mapping the new page to the frame), releases the shard
+//! lock, and only then performs victim write-back and fault-in reads
+//! under the frame latch alone — so one slow miss never stalls hits on
+//! other pages. The failure discipline is unchanged: the victim's table
+//! entry is only removed after its dirty contents are safely on disk,
+//! and the frame only advertises the new page after the read completes.
+//! Concurrent fetchers of either page find a table entry, pin, block on
+//! the frame latch, and re-check the frame's page id once the latch is
+//! theirs — retrying from the table if the fault was abandoned.
 
+use std::any::Any;
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::disk::DiskManager;
 use crate::error::{Result, StorageError};
 use crate::page::{PageBuf, PageId, PAGE_SIZE};
-use crate::stats::IoStats;
+use crate::stats::{IoStats, ShardStats};
 use crate::wal::Wal;
+
+/// Frames per shard below which splitting further stops paying for
+/// itself; pools smaller than twice this stay single-sharded.
+const MIN_FRAMES_PER_SHARD: usize = 16;
+
+/// Upper bound on the shard count.
+const MAX_SHARDS: usize = 64;
+
+/// Bound on "pin, latch, re-check, retry" rounds in [`BufferPool::fetch`]
+/// and friends. Every retry means another thread finished or abandoned a
+/// fault on the frame in between, so hitting the bound indicates pool
+/// corruption rather than contention.
+const PIN_RETRY_LIMIT: usize = 10_000;
 
 struct FrameData {
     pid: Option<PageId>,
@@ -53,34 +84,84 @@ impl Frame {
     }
 }
 
-struct PoolState {
+struct ShardState {
+    /// Page → frame index (into the pool-wide frame vector; only frames
+    /// of this shard's range ever appear here).
     table: HashMap<PageId, usize>,
+    /// Clock hand, as an offset into this shard's frame range.
     clock: usize,
+    hits: u64,
+    misses: u64,
+}
+
+struct Shard {
+    /// First frame index owned by this shard.
+    base: usize,
+    /// Number of frames owned by this shard.
+    len: usize,
+    state: Mutex<ShardState>,
 }
 
 /// A fixed-budget page cache over a [`DiskManager`].
 pub struct BufferPool {
     disk: Arc<dyn DiskManager>,
     frames: Vec<Frame>,
-    state: Mutex<PoolState>,
+    shards: Vec<Shard>,
     stats: IoStats,
+    /// Bumped by [`BufferPool::clear`]; consumers caching decoded forms
+    /// of page data (the chunk cache) treat entries stamped with an
+    /// older epoch as cold, preserving the paper's flush-between-runs
+    /// methodology.
+    epoch: AtomicU64,
+    /// One type-erased extension slot for higher layers to attach a
+    /// pool-wide shared structure (the decoded-chunk cache) without a
+    /// dependency cycle.
+    ext: OnceLock<Arc<dyn Any + Send + Sync>>,
     /// Optional redo journal: when present, every page write-back is
     /// logged (and the log synced) before it reaches the data file.
     wal: Option<Wal>,
+}
+
+/// Largest power of two ≤ `MAX_SHARDS` that still leaves every shard at
+/// least `MIN_FRAMES_PER_SHARD` frames.
+fn shard_count_for(num_frames: usize) -> usize {
+    let mut shards = 1usize;
+    while shards < MAX_SHARDS && num_frames / (shards * 2) >= MIN_FRAMES_PER_SHARD {
+        shards *= 2;
+    }
+    shards
 }
 
 impl BufferPool {
     /// Creates a pool with `num_frames` page frames.
     pub fn new(disk: Arc<dyn DiskManager>, num_frames: usize) -> Self {
         assert!(num_frames > 0, "buffer pool needs at least one frame");
+        let n_shards = shard_count_for(num_frames);
+        let per = num_frames / n_shards;
+        let extra = num_frames % n_shards;
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut base = 0usize;
+        for s in 0..n_shards {
+            let len = per + usize::from(s < extra);
+            shards.push(Shard {
+                base,
+                len,
+                state: Mutex::new(ShardState {
+                    table: HashMap::with_capacity(len),
+                    clock: 0,
+                    hits: 0,
+                    misses: 0,
+                }),
+            });
+            base += len;
+        }
         BufferPool {
             disk,
             frames: (0..num_frames).map(|_| Frame::new()).collect(),
-            state: Mutex::new(PoolState {
-                table: HashMap::with_capacity(num_frames),
-                clock: 0,
-            }),
+            shards,
             stats: IoStats::new(),
+            epoch: AtomicU64::new(0),
+            ext: OnceLock::new(),
             wal: None,
         }
     }
@@ -136,6 +217,44 @@ impl BufferPool {
         self.frames.len()
     }
 
+    /// Number of page-table shards (1 for small pools).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard hit/miss counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let state = shard.state.lock();
+                ShardStats {
+                    hits: state.hits,
+                    misses: state.misses,
+                }
+            })
+            .collect()
+    }
+
+    /// The pool's cold-run epoch; bumped by every [`BufferPool::clear`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Returns the pool's extension object, installing `init()` on the
+    /// first call. Returns `None` only if the slot was already claimed
+    /// with a different type.
+    pub fn extension_or_init<T, F>(&self, init: F) -> Option<Arc<T>>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce() -> Arc<T>,
+    {
+        let slot = self
+            .ext
+            .get_or_init(|| -> Arc<dyn Any + Send + Sync> { init() });
+        slot.clone().downcast::<T>().ok()
+    }
+
     /// The pool's I/O counters.
     pub fn stats(&self) -> &IoStats {
         &self.stats
@@ -159,29 +278,55 @@ impl BufferPool {
             .ok_or(StorageError::Corrupt("buffer frame index out of range"))
     }
 
+    /// The shard owning `pid` (multiplicative hash; the shard count is a
+    /// power of two).
+    fn shard_for(&self, pid: PageId) -> Result<&Shard> {
+        let h = pid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let idx = (h >> 33) as usize & (self.shards.len() - 1);
+        self.shards
+            .get(idx)
+            .ok_or(StorageError::Corrupt("pool shard index out of range"))
+    }
+
     /// Fetches page `pid` for reading.
     pub fn fetch(&self, pid: PageId) -> Result<PageRef<'_>> {
-        let idx = self.pin_frame(pid, false)?;
-        let guard = self.frame(idx)?.data.read();
-        debug_assert_eq!(guard.pid, Some(pid));
-        Ok(PageRef {
-            pool: self,
-            idx,
-            guard,
-        })
+        // A mapped frame can still be mid-fault (its I/O runs outside
+        // the shard lock); the latch acquisition waits the fault out,
+        // and the page-id re-check retries if the fault was abandoned
+        // or the mapping was a now-evicted victim's.
+        for _ in 0..PIN_RETRY_LIMIT {
+            let idx = self.pin_frame(pid, false)?;
+            let guard = self.frame(idx)?.data.read();
+            if guard.pid == Some(pid) {
+                return Ok(PageRef {
+                    pool: self,
+                    idx,
+                    guard,
+                });
+            }
+            drop(guard);
+            self.unpin(idx);
+        }
+        Err(StorageError::Corrupt("page pin retry limit exceeded"))
     }
 
     /// Fetches page `pid` for writing; the frame is marked dirty.
     pub fn fetch_mut(&self, pid: PageId) -> Result<PageMut<'_>> {
-        let idx = self.pin_frame(pid, false)?;
-        let mut guard = self.frame(idx)?.data.write();
-        debug_assert_eq!(guard.pid, Some(pid));
-        guard.dirty = true;
-        Ok(PageMut {
-            pool: self,
-            idx,
-            guard,
-        })
+        for _ in 0..PIN_RETRY_LIMIT {
+            let idx = self.pin_frame(pid, false)?;
+            let mut guard = self.frame(idx)?.data.write();
+            if guard.pid == Some(pid) {
+                guard.dirty = true;
+                return Ok(PageMut {
+                    pool: self,
+                    idx,
+                    guard,
+                });
+            }
+            drop(guard);
+            self.unpin(idx);
+        }
+        Err(StorageError::Corrupt("page pin retry limit exceeded"))
     }
 
     /// Installs freshly allocated page `pid` with zeroed contents,
@@ -190,29 +335,38 @@ impl BufferPool {
     /// Only call this for pages that have never been written; otherwise
     /// the old contents are silently discarded.
     pub fn create_page(&self, pid: PageId) -> Result<PageMut<'_>> {
-        let idx = self.pin_frame(pid, true)?;
-        let mut guard = self.frame(idx)?.data.write();
-        debug_assert_eq!(guard.pid, Some(pid));
-        guard.dirty = true;
-        Ok(PageMut {
-            pool: self,
-            idx,
-            guard,
-        })
+        for _ in 0..PIN_RETRY_LIMIT {
+            let idx = self.pin_frame(pid, true)?;
+            let mut guard = self.frame(idx)?.data.write();
+            if guard.pid == Some(pid) {
+                guard.buf.fill(0);
+                guard.dirty = true;
+                return Ok(PageMut {
+                    pool: self,
+                    idx,
+                    guard,
+                });
+            }
+            drop(guard);
+            self.unpin(idx);
+        }
+        Err(StorageError::Corrupt("page pin retry limit exceeded"))
     }
 
     /// Writes all dirty frames back to disk (does not evict). With a
     /// WAL attached, the whole batch is journaled and synced before the
     /// first data-page write, making the flush redoable as a unit.
     pub fn flush_all(&self) -> Result<()> {
-        // Hold the state lock so no frame is concurrently remapped.
-        let _state = self.state.lock();
+        // Hold every shard lock (in shard order) so no frame is
+        // concurrently remapped; in-flight faults hold their frame
+        // latch, which the per-frame loop below waits out.
+        let _shards: Vec<_> = self.shards.iter().map(|shard| shard.state.lock()).collect();
         if let Some(wal) = &self.wal {
             for frame in &self.frames {
                 let fd = frame.data.read();
                 if fd.dirty {
                     if let Some(pid) = fd.pid {
-                        // lint:allow(lock-io): flushing is a latch-coupled batch by design; the state lock must block remapping while the journal is written
+                        // lint:allow(lock-io): flushing is a latch-coupled batch by design; the shard locks must block remapping while the journal is written
                         wal.log_page(pid, &fd.buf)?;
                     }
                 }
@@ -235,9 +389,11 @@ impl BufferPool {
 
     /// Flushes and drops every cached page, returning the pool to a cold
     /// state. Mirrors the paper's "flush the buffer pool before each
-    /// query" methodology. Fails if any page is still pinned.
+    /// query" methodology. Fails if any page is still pinned. Bumps the
+    /// pool [`epoch`](BufferPool::epoch) so decoded-chunk caches go cold
+    /// too.
     pub fn clear(&self) -> Result<()> {
-        let mut state = self.state.lock();
+        let mut guards: Vec<_> = self.shards.iter().map(|shard| shard.state.lock()).collect();
         for frame in &self.frames {
             if frame.pin.load(Ordering::Acquire) != 0 {
                 return Err(StorageError::PoolExhausted);
@@ -252,53 +408,105 @@ impl BufferPool {
             fd.dirty = false;
             frame.referenced.store(false, Ordering::Release);
         }
-        state.table.clear();
-        state.clock = 0;
+        for state in guards.iter_mut() {
+            state.table.clear();
+            state.clock = 0;
+        }
+        self.epoch.fetch_add(1, Ordering::AcqRel);
         Ok(())
+    }
+
+    /// Removes the reservation `pid → idx` if it is still in place —
+    /// the cleanup for an abandoned fault.
+    fn drop_reservation(&self, shard: &Shard, pid: PageId, idx: usize) {
+        let mut state = shard.state.lock();
+        if state.table.get(&pid) == Some(&idx) {
+            state.table.remove(&pid);
+        }
     }
 
     /// Pins the frame holding `pid`, faulting it in if necessary.
     /// When `fresh` is true the page is installed zeroed with no read.
+    ///
+    /// On a miss, all I/O (victim write-back, fault-in read) runs with
+    /// only the claimed frame's latch held — the shard lock is taken in
+    /// short critical sections before and after, so hits on other pages
+    /// proceed concurrently. Callers must latch the returned frame and
+    /// re-check its page id (see [`BufferPool::fetch`]).
     fn pin_frame(&self, pid: PageId, fresh: bool) -> Result<usize> {
         self.stats.logical_read();
-        let mut state = self.state.lock();
+        let shard = self.shard_for(pid)?;
+
+        let mut state = shard.state.lock();
         if let Some(&idx) = state.table.get(&pid) {
-            self.frames[idx].pin.fetch_add(1, Ordering::AcqRel);
-            self.frames[idx].referenced.store(true, Ordering::Release);
-            if fresh {
-                // create_page on a cached page: zero it in place.
-                let mut fd = self.frames[idx].data.write();
-                fd.buf.fill(0);
-                fd.dirty = true;
-            }
+            state.hits += 1;
+            let frame = self.frame(idx)?;
+            frame.pin.fetch_add(1, Ordering::AcqRel);
+            frame.referenced.store(true, Ordering::Release);
             return Ok(idx);
         }
+        state.misses += 1;
 
-        let idx = self.find_victim(&mut state)?;
+        let idx = self.find_victim(shard, &mut state)?;
         let frame = self.frame(idx)?;
-        // Claim the frame before releasing any locks.
+        // Claim the frame before releasing the shard lock: the pin
+        // keeps other faulters off it, the write latch keeps readers of
+        // the old page out until the remap completes or is abandoned.
         frame.pin.fetch_add(1, Ordering::AcqRel);
         frame.referenced.store(true, Ordering::Release);
-
-        // Failure discipline: the victim's table entry is only removed
-        // after its dirty contents are safely on disk, and the frame is
-        // only remapped after the new page is safely read. Either I/O
-        // failing leaves the pool consistent (the dirty page stays
-        // cached and reachable; a clean victim is simply dropped) and
-        // releases this claim.
         let mut fd = frame.data.write();
-        if let Some(old) = fd.pid {
-            if fd.dirty {
-                if let Err(e) = self.write_back(old, &fd.buf, true) {
+        let old_pid = fd.pid;
+        // Reserve the mapping so concurrent fetchers of `pid` pin this
+        // frame and wait on its latch instead of faulting a second
+        // copy; they re-check the page id once the latch is theirs.
+        state.table.insert(pid, idx);
+        drop(state);
+
+        if let Some(old) = old_pid {
+            // Failure discipline: the victim's table entry is only
+            // removed after its dirty contents are safely on disk —
+            // concurrent readers of `old` keep hitting this (clean)
+            // frame rather than faulting a stale copy from disk.
+            loop {
+                if fd.dirty {
+                    if let Err(e) = self.write_back(old, &fd.buf, true) {
+                        // The dirty page stays cached and reachable;
+                        // only the reservation is withdrawn.
+                        drop(fd);
+                        self.drop_reservation(shard, pid, idx);
+                        frame.pin.fetch_sub(1, Ordering::AcqRel);
+                        return Err(e);
+                    }
+                    fd.dirty = false;
+                }
+                // Swap the mapping under the shard lock. The frame
+                // latch must be re-taken *after* it (shard state ranks
+                // before frame latches), which opens a window where a
+                // writer can re-dirty the old page through its still
+                // live mapping — hence the re-check and re-flush loop.
+                drop(fd);
+                let mut state = shard.state.lock();
+                fd = frame.data.write();
+                if fd.pid != Some(old) {
+                    // Unreachable while the pin protocol holds (a
+                    // pinned frame is never remapped), but fail safe.
+                    if state.table.get(&pid) == Some(&idx) {
+                        state.table.remove(&pid);
+                    }
+                    drop(state);
                     drop(fd);
                     frame.pin.fetch_sub(1, Ordering::AcqRel);
-                    return Err(e);
+                    return Err(StorageError::Corrupt("victim frame remapped while pinned"));
                 }
-                fd.dirty = false;
+                if fd.dirty {
+                    continue;
+                }
+                state.table.remove(&old);
+                self.stats.eviction();
+                break;
             }
-            state.table.remove(&old);
-            self.stats.eviction();
         }
+
         if fresh {
             fd.buf.fill(0);
         // lint:allow(lock-io): faulting the page in under its freshly claimed frame latch is the pool's remap protocol
@@ -308,6 +516,7 @@ impl BufferPool {
             fd.pid = None;
             fd.dirty = false;
             drop(fd);
+            self.drop_reservation(shard, pid, idx);
             frame.pin.fetch_sub(1, Ordering::AcqRel);
             return Err(e);
         } else {
@@ -315,30 +524,34 @@ impl BufferPool {
         }
         fd.pid = Some(pid);
         fd.dirty = false;
-        state.table.insert(pid, idx);
         Ok(idx)
     }
 
-    /// Second-chance clock sweep; at most two full revolutions.
-    fn find_victim(&self, state: &mut PoolState) -> Result<usize> {
-        let n = self.frames.len();
+    /// Second-chance clock sweep over the shard's frame range; at most
+    /// two full revolutions.
+    fn find_victim(&self, shard: &Shard, state: &mut ShardState) -> Result<usize> {
+        let n = shard.len;
         for _ in 0..2 * n {
-            let idx = state.clock;
+            let off = state.clock;
             state.clock = (state.clock + 1) % n;
-            let frame = &self.frames[idx];
+            let Some(frame) = self.frames.get(shard.base + off) else {
+                continue;
+            };
             if frame.pin.load(Ordering::Acquire) != 0 {
                 continue;
             }
             if frame.referenced.swap(false, Ordering::AcqRel) {
                 continue;
             }
-            return Ok(idx);
+            return Ok(shard.base + off);
         }
         Err(StorageError::PoolExhausted)
     }
 
     fn unpin(&self, idx: usize) {
-        self.frames[idx].pin.fetch_sub(1, Ordering::AcqRel);
+        if let Some(frame) = self.frames.get(idx) {
+            frame.pin.fetch_sub(1, Ordering::AcqRel);
+        }
     }
 }
 
@@ -495,6 +708,18 @@ mod tests {
     }
 
     #[test]
+    fn clear_bumps_the_epoch() {
+        let p = pool(4);
+        let e0 = p.epoch();
+        let pid = p.allocate_pages(1).unwrap();
+        drop(p.create_page(pid).unwrap());
+        p.clear().unwrap();
+        assert_eq!(p.epoch(), e0 + 1);
+        p.clear().unwrap();
+        assert_eq!(p.epoch(), e0 + 2);
+    }
+
+    #[test]
     fn clear_fails_while_pinned() {
         let p = pool(2);
         let pid = p.allocate_pages(1).unwrap();
@@ -507,6 +732,48 @@ mod tests {
     fn with_bytes_sizes_frames() {
         let p = BufferPool::with_bytes(Arc::new(MemDisk::new()), 16 << 20);
         assert_eq!(p.num_frames(), (16 << 20) / PAGE_SIZE);
+    }
+
+    #[test]
+    fn small_pools_use_one_shard_big_pools_many() {
+        assert_eq!(pool(2).num_shards(), 1);
+        assert_eq!(pool(31).num_shards(), 1);
+        assert_eq!(pool(32).num_shards(), 2);
+        let paper = BufferPool::with_bytes(Arc::new(MemDisk::new()), 16 << 20);
+        assert!(paper.num_shards() > 1, "paper-scale pool should shard");
+        // Shard frame ranges tile the pool exactly.
+        let frames: usize = paper.shards.iter().map(|s| s.len).sum();
+        assert_eq!(frames, paper.num_frames());
+    }
+
+    #[test]
+    fn shard_stats_count_hits_and_misses() {
+        let p = pool(64); // multiple shards
+        let base = p.allocate_pages(8).unwrap();
+        for i in 0..8 {
+            drop(p.create_page(base.offset(i)).unwrap());
+        }
+        for _ in 0..3 {
+            for i in 0..8 {
+                drop(p.fetch(base.offset(i)).unwrap());
+            }
+        }
+        let stats = p.shard_stats();
+        assert_eq!(stats.len(), p.num_shards());
+        let hits: u64 = stats.iter().map(|s| s.hits).sum();
+        let misses: u64 = stats.iter().map(|s| s.misses).sum();
+        assert_eq!(hits, 24, "{stats:?}");
+        assert_eq!(misses, 8, "create_page faults count as misses");
+    }
+
+    #[test]
+    fn extension_slot_installs_once() {
+        let p = pool(2);
+        let a = p.extension_or_init(|| Arc::new(7u64)).unwrap();
+        let b = p.extension_or_init(|| Arc::new(9u64)).unwrap();
+        assert_eq!((*a, *b), (7, 7), "first install wins");
+        // A different type cannot displace the installed extension.
+        assert!(p.extension_or_init(|| Arc::new(String::new())).is_none());
     }
 
     #[test]
@@ -548,6 +815,47 @@ mod tests {
         }
         for h in handles {
             h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_traffic_is_consistent() {
+        // Hammer a sharded pool with reads and writes across more pages
+        // than frames, so faults, write-backs, and reservation handoffs
+        // all race; every page must always read back its last value.
+        let p = Arc::new(pool(48));
+        let base = p.allocate_pages(96).unwrap();
+        for i in 0..96 {
+            let mut page = p.create_page(base.offset(i)).unwrap();
+            page[0] = i as u8;
+        }
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let p = p.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut x = t.wrapping_mul(0x9E37_79B9);
+                for round in 0..400u64 {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let i = (x >> 33) % 96;
+                    if (round + t) % 7 == 0 {
+                        let mut page = p.fetch_mut(base.offset(i)).unwrap();
+                        assert_eq!(page[0], i as u8, "thread {t} round {round}");
+                        page[1] = page[1].wrapping_add(1);
+                    } else {
+                        let page = p.fetch(base.offset(i)).unwrap();
+                        assert_eq!(page[0], i as u8, "thread {t} round {round}");
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..96 {
+            let page = p.fetch(base.offset(i)).unwrap();
+            assert_eq!(page[0], i as u8);
         }
     }
 }

@@ -5,6 +5,10 @@
 //! fewer I/Os. Absolute 1997 wall-clock times are not reproducible on
 //! modern hardware, so the benchmark harness reports these counters next
 //! to wall time; the I/O ratios are hardware-independent.
+//!
+//! Besides page-level I/O, the counters track the decoded-chunk cache
+//! (maintained by the array layer, which lacks a shared home of its own —
+//! the cache is pool-scoped, so its counters live with the pool's).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -19,6 +23,9 @@ pub struct IoStats {
     physical_writes: AtomicU64,
     evictions: AtomicU64,
     last_read_pid: AtomicU64,
+    chunk_cache_hits: AtomicU64,
+    chunk_cache_misses: AtomicU64,
+    chunk_cache_evictions: AtomicU64,
 }
 
 impl Default for IoStats {
@@ -38,6 +45,9 @@ impl IoStats {
             evictions: AtomicU64::new(0),
             // Chosen so no first read can look sequential.
             last_read_pid: AtomicU64::new(u64::MAX - 1),
+            chunk_cache_hits: AtomicU64::new(0),
+            chunk_cache_misses: AtomicU64::new(0),
+            chunk_cache_evictions: AtomicU64::new(0),
         }
     }
 
@@ -69,6 +79,24 @@ impl IoStats {
         self.evictions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a decoded-chunk cache lookup that found a live entry.
+    #[inline]
+    pub fn chunk_cache_hit(&self) {
+        self.chunk_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a decoded-chunk cache lookup that had to decode.
+    #[inline]
+    pub fn chunk_cache_miss(&self) {
+        self.chunk_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` decoded chunks evicted to stay under the byte cap.
+    #[inline]
+    pub fn chunk_cache_evictions_add(&self, n: u64) {
+        self.chunk_cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of the counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -77,6 +105,9 @@ impl IoStats {
             seq_physical_reads: self.seq_physical_reads.load(Ordering::Relaxed),
             physical_writes: self.physical_writes.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            chunk_cache_hits: self.chunk_cache_hits.load(Ordering::Relaxed),
+            chunk_cache_misses: self.chunk_cache_misses.load(Ordering::Relaxed),
+            chunk_cache_evictions: self.chunk_cache_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -88,7 +119,19 @@ impl IoStats {
         self.physical_writes.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
         self.last_read_pid.store(u64::MAX - 1, Ordering::Relaxed);
+        self.chunk_cache_hits.store(0, Ordering::Relaxed);
+        self.chunk_cache_misses.store(0, Ordering::Relaxed);
+        self.chunk_cache_evictions.store(0, Ordering::Relaxed);
     }
+}
+
+/// Hit/miss counters for one buffer-pool shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Page requests answered from this shard's table.
+    pub hits: u64,
+    /// Page requests that faulted through this shard.
+    pub misses: u64,
 }
 
 /// A point-in-time copy of [`IoStats`], with delta arithmetic.
@@ -105,6 +148,12 @@ pub struct IoSnapshot {
     pub physical_writes: u64,
     /// Frames recycled by the clock hand.
     pub evictions: u64,
+    /// Decoded-chunk cache lookups that found a live entry.
+    pub chunk_cache_hits: u64,
+    /// Decoded-chunk cache lookups that had to decode.
+    pub chunk_cache_misses: u64,
+    /// Decoded chunks evicted to stay under the cache's byte cap.
+    pub chunk_cache_evictions: u64,
 }
 
 impl IoSnapshot {
@@ -118,6 +167,15 @@ impl IoSnapshot {
                 .saturating_sub(earlier.seq_physical_reads),
             physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
             evictions: self.evictions.saturating_sub(earlier.evictions),
+            chunk_cache_hits: self
+                .chunk_cache_hits
+                .saturating_sub(earlier.chunk_cache_hits),
+            chunk_cache_misses: self
+                .chunk_cache_misses
+                .saturating_sub(earlier.chunk_cache_misses),
+            chunk_cache_evictions: self
+                .chunk_cache_evictions
+                .saturating_sub(earlier.chunk_cache_evictions),
         }
     }
 
@@ -139,6 +197,21 @@ impl IoSnapshot {
             1.0 - self.physical_reads as f64 / self.logical_reads as f64
         }
     }
+
+    /// Decoded-chunk cache lookups (hits + misses).
+    pub fn chunk_cache_lookups(&self) -> u64 {
+        self.chunk_cache_hits + self.chunk_cache_misses
+    }
+
+    /// Decoded-chunk cache hit rate in `[0, 1]`; 1.0 with no lookups.
+    pub fn chunk_cache_hit_rate(&self) -> f64 {
+        let lookups = self.chunk_cache_lookups();
+        if lookups == 0 {
+            1.0
+        } else {
+            self.chunk_cache_hits as f64 / lookups as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -153,11 +226,18 @@ mod tests {
         s.physical_read(0);
         s.physical_write();
         s.eviction();
+        s.chunk_cache_hit();
+        s.chunk_cache_miss();
+        s.chunk_cache_evictions_add(2);
         let snap = s.snapshot();
         assert_eq!(snap.logical_reads, 2);
         assert_eq!(snap.physical_reads, 1);
         assert_eq!(snap.physical_writes, 1);
         assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.chunk_cache_hits, 1);
+        assert_eq!(snap.chunk_cache_misses, 1);
+        assert_eq!(snap.chunk_cache_lookups(), 2);
+        assert_eq!(snap.chunk_cache_evictions, 2);
 
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
@@ -168,14 +248,19 @@ mod tests {
         let s = IoStats::new();
         s.logical_read();
         s.physical_read(5);
+        s.chunk_cache_miss();
         let before = s.snapshot();
         s.logical_read();
         s.logical_read();
         s.physical_read(6);
+        s.chunk_cache_hit();
+        s.chunk_cache_hit();
         let delta = s.snapshot().since(&before);
         assert_eq!(delta.logical_reads, 2);
         assert_eq!(delta.physical_reads, 1);
         assert_eq!(delta.physical_writes, 0);
+        assert_eq!(delta.chunk_cache_hits, 2);
+        assert_eq!(delta.chunk_cache_misses, 0);
     }
 
     #[test]
@@ -200,10 +285,15 @@ mod tests {
             seq_physical_reads: 1,
             physical_writes: 0,
             evictions: 0,
+            chunk_cache_hits: 3,
+            chunk_cache_misses: 1,
+            chunk_cache_evictions: 0,
         };
         assert_eq!(snap.random_physical_reads(), 1);
         assert_eq!(snap.bytes_read(), 2 * PAGE_SIZE as u64);
         assert!((snap.hit_rate() - 0.8).abs() < 1e-9);
+        assert!((snap.chunk_cache_hit_rate() - 0.75).abs() < 1e-9);
         assert_eq!(IoSnapshot::default().hit_rate(), 1.0);
+        assert_eq!(IoSnapshot::default().chunk_cache_hit_rate(), 1.0);
     }
 }

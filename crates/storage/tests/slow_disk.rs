@@ -1,0 +1,146 @@
+//! Regression test for the sharded pin protocol: a page miss whose
+//! fault-in I/O is slow must not block a concurrent *hit* on another
+//! page. The pre-sharding pool serviced faults while holding the global
+//! pool mutex, so one slow disk read stalled every session.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use molap_storage::{BufferPool, DiskManager, MemDisk, PageBuf, PageId, Result};
+
+/// Delegates to a [`MemDisk`], injecting latency into every page read.
+struct SlowDisk {
+    inner: MemDisk,
+    read_delay: Duration,
+    reads: AtomicU64,
+}
+
+impl SlowDisk {
+    fn new(read_delay: Duration) -> Self {
+        SlowDisk {
+            inner: MemDisk::new(),
+            read_delay,
+            reads: AtomicU64::new(0),
+        }
+    }
+}
+
+impl DiskManager for SlowDisk {
+    fn read_page(&self, pid: PageId, buf: &mut PageBuf) -> Result<()> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(self.read_delay);
+        self.inner.read_page(pid, buf)
+    }
+
+    fn write_page(&self, pid: PageId, buf: &PageBuf) -> Result<()> {
+        self.inner.write_page(pid, buf)
+    }
+
+    fn allocate_contiguous(&self, n: u64) -> Result<PageId> {
+        self.inner.allocate_contiguous(n)
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+}
+
+#[test]
+fn slow_miss_does_not_block_concurrent_hits() {
+    const READ_DELAY: Duration = Duration::from_millis(250);
+
+    let disk = Arc::new(SlowDisk::new(READ_DELAY));
+    let pool = Arc::new(BufferPool::new(disk.clone(), 64));
+    let base = pool.allocate_pages(2).unwrap();
+    let (miss_page, hit_page) = (base, base.offset(1));
+
+    // Write both pages, go cold, then re-warm only `hit_page`, so the
+    // next `miss_page` access faults while `hit_page` stays cached.
+    {
+        let mut p = pool.create_page(miss_page).unwrap();
+        p[0] = 1;
+        let mut p = pool.create_page(hit_page).unwrap();
+        p[0] = 2;
+    }
+    pool.clear().unwrap(); // both cold now
+    drop(pool.fetch(hit_page).unwrap()); // re-warm only the hit page
+    let reads_before = disk.reads.load(Ordering::Relaxed);
+
+    // Thread A faults `miss_page` (slow read). After giving it time to
+    // enter the fault, the main thread's hits on `hit_page` must finish
+    // long before the fault does.
+    let fault_started = Instant::now();
+    let faulter = {
+        let pool = pool.clone();
+        std::thread::spawn(move || {
+            let page = pool.fetch(miss_page).unwrap();
+            assert_eq!(page[0], 1);
+        })
+    };
+    std::thread::sleep(READ_DELAY / 5); // let the faulter reach the disk read
+
+    let hit_started = Instant::now();
+    for _ in 0..10 {
+        let page = pool.fetch(hit_page).unwrap();
+        assert_eq!(page[0], 2);
+    }
+    let hit_elapsed = hit_started.elapsed();
+
+    faulter.join().unwrap();
+    let fault_elapsed = fault_started.elapsed();
+
+    assert_eq!(
+        disk.reads.load(Ordering::Relaxed),
+        reads_before + 1,
+        "exactly the one slow fault should have touched the disk"
+    );
+    assert!(
+        fault_elapsed >= READ_DELAY,
+        "fault must have paid the injected latency ({fault_elapsed:?})"
+    );
+    assert!(
+        hit_elapsed < READ_DELAY / 2,
+        "hits on another page stalled behind a slow miss: {hit_elapsed:?}"
+    );
+}
+
+#[test]
+fn concurrent_misses_on_different_pages_overlap() {
+    // Four cold pages faulted by four threads: if faults serialized on
+    // a pool-wide lock the total would be ≥ 4 × delay; overlapping
+    // faults finish in a little over one delay.
+    const READ_DELAY: Duration = Duration::from_millis(150);
+
+    let disk = Arc::new(SlowDisk::new(READ_DELAY));
+    let pool = Arc::new(BufferPool::new(disk, 64));
+    let base = pool.allocate_pages(4).unwrap();
+    for i in 0..4 {
+        let mut p = pool.create_page(base.offset(i)).unwrap();
+        p[0] = i as u8;
+    }
+    pool.clear().unwrap();
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                let page = pool.fetch(base.offset(i)).unwrap();
+                assert_eq!(page[0], i as u8);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < READ_DELAY * 3,
+        "4 faults took {elapsed:?}; they serialized instead of overlapping"
+    );
+}

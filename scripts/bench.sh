@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# PR 3 performance gate: runs the sharded-pool / chunk-cache / parallel
+# consolidation bench and writes BENCH_PR3.json at the repo root.
+#
+#   scripts/bench.sh            full run (enforces the 2x acceptance bar)
+#   scripts/bench.sh --smoke    ~30x smaller dataset, 1 run per point
+#
+# Extra arguments are passed through to the bench binary (e.g.
+# `--out /tmp/other.json`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run -q --release --offline -p molap-bench --bin bench_pr3 -- "$@"

@@ -34,6 +34,12 @@ fi
 echo "==> cargo test -p molap-server --features lock-order-tracking"
 cargo test -q -p molap-server --features lock-order-tracking --offline
 
+echo "==> cargo test -p molap-core --features lock-order-tracking"
+cargo test -q -p molap-core --features lock-order-tracking --offline
+
+echo "==> bench_pr3 --smoke (parallel/caching bench smoke run)"
+scripts/bench.sh --smoke --out target/BENCH_PR3.smoke.json > /dev/null
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

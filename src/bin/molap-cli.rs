@@ -184,10 +184,26 @@ fn run_command(backend: &mut Backend, line: &str) -> Result<bool, Box<dyn std::e
         },
         ".stats" => match backend {
             Backend::Local(db) => {
-                let s = db.pool().stats().snapshot();
+                let pool = db.pool();
+                let s = pool.stats().snapshot();
                 println!(
                     "logical reads {}, physical reads {} ({} sequential), writes {}",
                     s.logical_reads, s.physical_reads, s.seq_physical_reads, s.physical_writes
+                );
+                println!(
+                    "chunk cache: {} hits / {} lookups ({:.0}% hit rate), {} evicted",
+                    s.chunk_cache_hits,
+                    s.chunk_cache_lookups(),
+                    s.chunk_cache_hit_rate() * 100.0,
+                    s.chunk_cache_evictions
+                );
+                let shards = pool.shard_stats();
+                let (hits, misses) = shards
+                    .iter()
+                    .fold((0u64, 0u64), |(h, m), s| (h + s.hits, m + s.misses));
+                println!(
+                    "pool shards: {} shards, {hits} table hits / {misses} misses",
+                    shards.len()
                 );
             }
             Backend::Remote(client) => println!("{}", client.stats()?),
