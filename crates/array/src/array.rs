@@ -102,6 +102,20 @@ impl Chunk {
     }
 }
 
+/// Reusable buffers for [`ChunkedArray::read_chunk_prefetched`]: one
+/// per prefetcher thread, so the pipeline's per-chunk page span, LOB
+/// byte, and decode allocations are paid once per query instead of
+/// once per chunk.
+#[derive(Default)]
+pub struct PrefetchScratch {
+    /// Whole-page span target for bypass reads.
+    span: Vec<u8>,
+    /// The chunk's LOB bytes (encoded form).
+    bytes: Vec<u8>,
+    /// Decode output (LZW expansion) scratch.
+    raw: Vec<u8>,
+}
+
 /// A chunked n-dimensional array stored on buffer-pool pages.
 pub struct ChunkedArray {
     shape: Shape,
@@ -150,6 +164,22 @@ impl ChunkedArray {
         self.lobs.total_bytes()
     }
 
+    /// The buffer pool this array's pages live in.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        self.lobs.pool()
+    }
+
+    /// Materializes an empty chunk in the array's format.
+    fn empty_chunk(&self) -> Chunk {
+        match self.format {
+            ChunkFormat::ChunkOffset => Chunk::Compressed(CompressedChunk::empty(self.n_measures)),
+            _ => Chunk::Dense(DenseChunk::new(
+                self.shape.chunk_cells() as usize,
+                self.n_measures,
+            )),
+        }
+    }
+
     /// Reads and decodes chunk `chunk_no`.
     ///
     /// Decoded chunks are served from (and inserted into) the pool's
@@ -159,15 +189,7 @@ impl ChunkedArray {
     pub fn read_chunk(&self, chunk_no: u64) -> Result<Arc<Chunk>> {
         let id = LobId(chunk_no as u32);
         if self.lobs.object_len(id)? == 0 {
-            return Ok(Arc::new(match self.format {
-                ChunkFormat::ChunkOffset => {
-                    Chunk::Compressed(CompressedChunk::empty(self.n_measures))
-                }
-                _ => Chunk::Dense(DenseChunk::new(
-                    self.shape.chunk_cells() as usize,
-                    self.n_measures,
-                )),
-            }));
+            return Ok(Arc::new(self.empty_chunk()));
         }
         let Some(cache) = self.cache.as_deref() else {
             let bytes = self.lobs.read(id)?;
@@ -182,6 +204,63 @@ impl ChunkedArray {
         }
         let bytes = self.lobs.read(id)?;
         let chunk = Arc::new(self.decode_chunk(&bytes)?);
+        let evicted = cache.insert(key, epoch, chunk.clone(), chunk.decoded_bytes());
+        pool.stats().chunk_cache_miss();
+        if evicted > 0 {
+            pool.stats().chunk_cache_evictions_add(evicted);
+        }
+        Ok(chunk)
+    }
+
+    /// The prefetcher's edition of [`ChunkedArray::read_chunk`].
+    ///
+    /// Identical cache behaviour (lookup, publication, hit/miss
+    /// counters), but a cache miss on a cold multi-page chunk is read
+    /// with **one vectored disk read that bypasses the buffer pool**
+    /// ([`LobStore::read_into_prefetch`]) instead of per-page fault
+    /// rounds — the decoded chunk goes straight into the shared
+    /// [`ChunkCache`], which is the tier that actually serves repeat
+    /// reads of chunk bytes. `scratch` holds the caller's reusable
+    /// buffers (page span, LOB bytes, decode output) so a prefetcher
+    /// thread allocates once, not per chunk.
+    ///
+    /// The bypass read holds no page latches, so it can race an
+    /// in-place overwrite issued through *another* handle of the same
+    /// array (writes on this handle take `&mut self` and cannot
+    /// overlap). A torn read surfaces as a decode failure; the chunk is
+    /// then re-read through the pooled path, which page latches
+    /// serialize against the writer.
+    pub fn read_chunk_prefetched(
+        &self,
+        chunk_no: u64,
+        scratch: &mut PrefetchScratch,
+    ) -> Result<Arc<Chunk>> {
+        let id = LobId(chunk_no as u32);
+        if self.lobs.object_len(id)? == 0 {
+            return Ok(Arc::new(self.empty_chunk()));
+        }
+        let Some(cache) = self.cache.as_deref() else {
+            return self.read_chunk(chunk_no);
+        };
+        let key = self.chunk_key(id)?;
+        let pool = self.lobs.pool();
+        let epoch = pool.epoch();
+        if let Some(hit) = cache.get(&key, epoch) {
+            pool.stats().chunk_cache_hit();
+            return Ok(hit);
+        }
+        let bypassed = self
+            .lobs
+            .read_into_prefetch(id, &mut scratch.bytes, &mut scratch.span)?;
+        let chunk = match self.decode_chunk_prefetched(&scratch.bytes, &mut scratch.raw) {
+            Ok(chunk) => chunk,
+            Err(_) if bypassed => {
+                self.lobs.read_into(id, &mut scratch.bytes)?;
+                self.decode_chunk(&scratch.bytes)?
+            }
+            Err(e) => return Err(e),
+        };
+        let chunk = Arc::new(chunk);
         let evicted = cache.insert(key, epoch, chunk.clone(), chunk.decoded_bytes());
         pool.stats().chunk_cache_miss();
         if evicted > 0 {
@@ -208,6 +287,20 @@ impl ChunkedArray {
                 let raw = lzw::decompress(bytes)?;
                 Ok(Chunk::Dense(DenseChunk::from_bytes(&raw)?))
             }
+        }
+    }
+
+    /// [`Self::decode_chunk`] for the prefetch pipeline: identical
+    /// results, but LZW chunks use the span-based fast decompressor
+    /// with a reusable output buffer (the sequential path keeps the
+    /// chain-walk decoder as its oracle).
+    fn decode_chunk_prefetched(&self, bytes: &[u8], raw: &mut Vec<u8>) -> Result<Chunk> {
+        match self.format {
+            ChunkFormat::DenseLzw => {
+                lzw::decompress_fast_into(bytes, raw)?;
+                Ok(Chunk::Dense(DenseChunk::from_bytes(raw)?))
+            }
+            _ => self.decode_chunk(bytes),
         }
     }
 
@@ -829,6 +922,52 @@ mod tests {
         a.read_chunk(1).unwrap();
         let d = p.stats().snapshot().since(&before);
         assert_eq!(d.chunk_cache_lookups(), 0);
+    }
+
+    #[test]
+    fn prefetched_reads_match_the_pooled_path_and_share_the_cache() {
+        for format in [
+            ChunkFormat::ChunkOffset,
+            ChunkFormat::Dense,
+            ChunkFormat::DenseLzw,
+        ] {
+            let p = pool();
+            // Chunks big enough that a cold read spans several pages.
+            let shape = Shape::new(vec![8192], vec![4096]).unwrap();
+            let mut b = ArrayBuilder::new(shape, 1, format);
+            for x in (0..8192u32).step_by(3) {
+                b.add(&[x], &[x as i64 * 7]).unwrap();
+            }
+            let a = b.build(p.clone()).unwrap();
+            let expect0 = a.read_chunk(0).unwrap();
+            p.clear().unwrap();
+
+            let mut scratch = PrefetchScratch::default();
+            let before = p.stats().snapshot();
+            let got = a.read_chunk_prefetched(0, &mut scratch).unwrap();
+            assert_eq!(got.valid_cells(), expect0.valid_cells());
+            for x in (0..4096u32).step_by(3) {
+                assert_eq!(got.probe(x), Some(&[x as i64 * 7][..]), "{format:?}");
+            }
+            let d = p.stats().snapshot().since(&before);
+            assert_eq!((d.chunk_cache_misses, d.chunk_cache_hits), (1, 0));
+
+            // The decode was published: both read paths now hit.
+            let before = p.stats().snapshot();
+            a.read_chunk_prefetched(0, &mut scratch).unwrap();
+            a.read_chunk(0).unwrap();
+            let d = p.stats().snapshot().since(&before);
+            assert_eq!((d.chunk_cache_misses, d.chunk_cache_hits), (0, 2));
+
+            // Clearing the pool bumps the epoch; the next prefetched
+            // read re-reads cold and still decodes correctly.
+            p.clear().unwrap();
+            let before = p.stats().snapshot();
+            let got = a.read_chunk_prefetched(0, &mut scratch).unwrap();
+            assert_eq!(got.valid_cells(), expect0.valid_cells());
+            let d = p.stats().snapshot().since(&before);
+            assert_eq!((d.chunk_cache_misses, d.chunk_cache_hits), (1, 0));
+        }
     }
 
     #[test]

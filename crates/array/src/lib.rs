@@ -51,11 +51,13 @@ mod cache;
 mod chunk;
 mod geometry;
 pub mod lzw;
+mod prefetch;
 
-pub use array::{ArrayBuilder, Chunk, ChunkFormat, ChunkedArray};
+pub use array::{ArrayBuilder, Chunk, ChunkFormat, ChunkedArray, PrefetchScratch};
 pub use cache::{shared_chunk_cache, ChunkCache, ChunkKey};
 pub use chunk::{ChunkBuilder, CompressedChunk, DenseChunk};
 pub use geometry::Shape;
+pub use prefetch::{ChunkPipeline, PrefetchConfig};
 
 /// Errors raised by array construction and access.
 #[derive(Debug)]

@@ -144,6 +144,93 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
     Ok(out)
 }
 
+/// Span-based decompressor used by the prefetch pipeline.
+///
+/// Produces output identical to [`decompress`] but represents each
+/// dictionary entry as a `(start, len)` span of the output already
+/// emitted: an LZW entry is its predecessor phrase plus the first byte
+/// of the following phrase, and those bytes are always contiguous in
+/// the decoded stream. Expansion is then one `extend_from_within`
+/// copy instead of a per-byte parent-chain walk, reverse, and
+/// re-copy — on the zero-heavy dense chunks the ablation stores,
+/// phrases are long and the memcpy wins by a wide margin. The slower
+/// chain-walk decoder stays as the sequential-path oracle.
+pub fn decompress_fast(data: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    decompress_fast_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress_fast`] into a caller-owned buffer (cleared first), so
+/// a prefetcher thread reuses one allocation across every chunk it
+/// decodes instead of faulting in fresh zeroed pages per chunk.
+pub fn decompress_fast_into(data: &[u8], out: &mut Vec<u8>) -> Result<()> {
+    out.clear();
+    if data.len() < 8 {
+        return Err(ArrayError::Corrupt("lzw header"));
+    }
+    let orig_len = u64::from_le_bytes(data[0..8].try_into().unwrap()) as usize;
+    let codes = &data[8..];
+    if !codes.len().is_multiple_of(2) {
+        return Err(ArrayError::Corrupt("lzw code stream odd length"));
+    }
+    out.reserve(orig_len);
+    if codes.is_empty() {
+        return if orig_len == 0 {
+            Ok(())
+        } else {
+            Err(ArrayError::Corrupt("lzw empty code stream"))
+        };
+    }
+
+    let read_code =
+        |i: usize| u16::from_le_bytes(codes[i * 2..i * 2 + 2].try_into().unwrap()) as u32;
+
+    // spans[c - FIRST_CODE] = (start, len) of entry c's expansion in `out`.
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(4096);
+    let first = read_code(0);
+    if first >= FIRST_CODE {
+        return Err(ArrayError::Corrupt("lzw first code not a literal"));
+    }
+    out.push(first as u8);
+    let (mut prev_pos, mut prev_len) = (0usize, 1usize);
+
+    for i in 1..codes.len() / 2 {
+        let code = read_code(i);
+        let next_code = FIRST_CODE + spans.len() as u32;
+        let cur_pos = out.len();
+        let cur_len;
+        if code < FIRST_CODE {
+            out.push(code as u8);
+            cur_len = 1;
+        } else if code < next_code {
+            let (s, l) = spans[(code - FIRST_CODE) as usize];
+            out.extend_from_within(s..s + l);
+            cur_len = l;
+        } else if code == next_code {
+            // KwKwK: this code's expansion is the previous phrase plus
+            // its own first byte.
+            out.extend_from_within(prev_pos..prev_pos + prev_len);
+            let b = out[prev_pos];
+            out.push(b);
+            cur_len = prev_len + 1;
+        } else {
+            return Err(ArrayError::Corrupt("lzw code out of range"));
+        }
+        // The entry defined by this step — previous phrase plus this
+        // phrase's first byte — is exactly out[prev_pos..][..prev_len+1].
+        spans.push((prev_pos, prev_len + 1));
+        if FIRST_CODE + spans.len() as u32 == CODE_LIMIT {
+            spans.clear(); // mirror of the encoder's dictionary reset
+        }
+        (prev_pos, prev_len) = (cur_pos, cur_len);
+    }
+    if out.len() != orig_len {
+        return Err(ArrayError::Corrupt("lzw length mismatch"));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +239,8 @@ mod tests {
         let enc = compress(data);
         let dec = decompress(&enc).unwrap();
         assert_eq!(dec, data, "roundtrip failed for {} bytes", data.len());
+        let fast = decompress_fast(&enc).unwrap();
+        assert_eq!(fast, data, "fast roundtrip failed for {} bytes", data.len());
     }
 
     #[test]
@@ -214,19 +303,23 @@ mod tests {
     #[test]
     fn corrupt_streams_rejected() {
         assert!(decompress(&[0, 1]).is_err());
+        assert!(decompress_fast(&[0, 1]).is_err());
         let enc = compress(b"hello world");
         // Odd code stream.
         assert!(decompress(&enc[..enc.len() - 1]).is_err());
+        assert!(decompress_fast(&enc[..enc.len() - 1]).is_err());
         // Length mismatch.
         let mut bad = enc.clone();
         bad[0] = 99;
         assert!(decompress(&bad).is_err());
+        assert!(decompress_fast(&bad).is_err());
         // Out-of-range code.
         let mut bad2 = enc;
         let n = bad2.len();
         bad2[n - 1] = 0xFF;
         bad2[n - 2] = 0xFF;
         assert!(decompress(&bad2).is_err());
+        assert!(decompress_fast(&bad2).is_err());
     }
 
     #[test]

@@ -90,14 +90,20 @@ pub(crate) fn phase1(
         if let Some(result_pool) = &result_pool {
             let mut result_btree = BTree::create(result_pool.clone())?;
             let key_btree = &adt.dim_indexes(d).key_btree;
+            // Loop-invariant: the grouping dispatch and the code-column
+            // borrow are the same for every key — hoist them so the
+            // per-key loop is probe → remap → insert.
+            let key_grouped = matches!(grouping, DimGrouping::Key);
+            let codes = codes.as_slice();
             for &key in dim.keys() {
                 let idx = key_btree.get(key)?.ok_or_else(|| {
                     Error::Internal(format!("dimension key {key} missing from its key B-tree"))
                 })?;
                 let rank = i2i[idx as usize];
-                let code = match grouping {
-                    DimGrouping::Key => key,
-                    _ => codes[rank as usize],
+                let code = if key_grouped {
+                    key
+                } else {
+                    codes[rank as usize]
                 };
                 result_btree.insert(code, rank as u64)?;
             }
@@ -124,6 +130,35 @@ pub(crate) fn make_cube(maps: &[GroupMap], n_measures: usize) -> ResultCube {
         })
         .collect();
     ResultCube::new(dims, n_measures)
+}
+
+/// Prefetch-pipeline consumer for the §4.1 full scan: drains decoded
+/// chunks from `pipe` (shared with any number of peer consumers) and
+/// aggregates each through a per-chunk [`ChunkKernel`]. On a delivered
+/// error the pipeline is shut down and the error propagated.
+pub(crate) fn full_scan_consumer(
+    adt: &OlapArray,
+    maps: &[GroupMap],
+    pipe: &molap_array::ChunkPipeline,
+) -> Result<ResultCube> {
+    use crate::kernel::ChunkKernel;
+    let mut cube = make_cube(maps, adt.n_measures());
+    let shape = adt.array().shape();
+    while let Some(item) = pipe.next() {
+        let (chunk_no, chunk) = match item {
+            Ok(delivered) => delivered,
+            Err(e) => {
+                pipe.shutdown();
+                return Err(e.into());
+            }
+        };
+        if chunk.valid_cells() == 0 {
+            continue;
+        }
+        let kernel = ChunkKernel::new(shape, maps, &cube, chunk_no, None);
+        kernel.apply(&chunk, &mut cube);
+    }
+    Ok(cube)
 }
 
 /// The §4.1 algorithm: full consolidation, no selections.

@@ -1,0 +1,222 @@
+//! Per-chunk aggregation kernels — the array analogue of vectorized
+//! execution.
+//!
+//! The per-cell inner loops in `consolidate`/`select`/`parallel` pay a
+//! full dispatch per valid cell: decode the cell's coordinates, walk the
+//! grouped dimensions, bounds-check an IndexToIndex lookup each, then
+//! re-derive the result cube's linear cell from the ranks. All of that
+//! is invariant *per chunk* except the cell offset. A [`ChunkKernel`]
+//! hoists it: for each relevant dimension it precomputes a within-chunk
+//! remap table whose entry `w` is the dimension's whole contribution to
+//! the result cell — `i2i[base + w] * cube_stride` — with a sentinel for
+//! coordinates a §4.2 selection excludes (or array padding). The hot
+//! loop is then `(offset, values)` → a few shifts/divides + table loads
+//! → [`ResultCube::add_linear`].
+//!
+//! Kernels are used by the prefetch-pipeline consumers; the classic
+//! per-cell paths are kept verbatim as the sequential oracle.
+
+use molap_array::{Chunk, Shape};
+
+use crate::consolidate::GroupMap;
+use crate::result::ResultCube;
+
+/// Remap-table sentinel: cells at this within-chunk coordinate are
+/// excluded (selection miss or array padding).
+const SKIP: u64 = u64::MAX;
+
+struct DimTable {
+    /// Within-chunk stride of the dimension in the offset encoding.
+    cell_stride: u64,
+    /// Chunk extent along the dimension.
+    extent: u64,
+    /// Within-chunk coordinate → result-cell contribution, or [`SKIP`].
+    remap: Vec<u64>,
+}
+
+/// A once-per-chunk specialization of phase-2 aggregation.
+pub(crate) struct ChunkKernel {
+    tables: Vec<DimTable>,
+}
+
+impl ChunkKernel {
+    /// Builds the kernel for `chunk_no`. `membership`, when present,
+    /// holds the §4.2 scan-direction membership mask per dimension
+    /// (indexed by within-chunk coordinate); dimensions that are
+    /// neither grouped nor masked contribute nothing and get no table.
+    pub(crate) fn new(
+        shape: &Shape,
+        maps: &[GroupMap],
+        cube: &ResultCube,
+        chunk_no: u64,
+        membership: Option<&[Vec<bool>]>,
+    ) -> Self {
+        let n = shape.n_dims();
+        let mut base = vec![0u32; n];
+        shape.chunk_base(chunk_no, &mut base);
+        let strides = cube.strides();
+        let mut tables = Vec::new();
+        for d in 0..n {
+            let grouped = maps.iter().enumerate().find(|(_, m)| m.dim == d);
+            let mask = membership.map(|m| m[d].as_slice());
+            if grouped.is_none() && mask.is_none() {
+                continue;
+            }
+            let extent = shape.chunk_dims()[d] as usize;
+            let dim_len = shape.dims()[d] as usize;
+            let remap: Vec<u64> = (0..extent)
+                .map(|w| {
+                    let idx = base[d] as usize + w;
+                    if idx >= dim_len || mask.is_some_and(|m| !m[w]) {
+                        SKIP
+                    } else {
+                        match grouped {
+                            Some((g, map)) => map.i2i[idx] as u64 * strides[g] as u64,
+                            None => 0,
+                        }
+                    }
+                })
+                .collect();
+            tables.push(DimTable {
+                cell_stride: shape.cell_stride(d),
+                extent: extent as u64,
+                remap,
+            });
+        }
+        ChunkKernel { tables }
+    }
+
+    /// Aggregates every valid cell of `chunk` into `cube` through the
+    /// precomputed tables. Equivalent (bit-identical: [`crate::aggregate::AggState`]
+    /// folds are order-independent) to the per-cell rank path.
+    pub(crate) fn apply(&self, chunk: &Chunk, cube: &mut ResultCube) {
+        chunk.for_each_valid(|offset, values| {
+            let mut cell = 0u64;
+            for t in &self.tables {
+                let within = (offset as u64 / t.cell_stride) % t.extent;
+                let v = t.remap[within as usize];
+                if v == SKIP {
+                    return;
+                }
+                cell += v;
+            }
+            cube.add_linear(cell as usize, values);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adt::OlapArray;
+    use crate::consolidate::{make_cube, phase1, BuildResultBtrees};
+    use crate::dimension::DimensionTable;
+    use crate::query::{DimGrouping, Query};
+    use molap_array::ChunkFormat;
+    use molap_storage::{BufferPool, MemDisk};
+    use std::sync::Arc;
+
+    fn build() -> OlapArray {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 2048));
+        let dims = vec![
+            DimensionTable::build(
+                "a",
+                &(0..10i64).collect::<Vec<_>>(),
+                vec![("h", (0..10i64).map(|k| k % 3).collect())],
+            )
+            .unwrap(),
+            DimensionTable::build(
+                "b",
+                &(0..8i64).collect::<Vec<_>>(),
+                vec![("h", (0..8i64).map(|k| k / 4).collect())],
+            )
+            .unwrap(),
+        ];
+        let cells: Vec<(Vec<i64>, Vec<i64>)> = (0..10i64)
+            .flat_map(|x| (0..8i64).map(move |y| (vec![x, y], vec![x * 10 + y])))
+            .filter(|(k, _)| (k[0] + k[1]) % 2 == 0)
+            .collect();
+        // 4-wide chunks leave a padded last chunk along both dims.
+        OlapArray::build(pool, dims, &[4, 3], ChunkFormat::ChunkOffset, cells, 1).unwrap()
+    }
+
+    #[test]
+    fn kernel_matches_per_cell_aggregation() {
+        let adt = build();
+        for group_by in [
+            vec![DimGrouping::Level(0), DimGrouping::Level(0)],
+            vec![DimGrouping::Key, DimGrouping::Drop],
+            vec![DimGrouping::Drop, DimGrouping::Drop],
+        ] {
+            let q = Query::new(group_by);
+            let (maps, _) = phase1(&adt, &q, BuildResultBtrees::No).unwrap();
+            let shape = adt.array().shape();
+
+            // Per-cell reference path.
+            let mut expect = make_cube(&maps, adt.n_measures());
+            let mut ranks = vec![0u32; maps.len()];
+            adt.array()
+                .for_each_cell(|coords, values| {
+                    for (g, map) in maps.iter().enumerate() {
+                        ranks[g] = map.i2i[coords[map.dim] as usize];
+                    }
+                    expect.add(&ranks, values);
+                })
+                .unwrap();
+
+            // Kernel path, chunk by chunk.
+            let mut cube = make_cube(&maps, adt.n_measures());
+            for chunk_no in 0..shape.num_chunks() {
+                let chunk = adt.array().read_chunk(chunk_no).unwrap();
+                let kernel = ChunkKernel::new(shape, &maps, &cube, chunk_no, None);
+                kernel.apply(&chunk, &mut cube);
+            }
+            assert_eq!(
+                cube.into_result(&q.aggs).unwrap(),
+                expect.into_result(&q.aggs).unwrap(),
+                "{q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn membership_mask_excludes_cells() {
+        let adt = build();
+        let q = Query::new(vec![DimGrouping::Level(0), DimGrouping::Drop]);
+        let (maps, _) = phase1(&adt, &q, BuildResultBtrees::No).unwrap();
+        let shape = adt.array().shape();
+
+        // Mask: keep only even within-chunk coordinates of dim 0.
+        let mask = |d: usize| -> Vec<bool> {
+            (0..shape.chunk_dims()[d] as usize)
+                .map(|w| d != 0 || w % 2 == 0)
+                .collect()
+        };
+        let membership: Vec<Vec<bool>> = (0..2).map(mask).collect();
+
+        let mut cube = make_cube(&maps, adt.n_measures());
+        for chunk_no in 0..shape.num_chunks() {
+            let chunk = adt.array().read_chunk(chunk_no).unwrap();
+            let kernel = ChunkKernel::new(shape, &maps, &cube, chunk_no, Some(&membership));
+            kernel.apply(&chunk, &mut cube);
+        }
+
+        let mut expect = make_cube(&maps, adt.n_measures());
+        let mut ranks = vec![0u32; maps.len()];
+        adt.array()
+            .for_each_cell(|coords, values| {
+                if !shape.within_chunk(0, coords[0]).is_multiple_of(2) {
+                    return;
+                }
+                for (g, map) in maps.iter().enumerate() {
+                    ranks[g] = map.i2i[coords[map.dim] as usize];
+                }
+                expect.add(&ranks, values);
+            })
+            .unwrap();
+        assert_eq!(
+            cube.into_result(&q.aggs).unwrap(),
+            expect.into_result(&q.aggs).unwrap()
+        );
+    }
+}

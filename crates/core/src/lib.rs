@@ -83,6 +83,7 @@ mod consolidate;
 mod cube_op;
 mod dimension;
 mod error;
+mod kernel;
 mod materialize;
 mod parallel;
 mod query;
@@ -99,7 +100,7 @@ pub use catalog::{Database, ObjectKind};
 pub use cube_op::{compute_cube, CubeSlice};
 pub use dimension::DimensionTable;
 pub use error::{Error, Result};
-pub use parallel::{consolidate_auto, consolidate_parallel};
+pub use parallel::{consolidate_auto, consolidate_parallel, consolidate_pipelined, PrefetchPlan};
 pub use query::{AttrRef, DimGrouping, Query, Selection};
 pub use result::{ConsolidationResult, ResultCube, Row};
 pub use sql::{parse_query, SqlStatement};

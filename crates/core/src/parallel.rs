@@ -18,16 +18,124 @@
 //! monotonicity is per chunk, so chunk-granular partitioning preserves
 //! it.
 
+use molap_array::ChunkPipeline;
+
 use crate::adt::OlapArray;
-use crate::consolidate::{make_cube, phase1, BuildResultBtrees};
+use crate::consolidate::{full_scan_consumer, make_cube, phase1, BuildResultBtrees};
 use crate::error::{Error, Result};
 use crate::query::Query;
 use crate::result::{ConsolidationResult, ResultCube};
-use crate::select::{build_probes, candidate_chunks, eval_chunk, DimProbe};
+use crate::select::{build_probes, candidate_chunks, eval_chunk, selection_consumer, DimProbe};
 
 /// Fewer qualifying chunks than this and [`consolidate_auto`] stays
 /// sequential: thread spin-up would cost more than it saves.
 const AUTO_MIN_CHUNKS_PER_WORKER: u64 = 4;
+
+/// The §4.2 context a pipelined selection consumer needs: the
+/// per-dimension probes plus the candidate chunks with their selected
+/// within-chunk indices.
+type SelectionPlan = (Vec<DimProbe>, Vec<(u64, Vec<usize>)>);
+
+/// How the prefetch pipeline is staffed and bounded.
+#[derive(Clone, Copy, Debug)]
+pub struct PrefetchPlan {
+    /// Prefetcher (read + decode) threads feeding the consumers.
+    pub prefetchers: usize,
+    /// Delivery-queue bound: decoded chunks held ahead of consumption.
+    pub depth: usize,
+}
+
+impl PrefetchPlan {
+    /// A plan clamped to sane minimums.
+    pub fn new(prefetchers: usize, depth: usize) -> Self {
+        PrefetchPlan {
+            prefetchers: prefetchers.max(1),
+            depth: depth.max(1),
+        }
+    }
+
+    /// The depth/staffing [`consolidate_auto`] picks for a job of
+    /// `num_chunks` candidate chunks: two prefetchers (one faulting
+    /// while one decodes) and a window deep enough to keep consumers
+    /// fed without holding more than a small fraction of the array's
+    /// decoded chunks in flight.
+    pub fn auto(num_chunks: u64) -> Self {
+        PrefetchPlan::new(2, (num_chunks / 4).clamp(4, 16) as usize)
+    }
+}
+
+/// Like [`OlapArray::consolidate`], but with the chunk read+decode work
+/// moved off the consumers onto a prefetch pipeline: `plan.prefetchers`
+/// producer threads fault pages (multi-page chunks via one vectored
+/// bypass read), decode, and publish through the shared chunk cache and
+/// a bounded in-order delivery queue; `workers` consumers drain it and
+/// aggregate with per-chunk kernels. Results are bit-identical to the
+/// sequential paths for any worker/prefetcher count.
+pub fn consolidate_pipelined(
+    adt: &OlapArray,
+    query: &Query,
+    workers: usize,
+    plan: PrefetchPlan,
+) -> Result<ConsolidationResult> {
+    query.validate(adt.dims(), adt.n_measures())?;
+    let workers = workers.max(1);
+    let (maps, _result_btrees) = phase1(adt, query, BuildResultBtrees::No)?;
+    let shape = adt.array().shape();
+
+    // Candidate chunk list, in chunk (= disk) order. `selection` is
+    // `None` for the §4.1 full scan (and for a provably-empty §4.2
+    // selection, whose candidate list is empty).
+    let (chunk_nos, selection): (Vec<u64>, Option<SelectionPlan>) = if query.has_selection() {
+        let (probes, any_empty) = build_probes(adt, query)?;
+        if any_empty {
+            (Vec::new(), None)
+        } else {
+            let candidates = candidate_chunks(shape, &probes);
+            let nos = candidates.iter().map(|c| c.0).collect();
+            (nos, Some((probes, candidates)))
+        }
+    } else {
+        ((0..shape.num_chunks()).collect(), None)
+    };
+
+    let pipe = ChunkPipeline::new(adt.pool().clone(), chunk_nos, plan.depth);
+    let cubes = crossbeam::thread::scope(|scope| {
+        for _ in 0..plan.prefetchers {
+            scope.spawn(|_| pipe.run_worker(adt.array()));
+        }
+        let consumers: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| match &selection {
+                    Some((probes, candidates)) => {
+                        selection_consumer(adt, &maps, probes, candidates, &pipe)
+                    }
+                    None => full_scan_consumer(adt, &maps, &pipe),
+                })
+            })
+            .collect();
+        let cubes = consumers
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(Error::Internal("pipeline consumer panicked".into())))
+            })
+            .collect::<Result<Vec<_>>>();
+        // Wake any parked prefetchers (error path, or producers waiting
+        // on delivery-queue space) so the scope can join them.
+        pipe.shutdown();
+        cubes
+    })
+    .map_err(|_| Error::Internal("pipeline scope panicked".into()))??;
+
+    let mut iter = cubes.into_iter();
+    let mut total = iter
+        .next()
+        .unwrap_or_else(|| make_cube(&maps, adt.n_measures()));
+    for cube in iter {
+        total.merge(&cube)?;
+    }
+    total.into_result(&query.aggs)
+}
 
 /// Like [`OlapArray::consolidate`], but evaluating chunks with
 /// `threads` workers. Supports both the §4.1 (no selections) and §4.2
@@ -64,21 +172,24 @@ pub fn consolidate_parallel(
     total.into_result(&query.aggs)
 }
 
-/// Chooses a worker count from the machine's parallelism and the size
-/// of the job, then dispatches: the engine's default consolidation
-/// entry point. Small queries (or single-CPU machines) run the plain
-/// sequential algorithms.
+/// Chooses a worker count and a prefetch plan from the machine's
+/// parallelism and the size of the job, then dispatches: the engine's
+/// default consolidation entry point. Small arrays run the plain
+/// sequential algorithms (pipeline spin-up would cost more than it
+/// saves); everything else goes through [`consolidate_pipelined`] —
+/// even with a single consumer the pipeline's vectored bypass reads
+/// and per-chunk kernels beat the inline read/decode/aggregate loop.
 pub fn consolidate_auto(adt: &OlapArray, query: &Query) -> Result<ConsolidationResult> {
     query.validate(adt.dims(), adt.n_measures())?;
+    let num_chunks = adt.array().shape().num_chunks();
+    if num_chunks < 2 * AUTO_MIN_CHUNKS_PER_WORKER {
+        return adt.consolidate(query);
+    }
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get() as u64)
         .unwrap_or(1);
-    let num_chunks = adt.array().shape().num_chunks();
-    let threads = cpus.min(num_chunks / AUTO_MIN_CHUNKS_PER_WORKER);
-    if threads <= 1 {
-        return adt.consolidate(query);
-    }
-    consolidate_parallel(adt, query, threads as usize)
+    let workers = cpus.min(num_chunks / AUTO_MIN_CHUNKS_PER_WORKER).max(1);
+    consolidate_pipelined(adt, query, workers as usize, PrefetchPlan::auto(num_chunks))
 }
 
 /// §4.1 phase 2 with `threads` workers: contiguous chunk spans per
@@ -277,6 +388,56 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pipelined_equals_sequential_for_mixed_queries() {
+        let adt = build(300);
+        let queries = vec![
+            // Full scans.
+            Query::new(vec![DimGrouping::Level(0), DimGrouping::Level(0)]),
+            Query::new(vec![DimGrouping::Key, DimGrouping::Drop]),
+            Query::new(vec![DimGrouping::Drop, DimGrouping::Drop]),
+            // Broad selection (scan direction) over a grouped query.
+            Query::new(vec![DimGrouping::Level(0), DimGrouping::Level(0)])
+                .with_selection(0, Selection::in_list(AttrRef::Level(0), vec![0, 2])),
+            // Narrow key probes (probe direction).
+            Query::new(vec![DimGrouping::Key, DimGrouping::Drop])
+                .with_selection(0, Selection::in_list(AttrRef::Key, vec![3, 17, 29]))
+                .with_selection(1, Selection::eq(AttrRef::Key, 5)),
+            // Empty selection.
+            Query::new(vec![DimGrouping::Level(0), DimGrouping::Drop])
+                .with_selection(0, Selection::eq(AttrRef::Level(0), 99)),
+        ];
+        for q in &queries {
+            let sequential = adt.consolidate(q).unwrap();
+            for (workers, plan) in [
+                (1, PrefetchPlan::new(1, 1)),
+                (1, PrefetchPlan::new(2, 4)),
+                (3, PrefetchPlan::new(2, 2)),
+                (4, PrefetchPlan::new(3, 16)),
+            ] {
+                let piped = consolidate_pipelined(&adt, q, workers, plan).unwrap();
+                assert_eq!(piped, sequential, "{workers} workers, {plan:?}, {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_cold_runs_match_and_count_prefetches() {
+        let adt = build(300);
+        let pool = adt.pool().clone();
+        let q = Query::new(vec![DimGrouping::Level(0), DimGrouping::Level(0)]);
+        let sequential = adt.consolidate(&q).unwrap();
+        pool.clear().unwrap();
+        let before = pool.stats().snapshot();
+        let piped = consolidate_pipelined(&adt, &q, 2, PrefetchPlan::new(2, 4)).unwrap();
+        assert_eq!(piped, sequential);
+        let d = pool.stats().snapshot().since(&before);
+        let num_chunks = adt.array().shape().num_chunks();
+        assert_eq!(d.prefetch_issued, num_chunks);
+        assert_eq!(d.prefetch_hits + d.prefetch_wasted, d.prefetch_issued);
+        assert!(d.prefetch_queue_peak >= 1);
     }
 
     #[test]

@@ -62,6 +62,13 @@ impl ResultCube {
         self.states.len() / self.n_measures
     }
 
+    /// Row-major strides of the cube's cell space, one per grouped
+    /// dimension — exposed so per-chunk kernels can fold the stride
+    /// multiply into their remap tables.
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
     /// Linear cell index for a rank vector.
     #[inline]
     pub fn linear(&self, ranks: &[u32]) -> usize {

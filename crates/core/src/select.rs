@@ -243,6 +243,75 @@ pub(crate) fn consolidate_with_selection_cube_opt(
     Ok((maps, cube))
 }
 
+/// The §4.2 scan-direction membership masks for one qualifying chunk:
+/// per dimension, which within-chunk coordinates are selected.
+pub(crate) fn chunk_membership(
+    shape: &Shape,
+    probes: &[DimProbe],
+    chunk_sel: &[usize],
+) -> Vec<Vec<bool>> {
+    (0..probes.len())
+        .map(|d| {
+            let group = &probes[d].groups[chunk_sel[d]];
+            let mut member = vec![false; shape.chunk_dims()[d] as usize];
+            for &idx in &group.indices {
+                member[shape.within_chunk(d, idx) as usize] = true;
+            }
+            member
+        })
+        .collect()
+}
+
+/// Prefetch-pipeline consumer for the §4.2 selection path: drains
+/// decoded qualifying chunks from `pipe` and evaluates each in the
+/// adaptive direction — scan-direction chunks go through a per-chunk
+/// [`ChunkKernel`](crate::kernel::ChunkKernel) with the membership
+/// masks folded into its remap tables, probe-direction chunks through
+/// the §4.2 resumed binary probe.
+pub(crate) fn selection_consumer(
+    adt: &OlapArray,
+    maps: &[GroupMap],
+    probes: &[DimProbe],
+    candidates: &[(u64, Vec<usize>)],
+    pipe: &molap_array::ChunkPipeline,
+) -> Result<crate::result::ResultCube> {
+    use crate::kernel::ChunkKernel;
+    let shape = adt.array().shape();
+    let mut cube = make_cube(maps, adt.n_measures());
+    let mut ranks = vec![0u32; maps.len()];
+    while let Some(item) = pipe.next() {
+        let (chunk_no, chunk) = match item {
+            Ok(delivered) => delivered,
+            Err(e) => {
+                pipe.shutdown();
+                return Err(e.into());
+            }
+        };
+        if chunk.valid_cells() == 0 {
+            continue;
+        }
+        // Candidates ascend in chunk number (odometer order), so the
+        // delivered chunk's selection cursor is a binary search away.
+        let ci = candidates
+            .binary_search_by_key(&chunk_no, |c| c.0)
+            .map_err(|_| {
+                crate::error::Error::Internal("pipelined chunk missing from candidates".into())
+            })?;
+        let chunk_sel = &candidates[ci].1;
+        let cross: u64 = (0..probes.len())
+            .map(|d| probes[d].groups[chunk_sel[d]].indices.len() as u64)
+            .product();
+        if cross > chunk.valid_cells() {
+            let membership = chunk_membership(shape, probes, chunk_sel);
+            let kernel = ChunkKernel::new(shape, maps, &cube, chunk_no, Some(&membership));
+            kernel.apply(&chunk, &mut cube);
+        } else {
+            probe_chunk(adt, &chunk, probes, chunk_sel, maps, &mut ranks, &mut cube);
+        }
+    }
+    Ok(cube)
+}
+
 /// Probes every cross-product element falling in `chunk`, aggregating
 /// hits into `cube`.
 #[allow(clippy::too_many_arguments)]

@@ -32,6 +32,7 @@ pub const DECLARED_ORDER: &[&str] = &[
     "sessions",
     "supervisor",
     "catalog",
+    "delivery",
     "chunks",
     "dir",
     "pack",
@@ -57,6 +58,7 @@ const IO_MARKERS: &[&str] = &[
     "write_frame(",
     ".write_page(",
     ".read_page(",
+    ".read_pages(",
     ".log_page(",
     ".allocate_contiguous(",
     "std::fs::",

@@ -184,6 +184,10 @@ impl MetricsSnapshot {
             self.io.chunk_cache_hits,
             self.io.chunk_cache_misses,
             self.io.chunk_cache_evictions,
+            self.io.prefetch_issued,
+            self.io.prefetch_hits,
+            self.io.prefetch_wasted,
+            self.io.prefetch_queue_peak,
         ] {
             put_u64(out, v);
         }
@@ -220,6 +224,10 @@ impl MetricsSnapshot {
             chunk_cache_hits: c.u64()?,
             chunk_cache_misses: c.u64()?,
             chunk_cache_evictions: c.u64()?,
+            prefetch_issued: c.u64()?,
+            prefetch_hits: c.u64()?,
+            prefetch_wasted: c.u64()?,
+            prefetch_queue_peak: c.u64()?,
         };
         let n_shards = c.u64()? as usize;
         // Cap the allocation by what the payload can actually hold.
@@ -272,13 +280,22 @@ impl std::fmt::Display for MetricsSnapshot {
             self.io.physical_writes,
             self.io.evictions
         )?;
-        write!(
+        writeln!(
             f,
             "chunks:   {} cached hits / {} lookups ({:.0}% hit rate), {} evicted",
             self.io.chunk_cache_hits,
             self.io.chunk_cache_lookups(),
             self.io.chunk_cache_hit_rate() * 100.0,
             self.io.chunk_cache_evictions
+        )?;
+        write!(
+            f,
+            "prefetch: {} issued, {} delivered ({:.0}% hit rate), {} wasted, queue peak {}",
+            self.io.prefetch_issued,
+            self.io.prefetch_hits,
+            self.io.prefetch_hit_rate() * 100.0,
+            self.io.prefetch_wasted,
+            self.io.prefetch_queue_peak
         )?;
         if !self.shards.is_empty() {
             let hits: u64 = self.shards.iter().map(|s| s.hits).sum();
@@ -332,6 +349,10 @@ mod tests {
             chunk_cache_hits: 7,
             chunk_cache_misses: 3,
             chunk_cache_evictions: 1,
+            prefetch_issued: 9,
+            prefetch_hits: 8,
+            prefetch_wasted: 1,
+            prefetch_queue_peak: 5,
         };
         let shards = vec![
             ShardStats { hits: 6, misses: 2 },

@@ -35,7 +35,7 @@
 //! |-----:|------|---------|
 //! | `0x81` | ResultSet | `columns: u16 count + str*`, `rows: u32 count + row*` |
 //! | `0x82` | Pong | empty |
-//! | `0x83` | StatsReply | [`crate::metrics::MetricsSnapshot`] encoding |
+//! | `0x83` | StatsReply | [`crate::metrics::MetricsSnapshot`] encoding: 9 server counters, 16 histogram buckets, 12 pool-I/O counters (incl. prefetch issued/hits/wasted/queue-peak), shard pairs |
 //! | `0x84` | ObjectList | `u32 count + (name: str, kind: u8)*` |
 //! | `0x85` | Error | `code: u16`, `message: str` |
 //! | `0x86` | ShutdownStarted | empty |

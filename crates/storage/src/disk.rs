@@ -28,6 +28,26 @@ pub trait DiskManager: Send + Sync {
     /// Reads page `pid` into `buf`.
     fn read_page(&self, pid: PageId, buf: &mut PageBuf) -> Result<()>;
 
+    /// Reads the `out.len() / PAGE_SIZE` contiguous pages starting at
+    /// `first` into `out` — the vectored read under multi-page LOB
+    /// faults. `out` must be a whole number of pages long.
+    ///
+    /// The default loops [`DiskManager::read_page`], so wrappers that
+    /// inject latency or faults per page keep their semantics; real
+    /// disks override this with a single positioned read.
+    fn read_pages(&self, first: PageId, out: &mut [u8]) -> Result<()> {
+        if !out.len().is_multiple_of(PAGE_SIZE) {
+            return Err(StorageError::Corrupt("read_pages length not page-aligned"));
+        }
+        for (i, chunk) in out.chunks_exact_mut(PAGE_SIZE).enumerate() {
+            let buf: &mut PageBuf = chunk
+                .try_into()
+                .map_err(|_| StorageError::Corrupt("read_pages chunking failed"))?;
+            self.read_page(first.offset(i as u64), buf)?;
+        }
+        Ok(())
+    }
+
     /// Writes `buf` to page `pid`.
     fn write_page(&self, pid: PageId, buf: &PageBuf) -> Result<()>;
 
@@ -102,6 +122,23 @@ impl DiskManager for FileDisk {
         Ok(())
     }
 
+    fn read_pages(&self, first: PageId, out: &mut [u8]) -> Result<()> {
+        if !out.len().is_multiple_of(PAGE_SIZE) {
+            return Err(StorageError::Corrupt("read_pages length not page-aligned"));
+        }
+        let n = (out.len() / PAGE_SIZE) as u64;
+        if n == 0 {
+            return Ok(());
+        }
+        check_bounds(first.offset(n - 1), self.num_pages())?;
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(out, first.0 * PAGE_SIZE as u64)?;
+        }
+        Ok(())
+    }
+
     fn write_page(&self, pid: PageId, buf: &PageBuf) -> Result<()> {
         check_bounds(pid, self.num_pages())?;
         #[cfg(unix)]
@@ -153,6 +190,19 @@ impl DiskManager for MemDisk {
         let pages = self.pages.read();
         check_bounds(pid, pages.len() as u64)?;
         buf.copy_from_slice(&pages[pid.0 as usize][..]);
+        Ok(())
+    }
+
+    fn read_pages(&self, first: PageId, out: &mut [u8]) -> Result<()> {
+        if !out.len().is_multiple_of(PAGE_SIZE) {
+            return Err(StorageError::Corrupt("read_pages length not page-aligned"));
+        }
+        let pages = self.pages.read();
+        for (i, chunk) in out.chunks_exact_mut(PAGE_SIZE).enumerate() {
+            let pid = first.offset(i as u64);
+            check_bounds(pid, pages.len() as u64)?;
+            chunk.copy_from_slice(&pages[pid.0 as usize][..]);
+        }
         Ok(())
     }
 
@@ -248,6 +298,63 @@ mod tests {
         disk.read_page(PageId(1), &mut out).unwrap();
         assert_eq!(out[123], 9);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    fn vectored_roundtrip(disk: &dyn DiskManager) {
+        let start = disk.allocate_contiguous(4).unwrap();
+        for i in 0..4u64 {
+            let buf = [i as u8 + 1; PAGE_SIZE];
+            disk.write_page(start.offset(i), &buf).unwrap();
+        }
+        let mut out = vec![0u8; 3 * PAGE_SIZE];
+        disk.read_pages(start.offset(1), &mut out).unwrap();
+        for i in 0..3usize {
+            assert_eq!(out[i * PAGE_SIZE], i as u8 + 2, "page {i}");
+            assert_eq!(out[(i + 1) * PAGE_SIZE - 1], i as u8 + 2);
+        }
+        // Misaligned length and out-of-bounds spans are rejected.
+        assert!(disk.read_pages(start, &mut out[..PAGE_SIZE + 1]).is_err());
+        let mut big = vec![0u8; 2 * PAGE_SIZE];
+        assert!(disk.read_pages(start.offset(3), &mut big).is_err());
+    }
+
+    #[test]
+    fn memdisk_vectored_reads() {
+        vectored_roundtrip(&MemDisk::new());
+    }
+
+    #[test]
+    fn filedisk_vectored_reads() {
+        let dir = std::env::temp_dir().join(format!("molap-disk3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("vectored.db");
+        vectored_roundtrip(&FileDisk::create(&path).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn default_read_pages_delegates_to_read_page() {
+        // A wrapper disk that only implements the required methods must
+        // get correct vectored reads from the trait default.
+        struct Plain(MemDisk);
+        impl DiskManager for Plain {
+            fn read_page(&self, pid: PageId, buf: &mut PageBuf) -> Result<()> {
+                self.0.read_page(pid, buf)
+            }
+            fn write_page(&self, pid: PageId, buf: &PageBuf) -> Result<()> {
+                self.0.write_page(pid, buf)
+            }
+            fn allocate_contiguous(&self, n: u64) -> Result<PageId> {
+                self.0.allocate_contiguous(n)
+            }
+            fn num_pages(&self) -> u64 {
+                self.0.num_pages()
+            }
+            fn sync(&self) -> Result<()> {
+                self.0.sync()
+            }
+        }
+        vectored_roundtrip(&Plain(MemDisk::new()));
     }
 
     #[test]

@@ -303,6 +303,46 @@ impl LobStore {
         Ok(out)
     }
 
+    /// Reads object `id` into `out` the way the prefetch pipeline does:
+    /// when the object's whole multi-page span is absent from the
+    /// buffer pool, the span is fetched with **one vectored disk read**
+    /// ([`BufferPool::read_span_bypass`]) through `scratch` instead of
+    /// `n` per-page fault rounds; otherwise it falls back to
+    /// [`LobStore::read_into`]. Returns `true` iff the bypass was used.
+    ///
+    /// Single-page objects always take the pooled path — they pack many
+    /// to a page, and keeping the shared page in the pool is what stops
+    /// each neighbour from re-reading it.
+    pub fn read_into_prefetch(
+        &self,
+        id: LobId,
+        out: &mut Vec<u8>,
+        scratch: &mut Vec<u8>,
+    ) -> Result<bool> {
+        let entry = {
+            let dir = self.dir.lock();
+            *dir.get(id.0 as usize)
+                .ok_or(StorageError::UnknownLob(id.0 as u64))?
+        };
+        if entry.len == 0 {
+            out.clear();
+            return Ok(false);
+        }
+        let npages = (u64::from(entry.byte_off) + entry.len).div_ceil(PAGE_SIZE as u64);
+        if npages >= 2 && self.pool.span_absent(entry.start, npages)? {
+            scratch.clear();
+            scratch.resize(npages as usize * PAGE_SIZE, 0);
+            self.pool.read_span_bypass(entry.start, npages, scratch)?;
+            let lo = entry.byte_off as usize;
+            let hi = lo + entry.len as usize;
+            out.clear();
+            out.extend_from_slice(&scratch[lo..hi]);
+            return Ok(true);
+        }
+        self.read_into(id, out)?;
+        Ok(false)
+    }
+
     /// Serializes the directory for persistence by a higher layer.
     pub fn directory_to_bytes(&self) -> Vec<u8> {
         let pages = self.total_pages();
@@ -480,6 +520,47 @@ mod tests {
         // Shrinking to zero.
         s.overwrite(id, b"").unwrap();
         assert_eq!(s.read(id).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn prefetch_read_bypasses_only_cold_multi_page_spans() {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 64));
+        let s = LobStore::new(pool.clone());
+        let big: Vec<u8> = (0..PAGE_SIZE * 3 + 500).map(|i| (i % 249) as u8).collect();
+        let small = b"fits in one page".to_vec();
+        let big_id = s.append(&big).unwrap();
+        let small_id = s.append(&small).unwrap();
+        pool.flush_all().unwrap();
+        pool.clear().unwrap();
+
+        let (mut out, mut scratch) = (Vec::new(), Vec::new());
+        // Cold multi-page object: one vectored read, no frames installed.
+        let before = pool.stats().snapshot();
+        assert!(s
+            .read_into_prefetch(big_id, &mut out, &mut scratch)
+            .unwrap());
+        assert_eq!(out, big);
+        let delta = pool.stats().snapshot().since(&before);
+        assert_eq!(delta.physical_reads, 4);
+        assert!(delta.seq_physical_reads >= 3, "{delta:?}");
+
+        // Single-page object: pooled path even when cold.
+        assert!(!s
+            .read_into_prefetch(small_id, &mut out, &mut scratch)
+            .unwrap());
+        assert_eq!(out, small);
+
+        // Once the span is buffered (normal read), the bypass declines.
+        s.read_into(big_id, &mut out).unwrap();
+        assert!(!s
+            .read_into_prefetch(big_id, &mut out, &mut scratch)
+            .unwrap());
+        assert_eq!(out, big);
+
+        // Zero-length objects read as empty without touching the disk.
+        let empty = s.append(b"").unwrap();
+        assert!(!s.read_into_prefetch(empty, &mut out, &mut scratch).unwrap());
+        assert!(out.is_empty());
     }
 
     #[test]

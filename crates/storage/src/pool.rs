@@ -416,6 +416,43 @@ impl BufferPool {
         Ok(())
     }
 
+    /// True when no page of `[first, first + n)` is present in (or
+    /// reserved by) the page table — i.e. none of the span's pages can
+    /// be dirty in the pool, so a direct disk read of the span observes
+    /// exactly what a per-page fault sequence would.
+    pub fn span_absent(&self, first: PageId, n: u64) -> Result<bool> {
+        for i in 0..n {
+            let pid = first.offset(i);
+            let shard = self.shard_for(pid)?;
+            if shard.state.lock().table.contains_key(&pid) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Reads the `n`-page span starting at `first` straight from the
+    /// disk manager into `out` (`n * PAGE_SIZE` bytes), bypassing the
+    /// frame table — one vectored read instead of `n` pin/latch fault
+    /// rounds. The pages are *not* installed in the pool; the caller
+    /// caches the decoded form (the chunk cache) instead.
+    ///
+    /// Callers must gate this on [`BufferPool::span_absent`]: a page
+    /// buffered in the pool may be dirty, and the bypass would read its
+    /// stale on-disk image. The prefetch pipeline additionally treats
+    /// any decode failure of bypass-read bytes as "retry through
+    /// [`BufferPool::fetch`]", so a span racing an overwrite of the
+    /// same object degrades to the slow path rather than an error.
+    pub fn read_span_bypass(&self, first: PageId, n: u64, out: &mut [u8]) -> Result<()> {
+        if out.len() != (n as usize).saturating_mul(PAGE_SIZE) {
+            return Err(StorageError::Corrupt("bypass span buffer size mismatch"));
+        }
+        self.stats.logical_reads_add(n);
+        self.disk.read_pages(first, out)?;
+        self.stats.physical_read_span(first.0, n);
+        Ok(())
+    }
+
     /// Removes the reservation `pid → idx` if it is still in place —
     /// the cleanup for an abandoned fault.
     fn drop_reservation(&self, shard: &Shard, pid: PageId, idx: usize) {
@@ -764,6 +801,45 @@ mod tests {
         let misses: u64 = stats.iter().map(|s| s.misses).sum();
         assert_eq!(hits, 24, "{stats:?}");
         assert_eq!(misses, 8, "create_page faults count as misses");
+    }
+
+    #[test]
+    fn span_absent_tracks_the_page_table() {
+        let p = pool(4);
+        let base = p.allocate_pages(4).unwrap();
+        assert!(p.span_absent(base, 4).unwrap(), "nothing cached yet");
+        drop(p.create_page(base.offset(2)).unwrap());
+        assert!(!p.span_absent(base, 4).unwrap(), "page 2 is buffered");
+        assert!(p.span_absent(base, 2).unwrap(), "pages 0..2 still absent");
+        p.clear().unwrap();
+        assert!(p.span_absent(base, 4).unwrap(), "cleared pool is absent");
+    }
+
+    #[test]
+    fn bypass_span_read_skips_the_frame_table() {
+        let p = pool(4);
+        let base = p.allocate_pages(3).unwrap();
+        for i in 0..3 {
+            let mut page = p.create_page(base.offset(i)).unwrap();
+            page[0] = i as u8 + 10;
+        }
+        p.flush_all().unwrap();
+        p.clear().unwrap();
+        let before = p.stats().snapshot();
+        let mut out = vec![0u8; 3 * PAGE_SIZE];
+        p.read_span_bypass(base, 3, &mut out).unwrap();
+        for i in 0..3usize {
+            assert_eq!(out[i * PAGE_SIZE], i as u8 + 10, "page {i}");
+        }
+        let delta = p.stats().snapshot().since(&before);
+        assert_eq!(delta.logical_reads, 3);
+        assert_eq!(delta.physical_reads, 3);
+        assert_eq!(delta.seq_physical_reads, 2, "span interior is sequential");
+        // No frames were installed: the span still reads as absent.
+        assert!(p.span_absent(base, 3).unwrap());
+        // A mis-sized buffer is rejected before touching the disk.
+        let mut short = vec![0u8; PAGE_SIZE];
+        assert!(p.read_span_bypass(base, 3, &mut short).is_err());
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! to wall time; the I/O ratios are hardware-independent.
 //!
 //! Besides page-level I/O, the counters track the decoded-chunk cache
-//! (maintained by the array layer, which lacks a shared home of its own —
-//! the cache is pool-scoped, so its counters live with the pool's).
+//! and the chunk prefetch pipeline (both maintained by the array layer,
+//! which lacks a shared home of its own — the cache and the prefetcher
+//! are pool-scoped, so their counters live with the pool's).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -26,6 +27,10 @@ pub struct IoStats {
     chunk_cache_hits: AtomicU64,
     chunk_cache_misses: AtomicU64,
     chunk_cache_evictions: AtomicU64,
+    prefetch_issued: AtomicU64,
+    prefetch_hits: AtomicU64,
+    prefetch_wasted: AtomicU64,
+    prefetch_queue_peak: AtomicU64,
 }
 
 impl Default for IoStats {
@@ -48,12 +53,21 @@ impl IoStats {
             chunk_cache_hits: AtomicU64::new(0),
             chunk_cache_misses: AtomicU64::new(0),
             chunk_cache_evictions: AtomicU64::new(0),
+            prefetch_issued: AtomicU64::new(0),
+            prefetch_hits: AtomicU64::new(0),
+            prefetch_wasted: AtomicU64::new(0),
+            prefetch_queue_peak: AtomicU64::new(0),
         }
     }
 
     #[inline]
     pub(crate) fn logical_read(&self) {
         self.logical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn logical_reads_add(&self, n: u64) {
+        self.logical_reads.fetch_add(n, Ordering::Relaxed);
     }
 
     #[inline]
@@ -67,6 +81,26 @@ impl IoStats {
         if pid == last.wrapping_add(1) {
             self.seq_physical_reads.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Records one disk read spanning `n` contiguous pages starting at
+    /// `first` (a vectored LOB fault). Pages 2..n trivially follow
+    /// their predecessor, so `n - 1` of the reads count as sequential;
+    /// the first page is sequential iff it follows the previous read.
+    #[inline]
+    pub(crate) fn physical_read_span(&self, first: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.physical_reads.fetch_add(n, Ordering::Relaxed);
+        let last = self
+            .last_read_pid
+            .swap(first.wrapping_add(n - 1), Ordering::Relaxed);
+        let mut seq = n - 1;
+        if first == last.wrapping_add(1) {
+            seq += 1;
+        }
+        self.seq_physical_reads.fetch_add(seq, Ordering::Relaxed);
     }
 
     #[inline]
@@ -97,6 +131,33 @@ impl IoStats {
         self.chunk_cache_evictions.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records a chunk handed to a prefetcher thread (read + decode
+    /// started).
+    #[inline]
+    pub fn prefetch_issue(&self) {
+        self.prefetch_issued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a prefetched chunk consumed by a consolidation worker.
+    #[inline]
+    pub fn prefetch_hit(&self) {
+        self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` prefetched chunks that were decoded but never
+    /// consumed (pipeline cancelled or errored out).
+    #[inline]
+    pub fn prefetch_wasted_add(&self, n: u64) {
+        self.prefetch_wasted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records the delivery queue's depth after a publication; the
+    /// high-water mark is kept (gauge, not a counter).
+    #[inline]
+    pub fn prefetch_queue_depth(&self, depth: u64) {
+        self.prefetch_queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of the counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -108,6 +169,10 @@ impl IoStats {
             chunk_cache_hits: self.chunk_cache_hits.load(Ordering::Relaxed),
             chunk_cache_misses: self.chunk_cache_misses.load(Ordering::Relaxed),
             chunk_cache_evictions: self.chunk_cache_evictions.load(Ordering::Relaxed),
+            prefetch_issued: self.prefetch_issued.load(Ordering::Relaxed),
+            prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
+            prefetch_wasted: self.prefetch_wasted.load(Ordering::Relaxed),
+            prefetch_queue_peak: self.prefetch_queue_peak.load(Ordering::Relaxed),
         }
     }
 
@@ -122,6 +187,10 @@ impl IoStats {
         self.chunk_cache_hits.store(0, Ordering::Relaxed);
         self.chunk_cache_misses.store(0, Ordering::Relaxed);
         self.chunk_cache_evictions.store(0, Ordering::Relaxed);
+        self.prefetch_issued.store(0, Ordering::Relaxed);
+        self.prefetch_hits.store(0, Ordering::Relaxed);
+        self.prefetch_wasted.store(0, Ordering::Relaxed);
+        self.prefetch_queue_peak.store(0, Ordering::Relaxed);
     }
 }
 
@@ -154,6 +223,15 @@ pub struct IoSnapshot {
     pub chunk_cache_misses: u64,
     /// Decoded chunks evicted to stay under the cache's byte cap.
     pub chunk_cache_evictions: u64,
+    /// Chunks handed to a prefetcher thread (read + decode started).
+    pub prefetch_issued: u64,
+    /// Prefetched chunks consumed by a consolidation worker.
+    pub prefetch_hits: u64,
+    /// Prefetched chunks decoded but never consumed (cancellation).
+    pub prefetch_wasted: u64,
+    /// High-water mark of the prefetch delivery queue's depth (gauge;
+    /// since the last reset, not differenced by [`IoSnapshot::since`]).
+    pub prefetch_queue_peak: u64,
 }
 
 impl IoSnapshot {
@@ -176,6 +254,12 @@ impl IoSnapshot {
             chunk_cache_evictions: self
                 .chunk_cache_evictions
                 .saturating_sub(earlier.chunk_cache_evictions),
+            prefetch_issued: self.prefetch_issued.saturating_sub(earlier.prefetch_issued),
+            prefetch_hits: self.prefetch_hits.saturating_sub(earlier.prefetch_hits),
+            prefetch_wasted: self.prefetch_wasted.saturating_sub(earlier.prefetch_wasted),
+            // A high-water gauge cannot be differenced; the later
+            // snapshot's peak is the honest value for the interval.
+            prefetch_queue_peak: self.prefetch_queue_peak,
         }
     }
 
@@ -212,6 +296,16 @@ impl IoSnapshot {
             self.chunk_cache_hits as f64 / lookups as f64
         }
     }
+
+    /// Fraction of issued prefetches that were consumed, in `[0, 1]`;
+    /// 1.0 when nothing was issued.
+    pub fn prefetch_hit_rate(&self) -> f64 {
+        if self.prefetch_issued == 0 {
+            1.0
+        } else {
+            self.prefetch_hits as f64 / self.prefetch_issued as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +323,12 @@ mod tests {
         s.chunk_cache_hit();
         s.chunk_cache_miss();
         s.chunk_cache_evictions_add(2);
+        s.prefetch_issue();
+        s.prefetch_issue();
+        s.prefetch_hit();
+        s.prefetch_wasted_add(1);
+        s.prefetch_queue_depth(3);
+        s.prefetch_queue_depth(1); // peak keeps the max
         let snap = s.snapshot();
         assert_eq!(snap.logical_reads, 2);
         assert_eq!(snap.physical_reads, 1);
@@ -238,6 +338,11 @@ mod tests {
         assert_eq!(snap.chunk_cache_misses, 1);
         assert_eq!(snap.chunk_cache_lookups(), 2);
         assert_eq!(snap.chunk_cache_evictions, 2);
+        assert_eq!(snap.prefetch_issued, 2);
+        assert_eq!(snap.prefetch_hits, 1);
+        assert_eq!(snap.prefetch_wasted, 1);
+        assert_eq!(snap.prefetch_queue_peak, 3);
+        assert!((snap.prefetch_hit_rate() - 0.5).abs() < 1e-9);
 
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
@@ -283,11 +388,9 @@ mod tests {
             logical_reads: 10,
             physical_reads: 2,
             seq_physical_reads: 1,
-            physical_writes: 0,
-            evictions: 0,
             chunk_cache_hits: 3,
             chunk_cache_misses: 1,
-            chunk_cache_evictions: 0,
+            ..Default::default()
         };
         assert_eq!(snap.random_physical_reads(), 1);
         assert_eq!(snap.bytes_read(), 2 * PAGE_SIZE as u64);
@@ -295,5 +398,24 @@ mod tests {
         assert!((snap.chunk_cache_hit_rate() - 0.75).abs() < 1e-9);
         assert_eq!(IoSnapshot::default().hit_rate(), 1.0);
         assert_eq!(IoSnapshot::default().chunk_cache_hit_rate(), 1.0);
+        assert_eq!(IoSnapshot::default().prefetch_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn span_reads_count_pages_and_sequentiality() {
+        let s = IoStats::new();
+        s.physical_read_span(10, 4); // 10..=13: 3 sequential followers
+        let snap = s.snapshot();
+        assert_eq!(snap.physical_reads, 4);
+        assert_eq!(snap.seq_physical_reads, 3);
+        // A span starting right after the previous one is fully
+        // sequential; a scattered span pays one random read.
+        s.physical_read_span(14, 2);
+        s.physical_read_span(100, 3);
+        let snap = s.snapshot();
+        assert_eq!(snap.physical_reads, 9);
+        assert_eq!(snap.seq_physical_reads, 3 + 2 + 2);
+        s.physical_read_span(0, 0); // empty span is a no-op
+        assert_eq!(s.snapshot().physical_reads, 9);
     }
 }

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# PR 3 performance gate: runs the sharded-pool / chunk-cache / parallel
-# consolidation bench and writes BENCH_PR3.json at the repo root.
+# Performance gates: the PR 3 sharded-pool / chunk-cache / parallel
+# bench and the PR 4 prefetch-pipeline bench, writing BENCH_PR3.json
+# and BENCH_PR4.json at the repo root.
 #
-#   scripts/bench.sh            full run (enforces the 2x acceptance bar)
-#   scripts/bench.sh --smoke    ~30x smaller dataset, 1 run per point
+#   scripts/bench.sh            full runs (enforce the acceptance bars)
+#   scripts/bench.sh --smoke    ~30x smaller datasets (CI gate)
 #
-# Extra arguments are passed through to the bench binary (e.g.
-# `--out /tmp/other.json`).
+# Extra arguments are passed through to both bench binaries. `--out`
+# would collide between the two; use the per-bench invocations below
+# directly if you need custom output paths.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo run -q --release --offline -p molap-bench --bin bench_pr3 -- "$@"
+cargo run -q --release --offline -p molap-bench --bin bench_pr4 -- "$@"

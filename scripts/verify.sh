@@ -38,7 +38,12 @@ echo "==> cargo test -p molap-core --features lock-order-tracking"
 cargo test -q -p molap-core --features lock-order-tracking --offline
 
 echo "==> bench_pr3 --smoke (parallel/caching bench smoke run)"
-scripts/bench.sh --smoke --out target/BENCH_PR3.smoke.json > /dev/null
+cargo run -q --release --offline -p molap-bench --bin bench_pr3 -- \
+  --smoke --out target/BENCH_PR3.smoke.json > /dev/null
+
+echo "==> bench_pr4 --smoke (prefetch pipeline: cold pipelined(4) <= cold sequential)"
+cargo run -q --release --offline -p molap-bench --bin bench_pr4 -- \
+  --smoke --out target/BENCH_PR4.smoke.json > /dev/null
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -197,6 +197,14 @@ fn run_command(backend: &mut Backend, line: &str) -> Result<bool, Box<dyn std::e
                     s.chunk_cache_hit_rate() * 100.0,
                     s.chunk_cache_evictions
                 );
+                println!(
+                    "prefetch: {} issued, {} delivered ({:.0}% hit rate), {} wasted, queue peak {}",
+                    s.prefetch_issued,
+                    s.prefetch_hits,
+                    s.prefetch_hit_rate() * 100.0,
+                    s.prefetch_wasted,
+                    s.prefetch_queue_peak
+                );
                 let shards = pool.shard_stats();
                 let (hits, misses) = shards
                     .iter()
