@@ -15,7 +15,7 @@
 //!   and *loaded* during a consolidation's first phase, so their I/O is
 //!   part of the measured query cost, as in the paper.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use molap_array::{ArrayBuilder, ChunkFormat, ChunkedArray};
 use molap_btree::{BTree, BTreeConfig};
@@ -43,6 +43,9 @@ pub struct OlapArray {
     dims: Vec<DimensionTable>,
     dim_indexes: Vec<DimIndexes>,
     i2i_store: LobStore,
+    /// Lazily computed identity fingerprint (see
+    /// [`OlapArray::identity_hash`]).
+    identity: OnceLock<u64>,
 }
 
 impl OlapArray {
@@ -154,6 +157,7 @@ impl OlapArray {
             dims,
             dim_indexes,
             i2i_store,
+            identity: OnceLock::new(),
         })
     }
 
@@ -208,7 +212,10 @@ impl OlapArray {
         let coords = self
             .keys_to_coords(keys)?
             .ok_or_else(|| Error::Data("a key does not exist in its dimension table".into()))?;
-        Ok(self.array.set(&coords, values)?)
+        self.array.set(&coords, values)?;
+        // Any cached consolidation result on this pool is now stale.
+        crate::rescache::invalidate_writes(&self.pool);
+        Ok(())
     }
 
     fn keys_to_coords(&self, keys: &[i64]) -> Result<Option<Vec<u32>>> {
@@ -325,6 +332,20 @@ impl OlapArray {
             dims,
             dim_indexes,
             i2i_store,
+            identity: OnceLock::new(),
+        })
+    }
+
+    /// A stable identity fingerprint for this array: a hash of its
+    /// serialized metadata, so two handles opened over the same pool
+    /// contents (e.g. by successive `Database::sql` calls) share it.
+    /// Used to key the result-cube cache.
+    pub fn identity_hash(&self) -> u64 {
+        *self.identity.get_or_init(|| {
+            use std::hash::Hasher;
+            let mut h = crate::util::FxHasher::default();
+            h.write(&self.meta_to_bytes());
+            h.finish()
         })
     }
 

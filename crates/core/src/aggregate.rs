@@ -7,7 +7,7 @@
 //! rational so results compare exactly across engines.
 
 /// An aggregate function applied to one measure.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AggFunc {
     /// Sum of the measure (the paper's benchmark aggregate).
     Sum,

@@ -332,6 +332,49 @@ impl Database {
             ))),
         }
     }
+
+    /// Canonical fingerprint of a SQL consolidation statement: two
+    /// statements share a fingerprint only if they run the same
+    /// canonical [`Query`] (selections sorted/deduped) against the
+    /// same object with the same measure mapping — i.e. they must
+    /// produce identical results. Returns `None` for statements that
+    /// do not parse or resolve; those are never treated as equal.
+    ///
+    /// `molap-server` uses this to coalesce identical concurrent
+    /// queries onto one execution.
+    pub fn query_fingerprint(&self, statement: &str, measures: &[&str]) -> Option<u64> {
+        use std::hash::{Hash, Hasher};
+        let name = crate::sql::extract_from(statement).ok()?;
+        let kind = {
+            let cat = self.catalog.lock();
+            cat.objects.get(&name).map(|(k, _)| *k)?
+        };
+        let mut query = match kind {
+            ObjectKind::OlapArray => {
+                let adt = self.open_olap_array(&name).ok()?;
+                crate::sql::parse_query(statement, adt.dims(), measures)
+                    .ok()?
+                    .query
+            }
+            ObjectKind::StarSchema => {
+                let schema = self.open_star_schema(&name).ok()?;
+                crate::sql::parse_query(statement, &schema.dims, measures)
+                    .ok()?
+                    .query
+            }
+            ObjectKind::BitmapIndexes => return None,
+        };
+        for sels in &mut query.selections {
+            for sel in sels.iter_mut() {
+                sel.pred.canonicalize();
+            }
+        }
+        let mut h = crate::util::FxHasher::default();
+        name.hash(&mut h);
+        query.hash(&mut h);
+        measures.hash(&mut h);
+        Some(h.finish())
+    }
 }
 
 #[cfg(test)]

@@ -87,6 +87,7 @@ mod kernel;
 mod materialize;
 mod parallel;
 mod query;
+mod rescache;
 mod result;
 mod select;
 pub mod sql;
@@ -101,7 +102,8 @@ pub use cube_op::{compute_cube, CubeSlice};
 pub use dimension::DimensionTable;
 pub use error::{Error, Result};
 pub use parallel::{consolidate_auto, consolidate_parallel, consolidate_pipelined, PrefetchPlan};
-pub use query::{AttrRef, DimGrouping, Query, Selection};
-pub use result::{ConsolidationResult, ResultCube, Row};
+pub use query::{AttrRef, DimGrouping, Pred, Query, Selection};
+pub use rescache::{shared_result_cache, CacheKey, ResultCache};
+pub use result::{ConsolidationResult, GroupedDim, ResultCube, Rollup, Row};
 pub use sql::{parse_query, SqlStatement};
 pub use starjoin::{starjoin_consolidate, StarSchema};

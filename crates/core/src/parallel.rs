@@ -77,6 +77,17 @@ pub fn consolidate_pipelined(
     workers: usize,
     plan: PrefetchPlan,
 ) -> Result<ConsolidationResult> {
+    consolidate_pipelined_cube(adt, query, workers, plan)?.into_result(&query.aggs)
+}
+
+/// [`consolidate_pipelined`] stopping at the positional result cube —
+/// the form the result-cube cache stores.
+pub(crate) fn consolidate_pipelined_cube(
+    adt: &OlapArray,
+    query: &Query,
+    workers: usize,
+    plan: PrefetchPlan,
+) -> Result<ResultCube> {
     query.validate(adt.dims(), adt.n_measures())?;
     let workers = workers.max(1);
     let (maps, _result_btrees) = phase1(adt, query, BuildResultBtrees::No)?;
@@ -134,7 +145,7 @@ pub fn consolidate_pipelined(
     for cube in iter {
         total.merge(&cube)?;
     }
-    total.into_result(&query.aggs)
+    Ok(total)
 }
 
 /// Like [`OlapArray::consolidate`], but evaluating chunks with
@@ -174,22 +185,37 @@ pub fn consolidate_parallel(
 
 /// Chooses a worker count and a prefetch plan from the machine's
 /// parallelism and the size of the job, then dispatches: the engine's
-/// default consolidation entry point. Small arrays run the plain
-/// sequential algorithms (pipeline spin-up would cost more than it
-/// saves); everything else goes through [`consolidate_pipelined`] —
-/// even with a single consumer the pipeline's vectored bypass reads
-/// and per-chunk kernels beat the inline read/decode/aggregate loop.
+/// default consolidation entry point. Answers come from the pool's
+/// result-cube cache when possible — an exact cached cube, or a finer
+/// one coarsened by pure in-memory re-aggregation (see
+/// [`crate::rescache`]); both are bit-identical to computing directly.
+/// On a true miss, small arrays run the plain sequential algorithms
+/// (pipeline spin-up would cost more than it saves); everything else
+/// goes through [`consolidate_pipelined`] — even with a single
+/// consumer the pipeline's vectored bypass reads and per-chunk kernels
+/// beat the inline read/decode/aggregate loop.
 pub fn consolidate_auto(adt: &OlapArray, query: &Query) -> Result<ConsolidationResult> {
     query.validate(adt.dims(), adt.n_measures())?;
+    crate::rescache::consolidate_cached(adt, query, || consolidate_cube_auto(adt, query))
+}
+
+/// The compute path behind [`consolidate_auto`]: pick sequential or
+/// pipelined by job size and stop at the positional cube.
+fn consolidate_cube_auto(adt: &OlapArray, query: &Query) -> Result<ResultCube> {
     let num_chunks = adt.array().shape().num_chunks();
     if num_chunks < 2 * AUTO_MIN_CHUNKS_PER_WORKER {
-        return adt.consolidate(query);
+        let (_maps, cube) = if query.has_selection() {
+            crate::select::consolidate_with_selection_cube_opt(adt, query, BuildResultBtrees::No)?
+        } else {
+            crate::consolidate::consolidate_full_cube(adt, query, BuildResultBtrees::No)?
+        };
+        return Ok(cube);
     }
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get() as u64)
         .unwrap_or(1);
     let workers = cpus.min(num_chunks / AUTO_MIN_CHUNKS_PER_WORKER).max(1);
-    consolidate_pipelined(adt, query, workers as usize, PrefetchPlan::auto(num_chunks))
+    consolidate_pipelined_cube(adt, query, workers as usize, PrefetchPlan::auto(num_chunks))
 }
 
 /// §4.1 phase 2 with `threads` workers: contiguous chunk spans per
@@ -447,11 +473,14 @@ mod tests {
         let selected = Query::new(vec![DimGrouping::Key, DimGrouping::Drop])
             .with_selection(1, Selection::in_list(AttrRef::Level(0), vec![0, 2]));
         for q in [plain, selected] {
-            assert_eq!(
-                consolidate_auto(&adt, &q).unwrap(),
-                adt.consolidate(&q).unwrap(),
-                "{q:?}"
-            );
+            let first = consolidate_auto(&adt, &q).unwrap();
+            assert_eq!(first, adt.consolidate(&q).unwrap(), "{q:?}");
+            // The repeat answers from the result-cube cache,
+            // bit-identically.
+            let before = adt.pool().stats().snapshot();
+            assert_eq!(consolidate_auto(&adt, &q).unwrap(), first, "{q:?}");
+            let d = adt.pool().stats().snapshot().since(&before);
+            assert_eq!(d.result_cache_hits, 1, "{q:?}");
         }
         // Invalid queries are rejected up front.
         assert!(consolidate_auto(&adt, &Query::new(vec![DimGrouping::Drop])).is_err());

@@ -17,7 +17,7 @@ use crate::dimension::DimensionTable;
 use crate::error::{Error, Result};
 
 /// Which column of a dimension a selection references.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AttrRef {
     /// The dimension's key attribute.
     Key,
@@ -26,7 +26,7 @@ pub enum AttrRef {
 }
 
 /// How one dimension participates in the GROUP BY.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DimGrouping {
     /// The dimension is aggregated away (not in the GROUP BY).
     Drop,
@@ -37,10 +37,16 @@ pub enum DimGrouping {
 }
 
 /// The value set a selection accepts.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Pred {
     /// Membership in an explicit list (the paper's `attr = v` is a
     /// one-element list). An empty list selects nothing.
+    ///
+    /// Invariant: the list is sorted and deduplicated. The
+    /// [`Selection`] constructors establish it; code building `Pred`
+    /// values directly must supply a canonical list. [`Pred::accepts`]
+    /// binary-searches, and the result-cache fingerprint relies on the
+    /// canonical form being unique per value set.
     In(Vec<i64>),
     /// Inclusive range `lo <= value <= hi` (an empty range selects
     /// nothing).
@@ -57,14 +63,26 @@ impl Pred {
     #[inline]
     pub fn accepts(&self, value: i64) -> bool {
         match self {
-            Pred::In(values) => values.contains(&value),
+            // The list is sorted+deduped by construction, so probes
+            // are O(log n) instead of the old O(n) `contains`.
+            Pred::In(values) => values.binary_search(&value).is_ok(),
             Pred::Range { lo, hi } => *lo <= value && value <= *hi,
+        }
+    }
+
+    /// Rebuilds the sorted/deduped invariant on an `In` list. The
+    /// constructors call this; it is also applied defensively when
+    /// fingerprinting queries built by hand.
+    pub(crate) fn canonicalize(&mut self) {
+        if let Pred::In(values) = self {
+            values.sort_unstable();
+            values.dedup();
         }
     }
 }
 
 /// A conjunctive predicate on one dimension column.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Selection {
     /// The referenced column.
     pub attr: AttrRef,
@@ -81,12 +99,12 @@ impl Selection {
         }
     }
 
-    /// `attr IN (values)`.
+    /// `attr IN (values)`. The list is canonicalized (sorted, deduped)
+    /// — membership is order-insensitive, so this changes no semantics.
     pub fn in_list(attr: AttrRef, values: Vec<i64>) -> Self {
-        Selection {
-            attr,
-            pred: Pred::In(values),
-        }
+        let mut pred = Pred::In(values);
+        pred.canonicalize();
+        Selection { attr, pred }
     }
 
     /// `attr BETWEEN lo AND hi` (inclusive).
@@ -99,7 +117,7 @@ impl Selection {
 }
 
 /// A consolidation query over an n-dimensional cube.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Query {
     /// One grouping per dimension.
     pub group_by: Vec<DimGrouping>,
@@ -255,6 +273,20 @@ mod tests {
         // Degenerate predicates accept nothing.
         assert!(!Pred::In(vec![]).accepts(0));
         assert!(!Pred::Range { lo: 5, hi: 4 }.accepts(5));
+    }
+
+    #[test]
+    fn in_lists_are_canonicalized() {
+        let s = Selection::in_list(AttrRef::Key, vec![9, 2, 2, -4, 9]);
+        assert_eq!(s.pred, Pred::In(vec![-4, 2, 9]));
+        assert!(s.pred.accepts(-4) && s.pred.accepts(2) && s.pred.accepts(9));
+        assert!(!s.pred.accepts(3));
+        // Two spellings of the same value set compare equal — the
+        // property the result-cache fingerprint depends on.
+        assert_eq!(
+            Selection::in_list(AttrRef::Key, vec![3, 1, 2]),
+            Selection::in_list(AttrRef::Key, vec![1, 2, 3, 3])
+        );
     }
 
     #[test]

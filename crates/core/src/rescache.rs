@@ -1,0 +1,667 @@
+//! Result-cube cache with rollup subsumption.
+//!
+//! A consolidation's result cube "fits into memory" by the §4.1
+//! assumption — and under dashboard-style traffic the *same* rollups
+//! and drill-down families recur constantly. This module caches the
+//! positional [`ResultCube`]s produced by [`crate::consolidate_auto`]
+//! so a repeated query skips chunk I/O, decode, and aggregation
+//! entirely, and — the interesting part — answers *coarser* queries
+//! from a cached *finer* cube by pure in-memory re-aggregation through
+//! the dimension tables' code mappings (the derivability property of
+//! the IndexToIndex machinery, §3.4/§4.1).
+//!
+//! # Keying
+//!
+//! Entries are keyed by [`CacheKey`]: the array's identity hash (a
+//! hash of its serialized metadata, stable across reopens — needed
+//! because `Database::sql` reopens the ADT per statement), the
+//! per-dimension groupings, and the canonicalized selections
+//! (`Pred::In` lists sorted + deduped, so two spellings of one value
+//! set share an entry). The *aggregate functions are deliberately not
+//! part of the key*: the cube stores raw [`crate::AggState`]s (sum,
+//! count, min, max), so one cached cube finalizes any of
+//! SUM/COUNT/MIN/MAX — and AVG exactly, from the cached sum + count.
+//!
+//! # Subsumption
+//!
+//! On a miss, cached cubes for the same array with identical
+//! selections are inspected: the request is derivable when every
+//! dimension's cached grouping can be coarsened to the requested one —
+//! identical groupings map ranks 1:1, anything coarsens to `Drop`,
+//! `Key` coarsens to any `Level(l)` (row → attribute code is a
+//! function), and `Level(lf)` coarsens to `Level(lc)` iff the fine
+//! code functionally determines the coarse code (verified by one scan
+//! of the dimension table; e.g. city → region in a proper hierarchy).
+//! The derivation builds per-dimension rank remaps from the dimension
+//! tables alone — no LOB or chunk I/O — and re-aggregates with
+//! [`ResultCube::rollup`], which is bit-identical to direct
+//! consolidation because [`crate::AggState`] merging is associative
+//! and commutative.
+//!
+//! # Invalidation
+//!
+//! Correctness over two signals, both checked lazily at lookup:
+//!
+//! * the pool's clear-epoch — `BufferPool::clear` bumps it, so cached
+//!   results never leak across the paper's cold-run boundary;
+//! * a cache-wide write generation — any `OlapArray::set_by_keys` on
+//!   the pool bumps it, conservatively invalidating every entry
+//!   (writes are rare in the paper's workload; precision is not worth
+//!   the bookkeeping).
+//!
+//! # Locking
+//!
+//! Sharded like the decoded-chunk cache: each shard's `results` mutex
+//! (rank 5 in the workspace lock order, see DESIGN.md §8) guards a map
+//! plus a second-chance clock ring bounded by approximate cube bytes.
+//! Nothing is ever locked while a `results` mutex is held, and shards
+//! are only ever locked one at a time — the subsumption scan clones
+//! candidate `Arc`s out shard by shard and derives outside the lock.
+
+use std::collections::HashMap;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use molap_storage::BufferPool;
+use parking_lot::Mutex;
+
+use crate::adt::OlapArray;
+use crate::error::Result;
+use crate::query::{DimGrouping, Query, Selection};
+use crate::result::{ConsolidationResult, ResultCube, Rollup};
+use crate::util::FxHasher;
+
+/// Shards; a power of two so the key hash can mask.
+const CACHE_SHARDS: usize = 8;
+
+/// Canonical identity of a cacheable consolidation: which array, how
+/// grouped, what selected. Aggregate functions are excluded (see the
+/// module docs).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    array_id: u64,
+    group_by: Vec<DimGrouping>,
+    selections: Vec<Vec<Selection>>,
+}
+
+impl CacheKey {
+    /// Builds the canonical key for `query` against `adt`,
+    /// re-canonicalizing `Pred::In` lists defensively (hand-built
+    /// `Pred` values may bypass the [`Selection`] constructors).
+    pub fn of(adt: &OlapArray, query: &Query) -> CacheKey {
+        let mut selections = query.selections.clone();
+        for sels in &mut selections {
+            for sel in sels.iter_mut() {
+                sel.pred.canonicalize();
+            }
+        }
+        CacheKey {
+            array_id: adt.identity_hash(),
+            group_by: query.group_by.clone(),
+            selections,
+        }
+    }
+
+    fn hash64(&self) -> u64 {
+        let mut h = FxHasher::default();
+        std::hash::Hash::hash(self, &mut h);
+        h.finish()
+    }
+}
+
+struct CacheEntry {
+    cube: Arc<ResultCube>,
+    bytes: usize,
+    epoch: u64,
+    write_gen: u64,
+    referenced: bool,
+}
+
+#[derive(Default)]
+struct ShardMap {
+    map: HashMap<Arc<CacheKey>, CacheEntry>,
+    /// Second-chance clock ring over the keys; may lag `map` (removed
+    /// keys are compacted away as the hand passes them).
+    ring: Vec<Arc<CacheKey>>,
+    hand: usize,
+    bytes: usize,
+}
+
+impl ShardMap {
+    fn remove(&mut self, key: &CacheKey) {
+        if let Some(entry) = self.map.remove(key) {
+            self.bytes = self.bytes.saturating_sub(entry.bytes);
+        }
+    }
+
+    /// Evicts one unreferenced entry; returns false if nothing was
+    /// evictable (the ring cycled twice clearing reference bits).
+    fn evict_one(&mut self) -> bool {
+        let mut budget = 2 * self.ring.len();
+        while budget > 0 && !self.ring.is_empty() {
+            budget -= 1;
+            if self.hand >= self.ring.len() {
+                self.hand = 0;
+            }
+            let Some(key) = self.ring.get(self.hand).cloned() else {
+                break;
+            };
+            match self.map.get_mut(&key) {
+                // Stale ring slot (entry removed/invalidated): compact.
+                None => {
+                    self.ring.swap_remove(self.hand);
+                }
+                Some(entry) if entry.referenced => {
+                    entry.referenced = false;
+                    self.hand += 1;
+                }
+                Some(_) => {
+                    self.remove(&key);
+                    self.ring.swap_remove(self.hand);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// One cache shard. The field name `results` is load-bearing: it is
+/// the rank the workspace lock order (and molap-lint) knows this mutex
+/// by.
+struct CacheShard {
+    results: Mutex<ShardMap>,
+}
+
+/// A sharded, byte-bounded cache of consolidation result cubes,
+/// installed once per [`BufferPool`] (see [`shared_result_cache`]).
+pub struct ResultCache {
+    shards: Vec<CacheShard>,
+    /// Byte cap per shard (total cap / shard count).
+    shard_capacity: usize,
+    /// Bumped by every write to any array on the pool; entries stamped
+    /// with an older generation read as cold.
+    write_gen: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates a cache bounded to roughly `capacity_bytes` of result
+    /// cubes. A zero capacity disables caching (inserts no-op).
+    pub fn new(capacity_bytes: usize) -> Self {
+        ResultCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| CacheShard {
+                    results: Mutex::default(),
+                })
+                .collect(),
+            shard_capacity: capacity_bytes / CACHE_SHARDS,
+            write_gen: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &CacheShard {
+        let idx = (key.hash64() >> 33) as usize & (CACHE_SHARDS - 1);
+        // The mask keeps idx < CACHE_SHARDS, so this never falls back.
+        self.shards.get(idx).unwrap_or(&self.shards[0])
+    }
+
+    /// The current write generation.
+    pub fn write_gen(&self) -> u64 {
+        self.write_gen.load(Ordering::Acquire)
+    }
+
+    /// Invalidates every cached cube (a write happened somewhere on
+    /// the pool). Entries are dropped lazily at their next lookup.
+    pub fn bump_write_gen(&self) {
+        self.write_gen.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Looks up an exact entry, treating entries stamped with a
+    /// different pool epoch or write generation as cold (dropped on
+    /// the spot).
+    pub fn get(&self, key: &CacheKey, epoch: u64) -> Option<Arc<ResultCube>> {
+        let write_gen = self.write_gen();
+        let mut shard = self.shard(key).results.lock();
+        match shard.map.get_mut(key) {
+            Some(entry) if entry.epoch == epoch && entry.write_gen == write_gen => {
+                entry.referenced = true;
+                Some(entry.cube.clone())
+            }
+            Some(_) => {
+                shard.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts a result cube, evicting as needed; returns how many
+    /// entries were evicted. Cubes larger than a whole shard's budget
+    /// are not cached.
+    pub fn insert(&self, key: CacheKey, cube: Arc<ResultCube>, epoch: u64) -> u64 {
+        let bytes = cube.approx_bytes();
+        if bytes == 0 || bytes > self.shard_capacity {
+            return 0;
+        }
+        let write_gen = self.write_gen();
+        let key = Arc::new(key);
+        let mut evicted = 0u64;
+        let mut shard = self.shard(&key).results.lock();
+        shard.remove(&key); // replace any stale entry under the same key
+        while shard.bytes + bytes > self.shard_capacity {
+            if !shard.evict_one() {
+                return evicted; // nothing evictable; skip caching
+            }
+            evicted += 1;
+        }
+        shard.bytes += bytes;
+        shard.map.insert(
+            key.clone(),
+            CacheEntry {
+                cube,
+                bytes,
+                epoch,
+                write_gen,
+                referenced: true,
+            },
+        );
+        shard.ring.push(key);
+        evicted
+    }
+
+    /// Clones out every live entry for `array_id` — the subsumption
+    /// scan's candidate set. Shards are locked strictly one at a time
+    /// and stale entries are skipped (their lazy removal happens on
+    /// their own lookups), so this never holds two `results` mutexes.
+    pub fn candidates(&self, array_id: u64, epoch: u64) -> Vec<(Arc<CacheKey>, Arc<ResultCube>)> {
+        let write_gen = self.write_gen();
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.results.lock();
+            for (key, entry) in &guard.map {
+                if key.array_id == array_id && entry.epoch == epoch && entry.write_gen == write_gen
+                {
+                    out.push((key.clone(), entry.cube.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of live entries (all shards).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.results.lock().map.len()).sum()
+    }
+
+    /// True if no cubes are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total approximate bytes held (all shards).
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.results.lock().bytes).sum()
+    }
+}
+
+/// The pool-wide shared result cache, installed in a pool extension
+/// slot on first use and sized to half the pool's byte budget (result
+/// cubes are far smaller than the chunk data they summarize). Returns
+/// `None` only if every extension slot is occupied by other types.
+pub fn shared_result_cache(pool: &Arc<BufferPool>) -> Option<Arc<ResultCache>> {
+    let budget = pool.num_frames() * molap_storage::PAGE_SIZE / 2;
+    pool.extension_or_init(|| Arc::new(ResultCache::new(budget)))
+}
+
+/// Write-path hook: a cell of some array on `pool` changed, so every
+/// cached result on the pool is suspect. Installing the (empty) cache
+/// just to bump its generation is harmless.
+pub(crate) fn invalidate_writes(pool: &Arc<BufferPool>) {
+    if let Some(cache) = shared_result_cache(pool) {
+        cache.bump_write_gen();
+        pool.stats().result_cache_invalidation();
+    }
+}
+
+/// The cached consolidation driver used by [`crate::consolidate_auto`]:
+/// answer from an exact cached cube, else derive from a subsuming finer
+/// cube, else run `compute` and populate the cache. Every path
+/// finalizes through the same [`ResultCube::into_result`] machinery,
+/// so cached and computed answers are bit-identical.
+pub(crate) fn consolidate_cached<F>(
+    adt: &OlapArray,
+    query: &Query,
+    compute: F,
+) -> Result<ConsolidationResult>
+where
+    F: FnOnce() -> Result<ResultCube>,
+{
+    let Some(cache) = shared_result_cache(adt.pool()) else {
+        return compute()?.into_result(&query.aggs);
+    };
+    let stats = adt.pool().stats();
+    let epoch = adt.pool().epoch();
+    let key = CacheKey::of(adt, query);
+
+    if let Some(cube) = cache.get(&key, epoch) {
+        stats.result_cache_hit();
+        return cube.to_result(&query.aggs);
+    }
+
+    // Rollup subsumption: a finer cached cube for the same array and
+    // selections answers a coarser grouping by re-aggregation. The
+    // derived cube is inserted under its own key so the family's next
+    // repeat is an exact hit.
+    for (have_key, have_cube) in cache.candidates(key.array_id, epoch) {
+        if *have_key == key {
+            continue; // exact entry raced in after our lookup
+        }
+        let Some(plan) = rollup_plan(adt, &have_key, &have_cube, &key) else {
+            continue;
+        };
+        let derived = Arc::new(have_cube.rollup(&plan)?);
+        stats.result_cache_derive();
+        let evicted = cache.insert(key, derived.clone(), epoch);
+        stats.result_cache_evictions_add(evicted);
+        return derived.to_result(&query.aggs);
+    }
+
+    stats.result_cache_miss();
+    let cube = Arc::new(compute()?);
+    let evicted = cache.insert(key, cube.clone(), epoch);
+    stats.result_cache_evictions_add(evicted);
+    cube.to_result(&query.aggs)
+}
+
+/// Decides whether the cached `(have, have_cube)` subsumes `want` and,
+/// if so, builds the per-dimension [`Rollup`] plan. `None` means "not
+/// derivable from this entry" — never an error.
+///
+/// All mapping data comes from the in-memory dimension tables; this
+/// performs no I/O.
+fn rollup_plan(
+    adt: &OlapArray,
+    have: &CacheKey,
+    have_cube: &ResultCube,
+    want: &CacheKey,
+) -> Option<Vec<Rollup>> {
+    let n_dims = adt.dims().len();
+    if have.group_by.len() != n_dims || want.group_by.len() != n_dims {
+        return None;
+    }
+    // Selections must match exactly: a differently-filtered cube
+    // aggregates a different cell set.
+    if have.selections != want.selections {
+        return None;
+    }
+    let mut plan = Vec::with_capacity(have_cube.dims().len());
+    let mut cube_pos = 0usize;
+    for (d, (&fine, &coarse)) in have.group_by.iter().zip(&want.group_by).enumerate() {
+        if matches!(fine, DimGrouping::Drop) {
+            // A dropped dimension cannot be resurrected.
+            if matches!(coarse, DimGrouping::Drop) {
+                continue;
+            }
+            return None;
+        }
+        let cube_dim = have_cube.dims().get(cube_pos)?;
+        cube_pos += 1;
+        let dim = adt.dims().get(d)?;
+        let step = match (fine, coarse) {
+            (_, DimGrouping::Drop) => Rollup::Drop,
+            (f, c) if f == c => Rollup::Map {
+                column: cube_dim.column.clone(),
+                codes: cube_dim.codes.clone(),
+                rank_map: (0..cube_dim.codes.len() as u32).collect(),
+            },
+            (DimGrouping::Key, DimGrouping::Level(l)) => {
+                // Key ranks are sorted keys (`cube_dim.codes`); each
+                // key's row carries exactly one code at level `l`.
+                let attr = dim.attr_codes(l).ok()?;
+                let coarse_codes = dim.distinct_codes(l).ok()?;
+                let mut rank_map = Vec::with_capacity(cube_dim.codes.len());
+                for &key in &cube_dim.codes {
+                    let row = dim.row_of_key(key)?;
+                    let code = *attr.get(row as usize)?;
+                    let cr = coarse_codes.binary_search(&code).ok()?;
+                    rank_map.push(cr as u32);
+                }
+                Rollup::Map {
+                    column: format!("{}.{}", dim.name(), dim.level_name(l).unwrap_or("?")),
+                    codes: coarse_codes,
+                    rank_map,
+                }
+            }
+            (DimGrouping::Level(lf), DimGrouping::Level(lc)) => {
+                // Derivable iff the fine code functionally determines
+                // the coarse code — verified by one scan of the rows.
+                let fine_codes = &cube_dim.codes; // == distinct_codes(lf)
+                let fc = dim.attr_codes(lf).ok()?;
+                let cc = dim.attr_codes(lc).ok()?;
+                let coarse_codes = dim.distinct_codes(lc).ok()?;
+                let mut fine_to_coarse: Vec<Option<i64>> = vec![None; fine_codes.len()];
+                for (row, &f) in fc.iter().enumerate() {
+                    let fr = fine_codes.binary_search(&f).ok()?;
+                    let c = *cc.get(row)?;
+                    match fine_to_coarse.get_mut(fr)? {
+                        slot @ None => *slot = Some(c),
+                        Some(prev) if *prev == c => {}
+                        Some(_) => return None, // no functional dependency
+                    }
+                }
+                let mut rank_map = Vec::with_capacity(fine_codes.len());
+                for m in fine_to_coarse {
+                    let cr = coarse_codes.binary_search(&m?).ok()?;
+                    rank_map.push(cr as u32);
+                }
+                Rollup::Map {
+                    column: format!("{}.{}", dim.name(), dim.level_name(lc).unwrap_or("?")),
+                    codes: coarse_codes,
+                    rank_map,
+                }
+            }
+            // Level → Key would refine, not coarsen.
+            _ => return None,
+        };
+        plan.push(step);
+    }
+    Some(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggFunc;
+    use crate::dimension::DimensionTable;
+    use crate::query::{AttrRef, Selection};
+    use molap_array::ChunkFormat;
+    use molap_storage::MemDisk;
+
+    fn build() -> OlapArray {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 512));
+        let dims = vec![
+            DimensionTable::build(
+                "store",
+                &(0..12i64).collect::<Vec<_>>(),
+                vec![
+                    ("city", (0..12i64).map(|k| k / 2).collect()),
+                    ("region", (0..12i64).map(|k| k / 6).collect()),
+                ],
+            )
+            .unwrap(),
+            DimensionTable::build(
+                "product",
+                &(0..6i64).collect::<Vec<_>>(),
+                vec![("ptype", (0..6i64).map(|k| k % 2).collect())],
+            )
+            .unwrap(),
+        ];
+        let cells: Vec<(Vec<i64>, Vec<i64>)> = (0..12i64)
+            .flat_map(|s| (0..6i64).map(move |p| (vec![s, p], vec![s * 10 + p])))
+            .filter(|(k, _)| (k[0] + k[1]) % 3 != 0)
+            .collect();
+        OlapArray::build(pool, dims, &[4, 3], ChunkFormat::ChunkOffset, cells, 1).unwrap()
+    }
+
+    fn cube_for(adt: &OlapArray, q: &Query) -> ResultCube {
+        let (_, cube) = crate::consolidate::consolidate_full_cube(
+            adt,
+            q,
+            crate::consolidate::BuildResultBtrees::No,
+        )
+        .unwrap();
+        cube
+    }
+
+    #[test]
+    fn exact_hit_roundtrips() {
+        let adt = build();
+        let cache = ResultCache::new(1 << 20);
+        let q = Query::new(vec![DimGrouping::Level(0), DimGrouping::Drop]);
+        let key = CacheKey::of(&adt, &q);
+        assert!(cache.get(&key, 0).is_none());
+        let cube = Arc::new(cube_for(&adt, &q));
+        cache.insert(key.clone(), cube.clone(), 0);
+        let hit = cache.get(&key, 0).unwrap();
+        assert_eq!(
+            hit.to_result(&q.aggs).unwrap(),
+            adt.consolidate(&q).unwrap()
+        );
+        // A different grouping is a different key.
+        let other = CacheKey::of(&adt, &Query::new(vec![DimGrouping::Key, DimGrouping::Drop]));
+        assert!(cache.get(&other, 0).is_none());
+    }
+
+    #[test]
+    fn epoch_and_write_gen_invalidate() {
+        let adt = build();
+        let cache = ResultCache::new(1 << 20);
+        let q = Query::new(vec![DimGrouping::Level(1), DimGrouping::Drop]);
+        let key = CacheKey::of(&adt, &q);
+        cache.insert(key.clone(), Arc::new(cube_for(&adt, &q)), 3);
+        assert!(cache.get(&key, 4).is_none(), "cleared pool = cold");
+        assert!(cache.get(&key, 3).is_none(), "stale entry dropped eagerly");
+        cache.insert(key.clone(), Arc::new(cube_for(&adt, &q)), 3);
+        cache.bump_write_gen();
+        assert!(cache.get(&key, 3).is_none(), "write invalidates");
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn canonical_in_lists_share_an_entry() {
+        let adt = build();
+        let q1 = Query::new(vec![DimGrouping::Level(0), DimGrouping::Drop])
+            .with_selection(0, Selection::in_list(AttrRef::Level(0), vec![2, 0, 2]));
+        let q2 = Query::new(vec![DimGrouping::Level(0), DimGrouping::Drop])
+            .with_selection(0, Selection::in_list(AttrRef::Level(0), vec![0, 2]));
+        assert_eq!(CacheKey::of(&adt, &q1), CacheKey::of(&adt, &q2));
+        // Different aggregates share the key too (states finalize any).
+        let q3 = q2.clone().with_aggs(vec![AggFunc::Avg]);
+        assert_eq!(CacheKey::of(&adt, &q2), CacheKey::of(&adt, &q3));
+    }
+
+    #[test]
+    fn subsumption_derives_bit_identical_results() {
+        let adt = build();
+        let fine = Query::new(vec![DimGrouping::Key, DimGrouping::Level(0)]);
+        let fine_cube = cube_for(&adt, &fine);
+        let fine_key = CacheKey::of(&adt, &fine);
+        // Key → Level, Level → identity, and dropping a dimension.
+        let coarser = [
+            Query::new(vec![DimGrouping::Level(0), DimGrouping::Level(0)]),
+            Query::new(vec![DimGrouping::Level(1), DimGrouping::Drop]),
+            Query::new(vec![DimGrouping::Drop, DimGrouping::Drop]),
+            Query::new(vec![DimGrouping::Key, DimGrouping::Drop]),
+        ];
+        for want in &coarser {
+            let want_key = CacheKey::of(&adt, want);
+            let plan = rollup_plan(&adt, &fine_key, &fine_cube, &want_key)
+                .unwrap_or_else(|| panic!("{want:?} must be derivable"));
+            let derived = fine_cube.rollup(&plan).unwrap();
+            assert_eq!(
+                derived.to_result(&want.aggs).unwrap(),
+                adt.consolidate(want).unwrap(),
+                "{want:?}"
+            );
+        }
+        // Level(0) (city) → Level(1) (region): functional dependency
+        // holds for k/2 → k/6 on this data.
+        let city = Query::new(vec![DimGrouping::Level(0), DimGrouping::Drop]);
+        let city_cube = cube_for(&adt, &city);
+        let city_key = CacheKey::of(&adt, &city);
+        let region = Query::new(vec![DimGrouping::Level(1), DimGrouping::Drop]);
+        let plan = rollup_plan(&adt, &city_key, &city_cube, &CacheKey::of(&adt, &region))
+            .expect("city subsumes region");
+        assert_eq!(
+            city_cube
+                .rollup(&plan)
+                .unwrap()
+                .to_result(&region.aggs)
+                .unwrap(),
+            adt.consolidate(&region).unwrap()
+        );
+    }
+
+    #[test]
+    fn non_subsumable_pairs_are_rejected() {
+        let adt = build();
+        let fine = Query::new(vec![DimGrouping::Level(1), DimGrouping::Drop]);
+        let fine_cube = cube_for(&adt, &fine);
+        let fine_key = CacheKey::of(&adt, &fine);
+        let refused = [
+            // Region → city refines.
+            Query::new(vec![DimGrouping::Level(0), DimGrouping::Drop]),
+            // Level → Key refines.
+            Query::new(vec![DimGrouping::Key, DimGrouping::Drop]),
+            // Dropped dimension cannot come back.
+            Query::new(vec![DimGrouping::Level(1), DimGrouping::Level(0)]),
+            // Different selections.
+            Query::new(vec![DimGrouping::Level(1), DimGrouping::Drop])
+                .with_selection(1, Selection::eq(AttrRef::Key, 1)),
+        ];
+        for want in &refused {
+            assert!(
+                rollup_plan(&adt, &fine_key, &fine_cube, &CacheKey::of(&adt, want)).is_none(),
+                "{want:?} must not be derivable"
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_keeps_bytes_under_capacity() {
+        let adt = build();
+        let q = Query::new(vec![DimGrouping::Key, DimGrouping::Key]);
+        let cube = Arc::new(cube_for(&adt, &q));
+        let bytes = cube.approx_bytes();
+        let cache = ResultCache::new(bytes * 3 * CACHE_SHARDS);
+        let mut evicted = 0;
+        for i in 0..200i64 {
+            // Distinct keys via distinct (synthetic) array ids.
+            let key = CacheKey {
+                array_id: i as u64,
+                group_by: q.group_by.clone(),
+                selections: q.selections.clone(),
+            };
+            evicted += cache.insert(key, cube.clone(), 0);
+        }
+        assert!(evicted > 0, "200 inserts must evict");
+        assert!(cache.bytes() <= bytes * 3 * CACHE_SHARDS);
+        assert!(!cache.is_empty());
+        // Zero capacity disables caching.
+        let disabled = ResultCache::new(0);
+        disabled.insert(CacheKey::of(&adt, &q), cube, 0);
+        assert!(disabled.is_empty());
+    }
+
+    #[test]
+    fn shared_cache_is_installed_once_per_pool() {
+        let adt = build();
+        let a = shared_result_cache(adt.pool()).unwrap();
+        let b = shared_result_cache(adt.pool()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // Coexists with the chunk cache on the same pool's slots.
+        assert!(molap_array::shared_chunk_cache(adt.pool()).is_some());
+        assert!(shared_result_cache(adt.pool()).is_some());
+    }
+}

@@ -155,6 +155,88 @@ impl ResultCube {
         Ok(out)
     }
 
+    /// Re-aggregates this cube along a rollup `plan` (one entry per
+    /// grouped dimension): each kept dimension remaps every fine rank
+    /// to a coarse rank, dropped dimensions are aggregated away.
+    /// Because [`AggState`] merging is associative and commutative,
+    /// the rolled-up cube is bit-identical to consolidating the coarse
+    /// query directly — the derivability property the result-cube
+    /// cache's subsumption path relies on.
+    pub fn rollup(&self, plan: &[Rollup]) -> Result<ResultCube> {
+        if plan.len() != self.dims.len() {
+            return Err(Error::Query(format!(
+                "rollup plan has {} entries for {} dimensions",
+                plan.len(),
+                self.dims.len()
+            )));
+        }
+        let mut out_dims = Vec::new();
+        for (d, step) in plan.iter().enumerate() {
+            if let Rollup::Map {
+                column,
+                codes,
+                rank_map,
+            } = step
+            {
+                if rank_map.len() != self.shape[d] as usize {
+                    return Err(Error::Query(format!(
+                        "rollup map for dimension {d} has {} entries for {} ranks",
+                        rank_map.len(),
+                        self.shape[d]
+                    )));
+                }
+                if rank_map.iter().any(|&r| r as usize >= codes.len()) {
+                    return Err(Error::Query(format!(
+                        "rollup map for dimension {d} exceeds its code list"
+                    )));
+                }
+                out_dims.push(GroupedDim {
+                    dim: self.dims[d].dim,
+                    column: column.clone(),
+                    codes: codes.clone(),
+                });
+            }
+        }
+        let mut out = ResultCube::new(out_dims, self.n_measures);
+        let n = self.shape.len();
+        let mut out_ranks = vec![0u32; out.dims.len()];
+        for cell in 0..self.num_cells() {
+            let base = cell * self.n_measures;
+            if self.states[base].is_empty() {
+                continue;
+            }
+            let mut rem = cell;
+            let mut k = 0;
+            for (d, step) in plan.iter().enumerate().take(n) {
+                let rank = (rem / self.strides[d]) as u32;
+                rem %= self.strides[d];
+                if let Rollup::Map { rank_map, .. } = step {
+                    out_ranks[k] = rank_map[rank as usize];
+                    k += 1;
+                }
+            }
+            let out_base = out.linear(&out_ranks) * self.n_measures;
+            for m in 0..self.n_measures {
+                out.states[out_base + m].merge(&self.states[base + m]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Approximate heap footprint in bytes — the result-cube cache's
+    /// budget currency.
+    pub fn approx_bytes(&self) -> usize {
+        let dim_bytes: usize = self
+            .dims
+            .iter()
+            .map(|d| d.column.len() + d.codes.len() * std::mem::size_of::<i64>())
+            .sum();
+        std::mem::size_of::<Self>()
+            + dim_bytes
+            + self.states.len() * std::mem::size_of::<AggState>()
+            + self.shape.len() * (std::mem::size_of::<u32>() + std::mem::size_of::<usize>())
+    }
+
     /// Finalizes into normalized rows, skipping empty groups (borrowing
     /// variant of [`ResultCube::into_result`]).
     pub fn to_result(&self, aggs: &[AggFunc]) -> Result<ConsolidationResult> {
@@ -206,6 +288,25 @@ impl ResultCube {
         rows.sort_unstable_by(|a, b| a.keys.cmp(&b.keys));
         Ok(ConsolidationResult { columns, rows })
     }
+}
+
+/// One dimension's role in a [`ResultCube::rollup`] derivation.
+#[derive(Clone, Debug)]
+pub enum Rollup {
+    /// Keep the dimension at a coarser granularity: fine rank `r`
+    /// contributes to coarse rank `rank_map[r]`, whose group code is
+    /// `codes[rank_map[r]]` under the new `column` header.
+    Map {
+        /// Output column header, e.g. `"store.region"`.
+        column: String,
+        /// Sorted group codes of the coarse grouping.
+        codes: Vec<i64>,
+        /// Fine rank → coarse rank (identity map for an unchanged
+        /// grouping).
+        rank_map: Vec<u32>,
+    },
+    /// Aggregate the dimension away.
+    Drop,
 }
 
 /// One output row: group codes in grouped-dimension order, then one
@@ -351,6 +452,75 @@ mod tests {
         // Shape mismatch is rejected.
         let mut c = two_dim_cube();
         assert!(c.merge(&ResultCube::new(vec![], 1)).is_err());
+    }
+
+    #[test]
+    fn rollup_remaps_and_drops() {
+        let mut cube = two_dim_cube();
+        cube.add(&[0, 0], &[1]);
+        cube.add(&[0, 2], &[2]);
+        cube.add(&[1, 1], &[4]);
+        // Coarsen dim 0: both codes map to one coarse code 99. Drop
+        // dim 1.
+        let plan = vec![
+            Rollup::Map {
+                column: "a.h2".into(),
+                codes: vec![99],
+                rank_map: vec![0, 0],
+            },
+            Rollup::Drop,
+        ];
+        let res = cube
+            .rollup(&plan)
+            .unwrap()
+            .into_result(&[AggFunc::Sum])
+            .unwrap();
+        assert_eq!(res.rows().len(), 1);
+        assert_eq!(res.rows()[0].keys, vec![99]);
+        assert_eq!(res.rows()[0].values, vec![AggValue::Int(7)]);
+        // Identity maps reproduce the cube exactly.
+        let identity = vec![
+            Rollup::Map {
+                column: "a.h1".into(),
+                codes: vec![10, 20],
+                rank_map: vec![0, 1],
+            },
+            Rollup::Map {
+                column: "b.h1".into(),
+                codes: vec![5, 6, 7],
+                rank_map: vec![0, 1, 2],
+            },
+        ];
+        assert_eq!(
+            cube.rollup(&identity)
+                .unwrap()
+                .into_result(&[AggFunc::Sum])
+                .unwrap(),
+            cube.to_result(&[AggFunc::Sum]).unwrap()
+        );
+        // Arity and range errors are rejected.
+        assert!(cube.rollup(&[Rollup::Drop]).is_err());
+        assert!(cube
+            .rollup(&[
+                Rollup::Map {
+                    column: "x".into(),
+                    codes: vec![0],
+                    rank_map: vec![0] // wrong length
+                },
+                Rollup::Drop
+            ])
+            .is_err());
+        assert!(cube
+            .rollup(&[
+                Rollup::Map {
+                    column: "x".into(),
+                    codes: vec![0],
+                    rank_map: vec![0, 9] // rank out of range
+                },
+                Rollup::Drop
+            ])
+            .is_err());
+        assert!(cube.approx_bytes() > 0);
     }
 
     #[test]

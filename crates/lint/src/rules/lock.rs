@@ -23,15 +23,18 @@ use crate::Finding;
 
 /// The workspace's declared lock order, outermost (acquire first) to
 /// innermost. Field names are unambiguous across the workspace:
-/// `queue`/`sessions`/`supervisor` (server), `catalog` (core),
-/// `chunks` (decoded-chunk cache shard), `dir`/`pack` (LOB store),
-/// `state`/`data` (buffer pool: shard state, then per-frame latch),
-/// `pages` (MemDisk backing store).
+/// `inflight`/`queue`/`sessions`/`supervisor` (server: coalescing
+/// table, then admission queue), `catalog` (core), `results`
+/// (result-cube cache shard), `chunks` (decoded-chunk cache shard),
+/// `dir`/`pack` (LOB store), `state`/`data` (buffer pool: shard
+/// state, then per-frame latch), `pages` (MemDisk backing store).
 pub const DECLARED_ORDER: &[&str] = &[
+    "inflight",
     "queue",
     "sessions",
     "supervisor",
     "catalog",
+    "results",
     "delivery",
     "chunks",
     "dir",

@@ -22,6 +22,7 @@ pub struct ServerMetrics {
     queries_failed: AtomicU64,
     queries_rejected: AtomicU64,
     deadline_exceeded: AtomicU64,
+    queries_coalesced: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
     latency_micros_total: AtomicU64,
@@ -67,6 +68,12 @@ impl ServerMetrics {
         self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a query that attached to an identical in-flight
+    /// execution instead of occupying a queue slot.
+    pub fn query_coalesced(&self) {
+        self.queries_coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records bytes received from clients.
     pub fn add_bytes_in(&self, n: u64) {
         self.bytes_in.fetch_add(n, Ordering::Relaxed);
@@ -105,6 +112,7 @@ impl ServerMetrics {
             queries_failed: self.queries_failed.load(Ordering::Relaxed),
             queries_rejected: self.queries_rejected.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            queries_coalesced: self.queries_coalesced.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             latency_micros_total: self.latency_micros_total.load(Ordering::Relaxed),
@@ -130,6 +138,9 @@ pub struct MetricsSnapshot {
     pub queries_rejected: u64,
     /// Queries that missed their deadline.
     pub deadline_exceeded: u64,
+    /// Queries answered by attaching to an identical in-flight
+    /// execution (coalesced; not counted in `queries_ok`).
+    pub queries_coalesced: u64,
     /// Bytes received from clients.
     pub bytes_in: u64,
     /// Bytes sent to clients.
@@ -166,6 +177,7 @@ impl MetricsSnapshot {
             self.queries_failed,
             self.queries_rejected,
             self.deadline_exceeded,
+            self.queries_coalesced,
             self.bytes_in,
             self.bytes_out,
             self.latency_micros_total,
@@ -188,6 +200,11 @@ impl MetricsSnapshot {
             self.io.prefetch_hits,
             self.io.prefetch_wasted,
             self.io.prefetch_queue_peak,
+            self.io.result_cache_hits,
+            self.io.result_cache_misses,
+            self.io.result_cache_derived,
+            self.io.result_cache_evictions,
+            self.io.result_cache_invalidations,
         ] {
             put_u64(out, v);
         }
@@ -207,6 +224,7 @@ impl MetricsSnapshot {
             queries_failed: c.u64()?,
             queries_rejected: c.u64()?,
             deadline_exceeded: c.u64()?,
+            queries_coalesced: c.u64()?,
             bytes_in: c.u64()?,
             bytes_out: c.u64()?,
             latency_micros_total: c.u64()?,
@@ -228,6 +246,11 @@ impl MetricsSnapshot {
             prefetch_hits: c.u64()?,
             prefetch_wasted: c.u64()?,
             prefetch_queue_peak: c.u64()?,
+            result_cache_hits: c.u64()?,
+            result_cache_misses: c.u64()?,
+            result_cache_derived: c.u64()?,
+            result_cache_evictions: c.u64()?,
+            result_cache_invalidations: c.u64()?,
         };
         let n_shards = c.u64()? as usize;
         // Cap the allocation by what the payload can actually hold.
@@ -257,8 +280,12 @@ impl std::fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "queries:  {} ok, {} failed, {} rejected (busy), {} deadline-exceeded",
-            self.queries_ok, self.queries_failed, self.queries_rejected, self.deadline_exceeded
+            "queries:  {} ok, {} failed, {} rejected (busy), {} deadline-exceeded, {} coalesced",
+            self.queries_ok,
+            self.queries_failed,
+            self.queries_rejected,
+            self.deadline_exceeded,
+            self.queries_coalesced
         )?;
         writeln!(
             f,
@@ -288,7 +315,7 @@ impl std::fmt::Display for MetricsSnapshot {
             self.io.chunk_cache_hit_rate() * 100.0,
             self.io.chunk_cache_evictions
         )?;
-        write!(
+        writeln!(
             f,
             "prefetch: {} issued, {} delivered ({:.0}% hit rate), {} wasted, queue peak {}",
             self.io.prefetch_issued,
@@ -296,6 +323,15 @@ impl std::fmt::Display for MetricsSnapshot {
             self.io.prefetch_hit_rate() * 100.0,
             self.io.prefetch_wasted,
             self.io.prefetch_queue_peak
+        )?;
+        write!(
+            f,
+            "results:  {} hits, {} derived (rollup), {} misses, {} evicted, {} invalidations",
+            self.io.result_cache_hits,
+            self.io.result_cache_derived,
+            self.io.result_cache_misses,
+            self.io.result_cache_evictions,
+            self.io.result_cache_invalidations
         )?;
         if !self.shards.is_empty() {
             let hits: u64 = self.shards.iter().map(|s| s.hits).sum();
@@ -338,6 +374,7 @@ mod tests {
         m.query_failed(Duration::from_micros(10));
         m.query_rejected();
         m.query_deadline_exceeded();
+        m.query_coalesced();
         m.add_bytes_in(123);
         m.add_bytes_out(4567);
         let io = IoSnapshot {
@@ -353,6 +390,11 @@ mod tests {
             prefetch_hits: 8,
             prefetch_wasted: 1,
             prefetch_queue_peak: 5,
+            result_cache_hits: 6,
+            result_cache_misses: 2,
+            result_cache_derived: 1,
+            result_cache_evictions: 3,
+            result_cache_invalidations: 1,
         };
         let shards = vec![
             ShardStats { hits: 6, misses: 2 },

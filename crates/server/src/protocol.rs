@@ -35,7 +35,7 @@
 //! |-----:|------|---------|
 //! | `0x81` | ResultSet | `columns: u16 count + str*`, `rows: u32 count + row*` |
 //! | `0x82` | Pong | empty |
-//! | `0x83` | StatsReply | [`crate::metrics::MetricsSnapshot`] encoding: 9 server counters, 16 histogram buckets, 12 pool-I/O counters (incl. prefetch issued/hits/wasted/queue-peak), shard pairs |
+//! | `0x83` | StatsReply | [`crate::metrics::MetricsSnapshot`] encoding: 10 server counters (incl. queries-coalesced), 16 histogram buckets, 17 pool-I/O counters (incl. prefetch issued/hits/wasted/queue-peak and result-cache hits/misses/derived/evictions/invalidations), shard pairs |
 //! | `0x84` | ObjectList | `u32 count + (name: str, kind: u8)*` |
 //! | `0x85` | Error | `code: u16`, `message: str` |
 //! | `0x86` | ShutdownStarted | empty |
@@ -211,8 +211,9 @@ pub enum Request {
     Shutdown,
 }
 
-/// A server response.
-#[derive(Debug)]
+/// A server response. `Clone` so one coalesced execution can deliver
+/// the same response to every attached waiter.
+#[derive(Clone, Debug)]
 pub enum Response {
     /// A successful query result.
     ResultSet(ConsolidationResult),

@@ -81,6 +81,10 @@ struct Job {
     measures: Vec<String>,
     deadline: Instant,
     reply: mpsc::SyncSender<Response>,
+    /// Canonical query fingerprint, when the statement has one: this
+    /// job leads an entry in the coalescing table and must broadcast
+    /// its response to any followers that attached.
+    fingerprint: Option<u64>,
 }
 
 /// Why a submission was refused at admission.
@@ -103,6 +107,12 @@ pub(crate) struct Shared {
     config: ServerConfig,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
+    /// Concurrent-query coalescing: canonical fingerprint of every
+    /// admitted-but-unfinished query → reply senders of followers that
+    /// attached instead of submitting a duplicate. The leader removes
+    /// its entry (and broadcasts) when its execution completes.
+    /// Ordered before `queue` in the workspace lock order.
+    inflight: Mutex<HashMap<u64, Vec<mpsc::SyncSender<Response>>>>,
     /// Socket clones of live sessions, so shutdown can unblock their
     /// reads. Keyed by session id.
     sessions: Mutex<HashMap<u64, TcpStream>>,
@@ -112,19 +122,47 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    /// Submits a query for execution, or refuses it immediately.
+    /// Submits a query for execution, or refuses it immediately. A
+    /// query whose canonical fingerprint matches one already admitted
+    /// and not yet finished does not take a queue slot: it attaches to
+    /// the in-flight execution and receives a copy of its response.
     pub(crate) fn try_submit(
         &self,
         sql: String,
         measures: Vec<String>,
     ) -> Result<mpsc::Receiver<Response>, AdmissionError> {
+        // Fingerprinting parses the statement against the catalog and
+        // must happen before any queue/inflight lock is taken (it
+        // briefly takes the catalog lock, which ranks below both).
+        let measure_refs: Vec<&str> = measures.iter().map(String::as_str).collect();
+        let fingerprint = self.db.query_fingerprint(&sql, &measure_refs);
+
+        // Holding `inflight` across admission makes "attach to the
+        // leader" and "become the leader" mutually exclusive: a
+        // follower can never observe an entry whose job failed
+        // admission. `inflight` ranks before `queue`.
+        let mut inflight = fingerprint.map(|fp| (fp, self.inflight.lock()));
         let mut q = self.queue.lock();
+        // The drain contract ("new queries are refused") beats
+        // coalescing: even a query that could attach to an in-flight
+        // execution is turned away once the drain has begun.
         if q.draining {
             return Err(AdmissionError::ShuttingDown);
+        }
+        if let Some((fp, table)) = inflight.as_mut() {
+            if let Some(waiters) = table.get_mut(fp) {
+                let (tx, rx) = mpsc::sync_channel(1);
+                waiters.push(tx);
+                self.metrics.query_coalesced();
+                return Ok(rx);
+            }
         }
         if q.jobs.len() >= self.config.queue_capacity {
             self.metrics.query_rejected();
             return Err(AdmissionError::Busy);
+        }
+        if let Some((fp, table)) = inflight.as_mut() {
+            table.insert(*fp, Vec::new());
         }
         let (tx, rx) = mpsc::sync_channel(1);
         q.jobs.push_back(Job {
@@ -132,8 +170,10 @@ impl Shared {
             measures,
             deadline: Instant::now() + self.config.default_deadline,
             reply: tx,
+            fingerprint,
         });
         drop(q);
+        drop(inflight);
         self.queue_cv.notify_one();
         Ok(rx)
     }
@@ -189,13 +229,28 @@ impl Shared {
     }
 
     fn run_job(&self, job: Job) {
+        let response = self.execute_job(&job);
+        // Close the coalescing entry *before* delivering: once removed,
+        // the next identical submission starts a fresh execution, and
+        // every follower captured here gets this response. Attach and
+        // removal are both under `inflight`, so no waiter is lost.
+        let followers = match job.fingerprint {
+            Some(fp) => self.inflight.lock().remove(&fp).unwrap_or_default(),
+            None => Vec::new(),
+        };
+        for follower in followers {
+            let _ = follower.send(response.clone());
+        }
+        let _ = job.reply.send(response);
+    }
+
+    fn execute_job(&self, job: &Job) -> Response {
         if Instant::now() > job.deadline {
             self.metrics.query_deadline_exceeded();
-            let _ = job.reply.send(Response::Error {
+            return Response::Error {
                 code: ErrorCode::DeadlineExceeded,
                 message: "query spent its deadline waiting in the admission queue".into(),
-            });
-            return;
+            };
         }
         let started = Instant::now();
         if !self.config.debug_execution_delay.is_zero() {
@@ -206,7 +261,7 @@ impl Shared {
             self.db.sql(&job.sql, &measures)
         }));
         let elapsed = started.elapsed();
-        let response = match outcome {
+        match outcome {
             Ok(Ok(result)) => {
                 if Instant::now() > job.deadline {
                     self.metrics.query_deadline_exceeded();
@@ -238,8 +293,7 @@ impl Shared {
                     message: detail,
                 }
             }
-        };
-        let _ = job.reply.send(response);
+        }
     }
 }
 
@@ -265,6 +319,7 @@ impl Server {
                 draining: false,
             }),
             queue_cv: Condvar::new(),
+            inflight: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
             next_session_id: AtomicU64::new(1),
             local_addr,

@@ -28,10 +28,8 @@ fn remove_db(path: &PathBuf) {
     let _ = std::fs::remove_file(PathBuf::from(wal));
 }
 
-/// Creates a database holding the test cube as both an array and a
-/// star schema.
-fn build_db(path: &PathBuf) -> Database {
-    let spec = CubeSpec {
+fn test_spec() -> CubeSpec {
+    CubeSpec {
         dim_sizes: vec![12, 10, 8],
         level_cards: vec![vec![4, 2], vec![3, 2], vec![2, 2]],
         valid_cells: 400,
@@ -39,8 +37,13 @@ fn build_db(path: &PathBuf) -> Database {
         n_measures: 1,
         independent_last_level: false,
         layout: AttrLayout::Blocked,
-    };
-    let cube = generate(&spec).unwrap();
+    }
+}
+
+/// Creates a database holding the test cube as both an array and a
+/// star schema.
+fn build_db(path: &PathBuf) -> Database {
+    let cube = generate(&test_spec()).unwrap();
     let db = Database::create(path, 16 << 20).unwrap();
     let adt = OlapArray::build(
         db.pool().clone(),
@@ -110,7 +113,14 @@ fn concurrent_clients_match_in_process_execution() {
         .iter()
         .any(|(name, kind)| name == "sales_rel" && kind == "StarSchema"));
     let stats = client.stats().unwrap();
-    assert_eq!(stats.queries_ok, 32 * 3 * QUERIES.len() as u64);
+    // Identical in-flight queries coalesce onto one execution, so the
+    // executed count plus the coalesced count must cover every client
+    // request — and every one of them got a verified-correct result.
+    assert_eq!(
+        stats.queries_ok + stats.queries_coalesced,
+        32 * 3 * QUERIES.len() as u64
+    );
+    assert!(stats.queries_ok >= QUERIES.len() as u64);
     assert_eq!(stats.queries_failed, 0);
     assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
     drop(client);
@@ -158,18 +168,30 @@ fn saturated_queue_yields_server_busy_not_a_hang() {
     let handle = Server::start(db, "127.0.0.1:0", config).unwrap();
     let addr = handle.local_addr();
 
+    // Eight *distinct* statements: identical ones would coalesce onto
+    // a single execution and never touch the queue capacity.
+    const DISTINCT: &[&str] = &[
+        "SELECT SUM(volume) FROM sales",
+        "SELECT SUM(volume), dim0.h01 FROM sales GROUP BY dim0.h01",
+        "SELECT SUM(volume), dim0.h02 FROM sales GROUP BY dim0.h02",
+        "SELECT SUM(volume), dim1.h11 FROM sales GROUP BY dim1.h11",
+        "SELECT SUM(volume), dim1.h12 FROM sales GROUP BY dim1.h12",
+        "SELECT SUM(volume), dim2.h21 FROM sales GROUP BY dim2.h21",
+        "SELECT SUM(volume), dim2.h22 FROM sales GROUP BY dim2.h22",
+        "SELECT SUM(volume), dim0.h01, dim1.h11 FROM sales GROUP BY dim0.h01, dim1.h11",
+    ];
     const CLIENTS: usize = 8;
     let barrier = Barrier::new(CLIENTS);
     let ok = AtomicUsize::new(0);
     let busy = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..CLIENTS {
+        for sql in DISTINCT {
             scope.spawn(|| {
                 let mut client = ServerClient::connect(addr).unwrap();
                 barrier.wait();
-                match client.query("SELECT SUM(volume) FROM sales") {
+                match client.query(sql) {
                     Ok(result) => {
-                        assert_eq!(result.rows().len(), 1);
+                        assert!(!result.rows().is_empty());
                         ok.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(e) => {
@@ -307,6 +329,85 @@ fn queries_refused_while_draining() {
 
     handle.wait();
     remove_db(&path);
+}
+
+#[test]
+fn identical_concurrent_queries_coalesce_and_writes_invalidate() {
+    let path = temp_db_path("coalesce");
+    let db = build_db(&path);
+    const SQL: &str = "SELECT SUM(volume), dim0.h01 FROM sales GROUP BY dim0.h01";
+    let expected = db.sql(SQL, &["volume"]).unwrap();
+    // Keep a writer handle on the same buffer pool before the server
+    // takes ownership of the database.
+    let mut writer = db.open_olap_array("sales").unwrap();
+    let config = ServerConfig {
+        workers: 2,
+        queue_capacity: 32,
+        default_deadline: Duration::from_secs(30),
+        // Long enough that all sixteen clients pile onto the one
+        // in-flight execution.
+        debug_execution_delay: Duration::from_millis(400),
+    };
+    let handle = Server::start(db, "127.0.0.1:0", config).unwrap();
+    let addr = handle.local_addr();
+
+    const HERD: usize = 16;
+    let run_herd = || -> Vec<ConsolidationResult> {
+        let barrier = Barrier::new(HERD);
+        std::thread::scope(|scope| {
+            let threads: Vec<_> = (0..HERD)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut client = ServerClient::connect(addr).unwrap();
+                        barrier.wait();
+                        client.query(SQL).unwrap()
+                    })
+                })
+                .collect();
+            threads.into_iter().map(|t| t.join().unwrap()).collect()
+        })
+    };
+
+    // Round 1: one leader executes, fifteen followers attach.
+    let round1 = run_herd();
+    for got in &round1 {
+        assert_eq!(got, &expected, "coalesced responses must be identical");
+    }
+    let stats = handle.metrics();
+    assert_eq!(stats.queries_coalesced, HERD as u64 - 1);
+    assert_eq!(stats.queries_ok, HERD as u64 - stats.queries_coalesced);
+    // The in-process warm-up query populated the result cube cache,
+    // so the leader answered from it.
+    assert!(stats.io.result_cache_hits >= 1, "{stats:?}");
+
+    // A write through the shared pool invalidates every cached cube.
+    let misses_before = stats.io.result_cache_misses;
+    let (keys, values) = test_spec_cell();
+    writer
+        .set_by_keys(&keys, &values.iter().map(|v| v + 1000).collect::<Vec<_>>())
+        .unwrap();
+
+    // Round 2: the herd coalesces again, but the leader recomputes.
+    let round2 = run_herd();
+    let first = &round2[0];
+    for got in &round2 {
+        assert_eq!(got, first, "coalesced responses must be identical");
+    }
+    assert_ne!(first, &expected, "the write must be visible");
+    let stats = handle.metrics();
+    assert_eq!(stats.queries_coalesced, 2 * (HERD as u64 - 1));
+    assert!(stats.io.result_cache_invalidations >= 1, "{stats:?}");
+    assert!(stats.io.result_cache_misses > misses_before, "{stats:?}");
+
+    handle.shutdown();
+    remove_db(&path);
+}
+
+/// An existing cell of the [`test_spec`] cube: its dimension keys and
+/// current measure values.
+fn test_spec_cell() -> (Vec<i64>, Vec<i64>) {
+    let cube = generate(&test_spec()).unwrap();
+    cube.cells[0].clone()
 }
 
 #[test]

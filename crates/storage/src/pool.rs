@@ -52,6 +52,10 @@ const MIN_FRAMES_PER_SHARD: usize = 16;
 /// Upper bound on the shard count.
 const MAX_SHARDS: usize = 64;
 
+/// Number of type-erased extension slots on the pool (one per attached
+/// extension type: decoded-chunk cache, result-cube cache, spares).
+pub const NUM_EXT_SLOTS: usize = 4;
+
 /// Bound on "pin, latch, re-check, retry" rounds in [`BufferPool::fetch`]
 /// and friends. Every retry means another thread finished or abandoned a
 /// fault on the frame in between, so hitting the bound indicates pool
@@ -113,10 +117,12 @@ pub struct BufferPool {
     /// older epoch as cold, preserving the paper's flush-between-runs
     /// methodology.
     epoch: AtomicU64,
-    /// One type-erased extension slot for higher layers to attach a
-    /// pool-wide shared structure (the decoded-chunk cache) without a
-    /// dependency cycle.
-    ext: OnceLock<Arc<dyn Any + Send + Sync>>,
+    /// Type-erased extension slots for higher layers to attach
+    /// pool-wide shared structures (the decoded-chunk cache, the
+    /// result-cube cache) without a dependency cycle. Each slot holds
+    /// at most one object; lookup is by downcast, so at most one
+    /// extension *per type* is installed.
+    ext: [OnceLock<Arc<dyn Any + Send + Sync>>; NUM_EXT_SLOTS],
     /// Optional redo journal: when present, every page write-back is
     /// logged (and the log synced) before it reaches the data file.
     wal: Option<Wal>,
@@ -161,7 +167,7 @@ impl BufferPool {
             shards,
             stats: IoStats::new(),
             epoch: AtomicU64::new(0),
-            ext: OnceLock::new(),
+            ext: std::array::from_fn(|_| OnceLock::new()),
             wal: None,
         }
     }
@@ -241,18 +247,38 @@ impl BufferPool {
         self.epoch.load(Ordering::Acquire)
     }
 
-    /// Returns the pool's extension object, installing `init()` on the
-    /// first call. Returns `None` only if the slot was already claimed
-    /// with a different type.
+    /// Returns the pool's extension object of type `T`, installing
+    /// `init()` into the first free slot on the first call for that
+    /// type. Different extension types coexist (up to
+    /// [`NUM_EXT_SLOTS`] of them); repeated calls for the same type
+    /// return the originally installed object. Returns `None` only if
+    /// every slot is already claimed by other types.
+    ///
+    /// Lock-free: slots are `OnceLock`s scanned in order, so this
+    /// introduces no lock rank.
     pub fn extension_or_init<T, F>(&self, init: F) -> Option<Arc<T>>
     where
         T: Any + Send + Sync,
         F: FnOnce() -> Arc<T>,
     {
-        let slot = self
-            .ext
-            .get_or_init(|| -> Arc<dyn Any + Send + Sync> { init() });
-        slot.clone().downcast::<T>().ok()
+        let mut init = Some(init);
+        for slot in &self.ext {
+            let value = slot.get_or_init(|| -> Arc<dyn Any + Send + Sync> {
+                match init.take() {
+                    Some(f) => f(),
+                    // Unreachable: once `init` has run, its slot holds
+                    // an `Arc<T>`, the downcast below succeeds, and the
+                    // loop returns before reaching another empty slot.
+                    // A unit value keeps this arm total without a panic
+                    // path.
+                    None => Arc::new(()),
+                }
+            });
+            if let Ok(t) = value.clone().downcast::<T>() {
+                return Some(t);
+            }
+        }
+        None
     }
 
     /// The pool's I/O counters.
@@ -848,8 +874,16 @@ mod tests {
         let a = p.extension_or_init(|| Arc::new(7u64)).unwrap();
         let b = p.extension_or_init(|| Arc::new(9u64)).unwrap();
         assert_eq!((*a, *b), (7, 7), "first install wins");
-        // A different type cannot displace the installed extension.
-        assert!(p.extension_or_init(|| Arc::new(String::new())).is_none());
+        // A different type gets its own slot and coexists.
+        let s = p.extension_or_init(|| Arc::new(String::from("x"))).unwrap();
+        assert_eq!(*s, "x");
+        assert_eq!(*p.extension_or_init(|| Arc::new(0u64)).unwrap(), 7);
+        // Fill the remaining slots; a fresh type then finds no room.
+        assert!(p.extension_or_init(|| Arc::new(1u32)).is_some());
+        assert!(p.extension_or_init(|| Arc::new(1u16)).is_some());
+        assert!(p.extension_or_init(|| Arc::new(1u8)).is_none());
+        // Installed extensions are unaffected by the full table.
+        assert_eq!(*p.extension_or_init(|| Arc::new(0u64)).unwrap(), 7);
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct IoStats {
     prefetch_hits: AtomicU64,
     prefetch_wasted: AtomicU64,
     prefetch_queue_peak: AtomicU64,
+    result_cache_hits: AtomicU64,
+    result_cache_misses: AtomicU64,
+    result_cache_derived: AtomicU64,
+    result_cache_evictions: AtomicU64,
+    result_cache_invalidations: AtomicU64,
 }
 
 impl Default for IoStats {
@@ -57,6 +62,11 @@ impl IoStats {
             prefetch_hits: AtomicU64::new(0),
             prefetch_wasted: AtomicU64::new(0),
             prefetch_queue_peak: AtomicU64::new(0),
+            result_cache_hits: AtomicU64::new(0),
+            result_cache_misses: AtomicU64::new(0),
+            result_cache_derived: AtomicU64::new(0),
+            result_cache_evictions: AtomicU64::new(0),
+            result_cache_invalidations: AtomicU64::new(0),
         }
     }
 
@@ -158,6 +168,39 @@ impl IoStats {
         self.prefetch_queue_peak.fetch_max(depth, Ordering::Relaxed);
     }
 
+    /// Records a result-cube cache lookup answered by an exact entry.
+    #[inline]
+    pub fn result_cache_hit(&self) {
+        self.result_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a result-cube cache lookup that found nothing usable.
+    #[inline]
+    pub fn result_cache_miss(&self) {
+        self.result_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a result derived from a finer cached cube by rollup
+    /// subsumption (counted *instead of* a hit or miss).
+    #[inline]
+    pub fn result_cache_derive(&self) {
+        self.result_cache_derived.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` cached result cubes evicted for the byte budget.
+    #[inline]
+    pub fn result_cache_evictions_add(&self, n: u64) {
+        self.result_cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a cache-wide invalidation (a write or a pool clear
+    /// observed by the result cache).
+    #[inline]
+    pub fn result_cache_invalidation(&self) {
+        self.result_cache_invalidations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of the counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -173,6 +216,11 @@ impl IoStats {
             prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
             prefetch_wasted: self.prefetch_wasted.load(Ordering::Relaxed),
             prefetch_queue_peak: self.prefetch_queue_peak.load(Ordering::Relaxed),
+            result_cache_hits: self.result_cache_hits.load(Ordering::Relaxed),
+            result_cache_misses: self.result_cache_misses.load(Ordering::Relaxed),
+            result_cache_derived: self.result_cache_derived.load(Ordering::Relaxed),
+            result_cache_evictions: self.result_cache_evictions.load(Ordering::Relaxed),
+            result_cache_invalidations: self.result_cache_invalidations.load(Ordering::Relaxed),
         }
     }
 
@@ -191,6 +239,11 @@ impl IoStats {
         self.prefetch_hits.store(0, Ordering::Relaxed);
         self.prefetch_wasted.store(0, Ordering::Relaxed);
         self.prefetch_queue_peak.store(0, Ordering::Relaxed);
+        self.result_cache_hits.store(0, Ordering::Relaxed);
+        self.result_cache_misses.store(0, Ordering::Relaxed);
+        self.result_cache_derived.store(0, Ordering::Relaxed);
+        self.result_cache_evictions.store(0, Ordering::Relaxed);
+        self.result_cache_invalidations.store(0, Ordering::Relaxed);
     }
 }
 
@@ -232,6 +285,16 @@ pub struct IoSnapshot {
     /// High-water mark of the prefetch delivery queue's depth (gauge;
     /// since the last reset, not differenced by [`IoSnapshot::since`]).
     pub prefetch_queue_peak: u64,
+    /// Result-cube cache lookups answered by an exact cached cube.
+    pub result_cache_hits: u64,
+    /// Result-cube cache lookups that found nothing usable.
+    pub result_cache_misses: u64,
+    /// Results derived from a finer cached cube (rollup subsumption).
+    pub result_cache_derived: u64,
+    /// Cached result cubes evicted for the byte budget.
+    pub result_cache_evictions: u64,
+    /// Cache-wide invalidations observed (writes / pool clears).
+    pub result_cache_invalidations: u64,
 }
 
 impl IoSnapshot {
@@ -260,6 +323,21 @@ impl IoSnapshot {
             // A high-water gauge cannot be differenced; the later
             // snapshot's peak is the honest value for the interval.
             prefetch_queue_peak: self.prefetch_queue_peak,
+            result_cache_hits: self
+                .result_cache_hits
+                .saturating_sub(earlier.result_cache_hits),
+            result_cache_misses: self
+                .result_cache_misses
+                .saturating_sub(earlier.result_cache_misses),
+            result_cache_derived: self
+                .result_cache_derived
+                .saturating_sub(earlier.result_cache_derived),
+            result_cache_evictions: self
+                .result_cache_evictions
+                .saturating_sub(earlier.result_cache_evictions),
+            result_cache_invalidations: self
+                .result_cache_invalidations
+                .saturating_sub(earlier.result_cache_invalidations),
         }
     }
 
@@ -329,6 +407,12 @@ mod tests {
         s.prefetch_wasted_add(1);
         s.prefetch_queue_depth(3);
         s.prefetch_queue_depth(1); // peak keeps the max
+        s.result_cache_hit();
+        s.result_cache_miss();
+        s.result_cache_miss();
+        s.result_cache_derive();
+        s.result_cache_evictions_add(4);
+        s.result_cache_invalidation();
         let snap = s.snapshot();
         assert_eq!(snap.logical_reads, 2);
         assert_eq!(snap.physical_reads, 1);
@@ -343,6 +427,11 @@ mod tests {
         assert_eq!(snap.prefetch_wasted, 1);
         assert_eq!(snap.prefetch_queue_peak, 3);
         assert!((snap.prefetch_hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(snap.result_cache_hits, 1);
+        assert_eq!(snap.result_cache_misses, 2);
+        assert_eq!(snap.result_cache_derived, 1);
+        assert_eq!(snap.result_cache_evictions, 4);
+        assert_eq!(snap.result_cache_invalidations, 1);
 
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());

@@ -45,6 +45,10 @@ echo "==> bench_pr4 --smoke (prefetch pipeline: cold pipelined(4) <= cold sequen
 cargo run -q --release --offline -p molap-bench --bin bench_pr4 -- \
   --smoke --out target/BENCH_PR4.smoke.json > /dev/null
 
+echo "==> bench_pr5 --smoke (result cache: exact hit >= 10x cold, subsumption >= 3x)"
+cargo run -q --release --offline -p molap-bench --bin bench_pr5 -- \
+  --smoke --out target/BENCH_PR5.smoke.json > /dev/null
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

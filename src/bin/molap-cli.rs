@@ -205,6 +205,14 @@ fn run_command(backend: &mut Backend, line: &str) -> Result<bool, Box<dyn std::e
                     s.prefetch_wasted,
                     s.prefetch_queue_peak
                 );
+                println!(
+                    "result cache: {} hits, {} derived (rollup), {} misses, {} evicted, {} invalidations",
+                    s.result_cache_hits,
+                    s.result_cache_derived,
+                    s.result_cache_misses,
+                    s.result_cache_evictions,
+                    s.result_cache_invalidations
+                );
                 let shards = pool.shard_stats();
                 let (hits, misses) = shards
                     .iter()
