@@ -15,6 +15,7 @@ use molap_storage::{BufferPool, LobId, LobStore};
 use crate::cache::{shared_chunk_cache, ChunkCache, ChunkKey};
 use crate::chunk::{ChunkBuilder, CompressedChunk, DenseChunk};
 use crate::geometry::Shape;
+use crate::version::{shared_version_table, ChunkSnapshot, VersionTable};
 use crate::{lzw, ArrayError, Result};
 
 /// On-disk representation of each chunk.
@@ -126,6 +127,10 @@ pub struct ChunkedArray {
     /// Pool-shared decoded-chunk cache; `None` only if the pool's
     /// extension slot was claimed by a foreign type.
     cache: Option<Arc<ChunkCache>>,
+    /// Pool-shared chunk version table for snapshot-isolated reads
+    /// racing in-place writes; `None` only if the pool's extension
+    /// slot was claimed by a foreign type.
+    versions: Option<Arc<VersionTable>>,
 }
 
 impl ChunkedArray {
@@ -187,15 +192,33 @@ impl ChunkedArray {
     /// the buffer pool and the codec. Empty chunks are materialized
     /// fresh and never cached.
     pub fn read_chunk(&self, chunk_no: u64) -> Result<Arc<Chunk>> {
+        self.read_chunk_at(chunk_no, None)
+    }
+
+    /// [`ChunkedArray::read_chunk`] against a [`ChunkSnapshot`]: chunks
+    /// superseded by a commit newer than the snapshot resolve to their
+    /// pinned pre-image, so a long scan over many chunks observes one
+    /// consistent commit generation. With `None` the read is served at
+    /// the current generation (in-flight unpublished writes are still
+    /// shielded by their provisional pins).
+    pub fn read_chunk_at(&self, chunk_no: u64, snap: Option<&ChunkSnapshot>) -> Result<Arc<Chunk>> {
         let id = LobId(chunk_no as u32);
         if self.lobs.object_len(id)? == 0 {
             return Ok(Arc::new(self.empty_chunk()));
         }
+        let key = self.chunk_key(id)?;
+        if let Some(pinned) = self.resolve_version(&key, snap) {
+            return Ok(pinned);
+        }
         let Some(cache) = self.cache.as_deref() else {
             let bytes = self.lobs.read(id)?;
-            return Ok(Arc::new(self.decode_chunk(&bytes)?));
+            return match self.decode_chunk(&bytes) {
+                Ok(chunk) => Ok(self
+                    .resolve_version(&key, snap)
+                    .unwrap_or_else(|| Arc::new(chunk))),
+                Err(e) => self.resolve_version(&key, snap).ok_or(e),
+            };
         };
-        let key = self.chunk_key(id)?;
         let pool = self.lobs.pool();
         let epoch = pool.epoch();
         if let Some(hit) = cache.get(&key, epoch) {
@@ -203,13 +226,40 @@ impl ChunkedArray {
             return Ok(hit);
         }
         let bytes = self.lobs.read(id)?;
-        let chunk = Arc::new(self.decode_chunk(&bytes)?);
+        let chunk = match self.decode_chunk(&bytes) {
+            Ok(chunk) => Arc::new(chunk),
+            // A decode failure here can be a torn read racing an
+            // in-place overwrite; the writer pinned the pre-image
+            // before its first byte landed, so the version table
+            // resolves it. No pin means real corruption.
+            Err(e) => return self.resolve_version(&key, snap).ok_or(e),
+        };
+        // Re-check after decoding: if a writer pinned this key mid-read
+        // the bytes may be torn even though they parsed. Serve the
+        // pinned pre-image and keep the suspect decode out of the
+        // shared cache.
+        if let Some(pinned) = self.resolve_version(&key, snap) {
+            return Ok(pinned);
+        }
         let evicted = cache.insert(key, epoch, chunk.clone(), chunk.decoded_bytes());
         pool.stats().chunk_cache_miss();
         if evicted > 0 {
             pool.stats().chunk_cache_evictions_add(evicted);
         }
         Ok(chunk)
+    }
+
+    /// Resolves `key` through the version table: at the snapshot's
+    /// generation when one is given, at the current commit generation
+    /// otherwise. `None` means the on-disk bytes are the right image.
+    fn resolve_version(&self, key: &ChunkKey, snap: Option<&ChunkSnapshot>) -> Option<Arc<Chunk>> {
+        match snap {
+            Some(s) => s.chunk(key),
+            None => self
+                .versions
+                .as_deref()
+                .and_then(|v| v.resolve_current(key)),
+        }
     }
 
     /// The prefetcher's edition of [`ChunkedArray::read_chunk`].
@@ -227,22 +277,40 @@ impl ChunkedArray {
     /// The bypass read holds no page latches, so it can race an
     /// in-place overwrite issued through *another* handle of the same
     /// array (writes on this handle take `&mut self` and cannot
-    /// overlap). A torn read surfaces as a decode failure; the chunk is
-    /// then re-read through the pooled path, which page latches
-    /// serialize against the writer.
+    /// overlap). The writer pins the pre-image in the pool's
+    /// [`VersionTable`] before its first byte lands, so a racing read
+    /// resolves to that pinned image (checked before the read and
+    /// re-checked after the decode); a torn decode failure without a
+    /// pin falls back to the pooled path, which page latches serialize
+    /// against the writer.
     pub fn read_chunk_prefetched(
         &self,
         chunk_no: u64,
         scratch: &mut PrefetchScratch,
+    ) -> Result<Arc<Chunk>> {
+        self.read_chunk_prefetched_at(chunk_no, scratch, None)
+    }
+
+    /// [`ChunkedArray::read_chunk_prefetched`] against a
+    /// [`ChunkSnapshot`] (see [`ChunkedArray::read_chunk_at`] for the
+    /// snapshot rules).
+    pub fn read_chunk_prefetched_at(
+        &self,
+        chunk_no: u64,
+        scratch: &mut PrefetchScratch,
+        snap: Option<&ChunkSnapshot>,
     ) -> Result<Arc<Chunk>> {
         let id = LobId(chunk_no as u32);
         if self.lobs.object_len(id)? == 0 {
             return Ok(Arc::new(self.empty_chunk()));
         }
         let Some(cache) = self.cache.as_deref() else {
-            return self.read_chunk(chunk_no);
+            return self.read_chunk_at(chunk_no, snap);
         };
         let key = self.chunk_key(id)?;
+        if let Some(pinned) = self.resolve_version(&key, snap) {
+            return Ok(pinned);
+        }
         let pool = self.lobs.pool();
         let epoch = pool.epoch();
         if let Some(hit) = cache.get(&key, epoch) {
@@ -254,13 +322,24 @@ impl ChunkedArray {
             .read_into_prefetch(id, &mut scratch.bytes, &mut scratch.span)?;
         let chunk = match self.decode_chunk_prefetched(&scratch.bytes, &mut scratch.raw) {
             Ok(chunk) => chunk,
-            Err(_) if bypassed => {
-                self.lobs.read_into(id, &mut scratch.bytes)?;
-                self.decode_chunk(&scratch.bytes)?
+            Err(e) => {
+                if let Some(pinned) = self.resolve_version(&key, snap) {
+                    return Ok(pinned);
+                }
+                if bypassed {
+                    self.lobs.read_into(id, &mut scratch.bytes)?;
+                    self.decode_chunk(&scratch.bytes)?
+                } else {
+                    return Err(e);
+                }
             }
-            Err(e) => return Err(e),
         };
         let chunk = Arc::new(chunk);
+        // Same post-decode re-check as `read_chunk_at`: a pin that
+        // appeared mid-read means the bytes are suspect.
+        if let Some(pinned) = self.resolve_version(&key, snap) {
+            return Ok(pinned);
+        }
         let evicted = cache.insert(key, epoch, chunk.clone(), chunk.decoded_bytes());
         pool.stats().chunk_cache_miss();
         if evicted > 0 {
@@ -343,45 +422,90 @@ impl ChunkedArray {
     }
 
     /// Writes (inserts or overwrites) the cell at `coords` — the ADT's
-    /// Write function (§3.5). Rewrites the containing chunk's object.
+    /// Write function (§3.5). Rewrites the containing chunk's object
+    /// and publishes the write immediately (single-cell commit).
     pub fn set(&mut self, coords: &[u32], values: &[i64]) -> Result<()> {
-        if values.len() != self.n_measures {
-            return Err(ArrayError::Geometry("measure arity mismatch".into()));
-        }
         let (chunk_no, offset) = self.shape.locate(coords)?;
+        self.apply_chunk_writes(chunk_no, &[(offset, values.to_vec())])?;
+        self.publish_writes();
+        Ok(())
+    }
+
+    /// Applies a batch of cell edits to one chunk: decode once, pin the
+    /// pre-image in the pool's [`VersionTable`], rewrite the chunk's
+    /// object once. Returns the pre-write measures per edit (aligned
+    /// with `edits`; `None` for inserted cells).
+    ///
+    /// Offsets in `edits` must be unique (callers resolve duplicate
+    /// writes last-wins before grouping by chunk). The write is **not
+    /// published**: concurrent readers keep resolving this chunk to the
+    /// pinned pre-image until [`ChunkedArray::publish_writes`], so a
+    /// multi-chunk batch becomes visible as one atomic generation step.
+    pub fn apply_chunk_writes(
+        &mut self,
+        chunk_no: u64,
+        edits: &[(u32, Vec<i64>)],
+    ) -> Result<Vec<Option<Vec<i64>>>> {
+        for (_, values) in edits {
+            if values.len() != self.n_measures {
+                return Err(ArrayError::Geometry("measure arity mismatch".into()));
+            }
+        }
         let chunk = self.read_chunk(chunk_no)?;
-        let was_valid;
+        let olds: Vec<Option<Vec<i64>>> = edits
+            .iter()
+            .map(|(off, _)| chunk.probe(*off).map(|v| v.to_vec()))
+            .collect();
         let new_chunk = match &*chunk {
             Chunk::Compressed(c) => {
-                was_valid = c.probe(offset).is_some();
+                let mut edited: Vec<u32> = edits.iter().map(|(off, _)| *off).collect();
+                edited.sort_unstable();
                 let mut b = ChunkBuilder::new(self.n_measures);
                 for (off, v) in c.iter() {
-                    if off != offset {
+                    if edited.binary_search(&off).is_err() {
                         b.add(off, v);
                     }
                 }
-                b.add(offset, values);
+                for (off, values) in edits {
+                    b.add(*off, values);
+                }
                 Chunk::Compressed(b.build()?)
             }
             Chunk::Dense(d) => {
                 let mut d = d.clone();
-                was_valid = d.probe(offset).is_some();
-                d.set(offset, values);
+                for (off, values) in edits {
+                    d.set(*off, values);
+                }
                 Chunk::Dense(d)
             }
         };
         let bytes = self.encode_chunk(&new_chunk);
-        // An in-place overwrite reuses the object's disk location, so
-        // the cached decode (keyed by that location) must go first.
         let id = LobId(chunk_no as u32);
-        if let Some(cache) = self.cache.as_deref() {
-            cache.remove(&self.chunk_key(id)?);
+        // Order matters: pin the pre-image first (readers racing the
+        // overwrite resolve to it), then drop the cached decode (keyed
+        // by the object's disk location, which an in-place overwrite
+        // reuses), then write the bytes.
+        if self.lobs.object_len(id)? != 0 {
+            let key = self.chunk_key(id)?;
+            if let Some(versions) = self.versions.as_deref() {
+                versions.pin_provisional(key, chunk);
+            }
+            if let Some(cache) = self.cache.as_deref() {
+                cache.remove(&key);
+            }
         }
         self.lobs.overwrite(id, &bytes)?;
-        if !was_valid {
-            self.valid_cells += 1;
+        self.valid_cells += olds.iter().filter(|o| o.is_none()).count() as u64;
+        Ok(olds)
+    }
+
+    /// Publishes every write applied since the last publish: snapshots
+    /// opened from here on read the new bytes, older snapshots keep
+    /// their pinned pre-images (see [`VersionTable::commit_publish`]).
+    pub fn publish_writes(&self) {
+        if let Some(versions) = self.versions.as_deref() {
+            versions.commit_publish();
         }
-        Ok(())
     }
 
     /// Calls `f(chunk_no, chunk)` for every chunk in chunk-number order
@@ -528,6 +652,7 @@ impl ChunkedArray {
         }
         let shape = Shape::from_bytes(&bytes[24..24 + shape_len])?;
         let cache = shared_chunk_cache(&pool);
+        let versions = shared_version_table(&pool);
         let lobs =
             LobStore::from_directory_bytes(pool, &bytes[24 + shape_len..24 + shape_len + dir_len])?;
         Ok(ChunkedArray {
@@ -537,6 +662,7 @@ impl ChunkedArray {
             lobs,
             valid_cells,
             cache,
+            versions,
         })
     }
 }
@@ -605,6 +731,7 @@ impl ArrayBuilder {
         }
 
         let cache = shared_chunk_cache(&pool);
+        let versions = shared_version_table(&pool);
         let lobs = LobStore::new(pool);
         let valid_cells = positions.len() as u64;
         let chunk_cells = shape.chunk_cells() as usize;
@@ -654,6 +781,7 @@ impl ArrayBuilder {
             lobs,
             valid_cells,
             cache,
+            versions,
         })
     }
 }
@@ -967,6 +1095,67 @@ mod tests {
             assert_eq!(got.valid_cells(), expect0.valid_cells());
             let d = p.stats().snapshot().since(&before);
             assert_eq!((d.chunk_cache_misses, d.chunk_cache_hits), (1, 0));
+        }
+    }
+
+    #[test]
+    fn snapshot_reads_pre_batch_image_until_publish() {
+        // Readers hold their own handle (directory frozen at open), the
+        // writer mutates its own — the production arrangement a
+        // snapshot makes consistent. Relocating overwrites leave the
+        // old bytes intact for the frozen directory; in-place
+        // overwrites are bridged by the pinned pre-image.
+        for format in [ChunkFormat::ChunkOffset, ChunkFormat::Dense] {
+            let mut a = build_sample(format);
+            let reader =
+                ChunkedArray::from_meta_bytes(a.pool().clone(), &a.meta_to_bytes()).unwrap();
+            let (chunk_no, offset) = a.shape().locate(&[0, 0, 0]).unwrap();
+            let old = a
+                .read_chunk(chunk_no)
+                .unwrap()
+                .probe(offset)
+                .unwrap()
+                .to_vec();
+            let vt = shared_version_table(a.pool()).unwrap();
+            let snap = vt.begin_snapshot();
+
+            // Unpublished batch: the pin shields both snapshotted and
+            // unsnapshotted readers from the half-committed bytes.
+            let olds = a
+                .apply_chunk_writes(chunk_no, &[(offset, vec![4242]), (offset + 1, vec![17])])
+                .unwrap();
+            assert_eq!(olds[0].as_deref(), Some(&old[..]));
+            assert_eq!(olds[1], None, "offset+1 was invalid in the sample");
+            let via_snap = reader.read_chunk_at(chunk_no, Some(&snap)).unwrap();
+            assert_eq!(via_snap.probe(offset), Some(&old[..]), "{format:?}");
+            assert_eq!(via_snap.probe(offset + 1), None);
+            let via_current = reader.read_chunk(chunk_no).unwrap();
+            assert_eq!(via_current.probe(offset), Some(&old[..]), "{format:?}");
+
+            // Published: the writer's handle sees the batch, the old
+            // snapshot keeps resolving to its pre-batch image.
+            a.publish_writes();
+            let via_writer = a.read_chunk(chunk_no).unwrap();
+            assert_eq!(via_writer.probe(offset), Some(&[4242i64][..]));
+            assert_eq!(via_writer.probe(offset + 1), Some(&[17i64][..]));
+            let via_snap = reader.read_chunk_at(chunk_no, Some(&snap)).unwrap();
+            assert_eq!(via_snap.probe(offset), Some(&old[..]));
+            assert_eq!(via_snap.probe(offset + 1), None);
+            let mut scratch = PrefetchScratch::default();
+            let via_prefetch = reader
+                .read_chunk_prefetched_at(chunk_no, &mut scratch, Some(&snap))
+                .unwrap();
+            assert_eq!(via_prefetch.probe(offset), Some(&old[..]));
+            if format == ChunkFormat::Dense {
+                // Dense overwrites are in-place, so even the frozen
+                // reader directory reads the published bytes.
+                let via_reader = reader.read_chunk(chunk_no).unwrap();
+                assert_eq!(via_reader.probe(offset), Some(&[4242i64][..]));
+            }
+
+            // Dropping the snapshot releases the pinned image.
+            drop(snap);
+            assert_eq!(vt.pinned_versions(), 0);
         }
     }
 

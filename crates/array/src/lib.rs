@@ -52,12 +52,14 @@ mod chunk;
 mod geometry;
 pub mod lzw;
 mod prefetch;
+mod version;
 
 pub use array::{ArrayBuilder, Chunk, ChunkFormat, ChunkedArray, PrefetchScratch};
 pub use cache::{shared_chunk_cache, ChunkCache, ChunkKey};
 pub use chunk::{ChunkBuilder, CompressedChunk, DenseChunk};
 pub use geometry::Shape;
 pub use prefetch::{ChunkPipeline, PrefetchConfig};
+pub use version::{shared_version_table, ChunkSnapshot, VersionTable};
 
 /// Errors raised by array construction and access.
 #[derive(Debug)]

@@ -29,6 +29,7 @@ use molap_storage::BufferPool;
 use parking_lot::{Condvar, Mutex};
 
 use crate::array::{Chunk, ChunkedArray, PrefetchScratch};
+use crate::version::ChunkSnapshot;
 use crate::Result;
 
 /// Tuning knobs for the prefetch pipeline.
@@ -81,6 +82,10 @@ pub struct ChunkPipeline {
     candidates: Vec<u64>,
     depth: usize,
     pool: Arc<BufferPool>,
+    /// Optional read snapshot: when set, every producer read resolves
+    /// through it, so the whole pipelined scan observes one commit
+    /// generation even while a writer publishes mid-scan.
+    snapshot: Option<ChunkSnapshot>,
     delivery: Mutex<QueueState>,
     /// Signalled when a chunk is published (consumers wait here).
     avail: Condvar,
@@ -96,6 +101,7 @@ impl ChunkPipeline {
             candidates,
             depth: depth.max(1),
             pool,
+            snapshot: None,
             delivery: Mutex::new(QueueState {
                 next_issue: 0,
                 next_deliver: 0,
@@ -105,6 +111,13 @@ impl ChunkPipeline {
             avail: Condvar::new(),
             space: Condvar::new(),
         }
+    }
+
+    /// Attaches a read snapshot; producer reads then resolve every
+    /// chunk at the snapshot's commit generation.
+    pub fn with_snapshot(mut self, snapshot: Option<ChunkSnapshot>) -> Self {
+        self.snapshot = snapshot;
+        self
     }
 
     /// Number of candidate chunks the pipeline will deliver.
@@ -148,7 +161,11 @@ impl ChunkPipeline {
             };
             stats.prefetch_issue();
             // Read + decode outside the delivery lock.
-            let result = array.read_chunk_prefetched(self.candidates[index], &mut scratch);
+            let result = array.read_chunk_prefetched_at(
+                self.candidates[index],
+                &mut scratch,
+                self.snapshot.as_ref(),
+            );
             let mut q = self.delivery.lock();
             if q.cancelled {
                 stats.prefetch_wasted_add(1);

@@ -1,0 +1,331 @@
+//! Copy-on-write chunk version table for snapshot-isolated scans.
+//!
+//! Writers mutate chunks in place (`LobStore::overwrite` reuses the old
+//! location whenever the re-encoded chunk fits), which would let a long
+//! pipelined scan observe half-old/half-new bytes. Instead of blocking
+//! readers, a writer **pins** the decoded pre-image of every chunk it is
+//! about to overwrite ([`VersionTable::pin_provisional`]) and only then
+//! touches the bytes; when the whole batch is applied and durable it
+//! **publishes** ([`VersionTable::commit_publish`]), bumping the commit
+//! generation.
+//!
+//! A reader opens a [`ChunkSnapshot`] at generation `g` before its scan.
+//! For every chunk it looks up the chunk's storage key: a pinned image
+//! with `superseded_at > g` means "this chunk was overwritten by a
+//! commit newer than the snapshot" and the pinned pre-image is served;
+//! otherwise the on-disk bytes are current for `g` and are read
+//! normally. Because a writer pins *before* its first byte lands, a
+//! reader that re-checks the table after decoding (see
+//! `ChunkedArray::read_chunk_snapshot`) can never return a torn image:
+//! either the decode finished before the pin (clean old bytes) or the
+//! pin is visible and wins.
+//!
+//! Pinned images are garbage-collected as soon as no live snapshot is
+//! old enough to need them (on publish and on snapshot drop), so a
+//! write-only or read-only workload keeps the table empty.
+//!
+//! Lock discipline: the `versions` mutex is self-contained — nothing
+//! else is ever acquired while it is held, and no I/O happens under it.
+//! It ranks between `chunks` and `dir` (DESIGN.md §8).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use molap_storage::BufferPool;
+use parking_lot::Mutex;
+
+use crate::array::Chunk;
+use crate::cache::ChunkKey;
+
+/// A superseded chunk image kept alive for older snapshots.
+struct PinnedVersion {
+    /// The commit generation whose write replaced this image; snapshots
+    /// at generations strictly below it still need it.
+    superseded_at: u64,
+    chunk: Arc<Chunk>,
+}
+
+struct VersionState {
+    /// Generation of the most recent published commit.
+    commit_gen: u64,
+    /// Live snapshot count per generation.
+    readers: HashMap<u64, usize>,
+    /// Pre-images keyed by the chunk's pre-write storage location,
+    /// sorted ascending by `superseded_at`.
+    pinned: HashMap<ChunkKey, Vec<PinnedVersion>>,
+}
+
+impl VersionState {
+    /// Drops every pinned image no live snapshot can still reach (a
+    /// version superseded at `s` is needed only by snapshots with
+    /// generation `< s`) and returns how many images remain pinned.
+    fn gc(&mut self) -> usize {
+        let min_gen = self
+            .readers
+            .keys()
+            .copied()
+            .min()
+            .unwrap_or(self.commit_gen);
+        self.pinned.retain(|_, versions| {
+            versions.retain(|v| v.superseded_at > min_gen);
+            !versions.is_empty()
+        });
+        self.pinned.values().map(Vec::len).sum()
+    }
+}
+
+/// Pool-wide table of pinned pre-write chunk images (see module docs).
+pub struct VersionTable {
+    versions: Mutex<VersionState>,
+    /// Mirror of the pinned-image count maintained under the mutex:
+    /// read paths skip the lock entirely while it is zero, so the
+    /// table costs one atomic load per chunk read in workloads with no
+    /// in-flight or snapshot-visible writes.
+    pin_count: AtomicUsize,
+}
+
+impl Default for VersionTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VersionTable {
+    /// An empty table at generation 0.
+    pub fn new() -> Self {
+        VersionTable {
+            versions: Mutex::new(VersionState {
+                commit_gen: 0,
+                readers: HashMap::new(),
+                pinned: HashMap::new(),
+            }),
+            pin_count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Generation of the most recent published commit.
+    pub fn commit_gen(&self) -> u64 {
+        self.versions.lock().commit_gen
+    }
+
+    /// Registers a reader at the current commit generation. The
+    /// snapshot keeps every chunk image it may need pinned until it is
+    /// dropped.
+    pub fn begin_snapshot(self: &Arc<Self>) -> ChunkSnapshot {
+        let gen = {
+            let mut state = self.versions.lock();
+            let gen = state.commit_gen;
+            *state.readers.entry(gen).or_insert(0) += 1;
+            gen
+        };
+        ChunkSnapshot {
+            table: Arc::clone(self),
+            gen,
+        }
+    }
+
+    /// Pins the decoded pre-image of the chunk at `key` ahead of an
+    /// in-place overwrite. Must be called *before* the first new byte
+    /// reaches storage. Idempotent per commit: repeated pins of the
+    /// same key before the next [`VersionTable::commit_publish`] keep
+    /// the first (oldest) image, so a batch touching a chunk through
+    /// several edits preserves the true pre-batch state.
+    pub fn pin_provisional(&self, key: ChunkKey, chunk: Arc<Chunk>) {
+        let mut state = self.versions.lock();
+        let superseded_at = state.commit_gen + 1;
+        let versions = state.pinned.entry(key).or_default();
+        if versions
+            .last()
+            .is_some_and(|v| v.superseded_at == superseded_at)
+        {
+            return;
+        }
+        versions.push(PinnedVersion {
+            superseded_at,
+            chunk,
+        });
+        self.pin_count.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Publishes the in-flight write: snapshots opened from here on see
+    /// the new bytes, while older snapshots keep resolving to the
+    /// images pinned by [`VersionTable::pin_provisional`]. Collects any
+    /// image no live snapshot needs.
+    pub fn commit_publish(&self) {
+        let mut state = self.versions.lock();
+        state.commit_gen += 1;
+        let remaining = state.gc();
+        self.pin_count.store(remaining, Ordering::SeqCst);
+    }
+
+    /// Number of pinned chunk images currently held (diagnostics).
+    pub fn pinned_versions(&self) -> usize {
+        self.versions.lock().pinned.values().map(Vec::len).sum()
+    }
+
+    /// Resolves `key` for a snapshot at `gen`: the oldest pinned image
+    /// superseded *after* `gen`, or `None` when the on-disk bytes are
+    /// current for that generation.
+    fn resolve(&self, key: &ChunkKey, gen: u64) -> Option<Arc<Chunk>> {
+        if self.pin_count.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let state = self.versions.lock();
+        let versions = state.pinned.get(key)?;
+        versions
+            .iter()
+            .find(|v| v.superseded_at > gen)
+            .map(|v| Arc::clone(&v.chunk))
+    }
+
+    /// Resolves `key` for an unsnapshotted read at the current commit
+    /// generation: while a write batch is in flight (pinned but not yet
+    /// published), readers are served the pinned pre-image instead of
+    /// the possibly half-overwritten bytes.
+    pub fn resolve_current(&self, key: &ChunkKey) -> Option<Arc<Chunk>> {
+        if self.pin_count.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let state = self.versions.lock();
+        let gen = state.commit_gen;
+        let versions = state.pinned.get(key)?;
+        versions
+            .iter()
+            .find(|v| v.superseded_at > gen)
+            .map(|v| Arc::clone(&v.chunk))
+    }
+
+    fn end_snapshot(&self, gen: u64) {
+        let mut state = self.versions.lock();
+        if let Some(count) = state.readers.get_mut(&gen) {
+            *count -= 1;
+            if *count == 0 {
+                state.readers.remove(&gen);
+            }
+        }
+        let remaining = state.gc();
+        self.pin_count.store(remaining, Ordering::SeqCst);
+    }
+}
+
+/// A reader's registration at a commit generation. While alive, every
+/// chunk image the snapshot may need stays pinned in the table.
+pub struct ChunkSnapshot {
+    table: Arc<VersionTable>,
+    gen: u64,
+}
+
+impl ChunkSnapshot {
+    /// The commit generation this snapshot reads at.
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// The pinned pre-image for the chunk stored at `key`, if a newer
+    /// commit overwrote it; `None` means the on-disk bytes are the
+    /// right image for this snapshot.
+    pub fn chunk(&self, key: &ChunkKey) -> Option<Arc<Chunk>> {
+        self.table.resolve(key, self.gen)
+    }
+}
+
+impl Drop for ChunkSnapshot {
+    fn drop(&mut self) {
+        self.table.end_snapshot(self.gen);
+    }
+}
+
+/// Returns the pool-wide [`VersionTable`], installing an empty one in a
+/// pool extension slot on first use (see
+/// [`BufferPool::extension_or_init`]). Returns `None` only if every
+/// slot is claimed by other extension types.
+pub fn shared_version_table(pool: &Arc<BufferPool>) -> Option<Arc<VersionTable>> {
+    pool.extension_or_init(VersionTable::new_arc)
+}
+
+impl VersionTable {
+    fn new_arc() -> Arc<Self> {
+        Arc::new(VersionTable::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ChunkBuilder;
+
+    fn chunk_with(offset: u32, value: i64) -> Arc<Chunk> {
+        let mut b = ChunkBuilder::new(1);
+        b.add(offset, &[value]);
+        Arc::new(Chunk::Compressed(b.build().unwrap()))
+    }
+
+    fn key(start: u64) -> ChunkKey {
+        ChunkKey {
+            start_page: start,
+            byte_off: 0,
+            len: 64,
+        }
+    }
+
+    #[test]
+    fn snapshot_sees_pinned_pre_image_until_drop() {
+        let t = Arc::new(VersionTable::new());
+        let snap = t.begin_snapshot();
+        assert!(snap.chunk(&key(1)).is_none(), "nothing pinned yet");
+        t.pin_provisional(key(1), chunk_with(0, 10));
+        // The provisional pin already shadows the (possibly half
+        // overwritten) on-disk bytes for the older snapshot.
+        let pinned = snap.chunk(&key(1)).expect("pinned image resolves");
+        assert_eq!(pinned.probe(0), Some(&[10i64][..]));
+        t.commit_publish();
+        assert!(snap.chunk(&key(1)).is_some(), "still pinned for snapshot");
+        // A snapshot opened after publish reads current bytes.
+        let fresh = t.begin_snapshot();
+        assert!(fresh.chunk(&key(1)).is_none());
+        drop(fresh);
+        drop(snap);
+        assert_eq!(t.pinned_versions(), 0, "gc after last old snapshot");
+    }
+
+    #[test]
+    fn publish_without_readers_collects_immediately() {
+        let t = Arc::new(VersionTable::new());
+        t.pin_provisional(key(3), chunk_with(0, 1));
+        assert_eq!(t.pinned_versions(), 1);
+        t.commit_publish();
+        assert_eq!(t.pinned_versions(), 0);
+        assert_eq!(t.commit_gen(), 1);
+    }
+
+    #[test]
+    fn repeated_pins_in_one_commit_keep_the_first_image() {
+        let t = Arc::new(VersionTable::new());
+        let snap = t.begin_snapshot();
+        t.pin_provisional(key(2), chunk_with(0, 7));
+        t.pin_provisional(key(2), chunk_with(0, 999));
+        let seen = snap.chunk(&key(2)).unwrap();
+        assert_eq!(seen.probe(0), Some(&[7i64][..]), "first pin wins");
+    }
+
+    #[test]
+    fn multiple_generations_resolve_to_their_own_images() {
+        let t = Arc::new(VersionTable::new());
+        let s0 = t.begin_snapshot();
+        t.pin_provisional(key(5), chunk_with(0, 100));
+        t.commit_publish(); // gen 1: chunk now holds something newer
+        let s1 = t.begin_snapshot();
+        t.pin_provisional(key(5), chunk_with(0, 200));
+        t.commit_publish(); // gen 2
+                            // s0 (gen 0) sees the original image, s1 (gen 1) the middle one.
+        assert_eq!(s0.chunk(&key(5)).unwrap().probe(0), Some(&[100i64][..]));
+        assert_eq!(s1.chunk(&key(5)).unwrap().probe(0), Some(&[200i64][..]));
+        let s2 = t.begin_snapshot();
+        assert!(s2.chunk(&key(5)).is_none(), "gen 2 reads current bytes");
+        drop(s0);
+        assert_eq!(t.pinned_versions(), 1, "gen-0 image collected");
+        drop(s1);
+        assert_eq!(t.pinned_versions(), 0);
+    }
+}

@@ -207,18 +207,24 @@ impl OlapArray {
     }
 
     /// Writes the measures for a vector of dimension keys — the ADT's
-    /// Write function (§3.5).
+    /// Write function (§3.5). Routed through the batched write engine
+    /// (`core::write`) as a one-cell non-durable batch: concurrent
+    /// scans stay consistent via the chunk version table, and cached
+    /// result cubes are delta-patched instead of flushed. Durability
+    /// still follows the historical contract — the mutation lives in
+    /// the pool until the next checkpoint; use
+    /// [`crate::apply_batch`] for a WAL-backed durable commit.
     pub fn set_by_keys(&mut self, keys: &[i64], values: &[i64]) -> Result<()> {
-        let coords = self
-            .keys_to_coords(keys)?
-            .ok_or_else(|| Error::Data("a key does not exist in its dimension table".into()))?;
-        self.array.set(&coords, values)?;
-        // Any cached consolidation result on this pool is now stale.
-        crate::rescache::invalidate_writes(&self.pool);
+        crate::write::apply_cells(
+            self,
+            &[(keys.to_vec(), values.to_vec())],
+            false,
+            crate::write::CubeMaintenance::Delta,
+        )?;
         Ok(())
     }
 
-    fn keys_to_coords(&self, keys: &[i64]) -> Result<Option<Vec<u32>>> {
+    pub(crate) fn keys_to_coords(&self, keys: &[i64]) -> Result<Option<Vec<u32>>> {
         if keys.len() != self.dims.len() {
             return Err(Error::Query(format!(
                 "{} keys for {} dimensions",
@@ -350,6 +356,11 @@ impl OlapArray {
     }
 
     // ------------------------------------------------- crate-internal
+
+    /// Mutable access to the chunked array, for the write engine only.
+    pub(crate) fn array_mut(&mut self) -> &mut ChunkedArray {
+        &mut self.array
+    }
 
     pub(crate) fn dim_indexes(&self, d: usize) -> &DimIndexes {
         debug_assert!(d < self.dim_indexes.len(), "dimension ordinal out of range");

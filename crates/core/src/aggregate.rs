@@ -80,6 +80,47 @@ impl AggState {
         self.count
     }
 
+    /// Folds a newly inserted value into the accumulator (a cell that
+    /// was empty before the write). Always patchable — identical to
+    /// [`AggState::add`], named separately so delta-maintenance call
+    /// sites read as what they are.
+    #[inline]
+    pub fn patch_insert(&mut self, v: i64) {
+        self.add(v);
+    }
+
+    /// Replaces one previously folded value `old` with `new`, if the
+    /// accumulator can be patched exactly. Returns `false` — leaving
+    /// `self` untouched — when the update shrinks a tracked extreme
+    /// (`old` was the MIN and `new` is larger, or `old` was the MAX and
+    /// `new` is smaller) with other values still folded: the new
+    /// extreme is unknowable without a recompute. SUM patches in
+    /// wrapping arithmetic, so the result is bit-identical to refolding
+    /// from scratch; COUNT is unchanged; a single-value accumulator is
+    /// always patchable (both extremes become `new`).
+    #[inline]
+    #[must_use]
+    pub fn patch_replace(&mut self, old: i64, new: i64) -> bool {
+        debug_assert!(self.count > 0, "replacing a value in an empty state");
+        if self.count == 1 {
+            self.sum = new;
+            self.min = new;
+            self.max = new;
+            return true;
+        }
+        if (old == self.min && new > old) || (old == self.max && new < old) {
+            return false;
+        }
+        self.sum = self.sum.wrapping_add(new.wrapping_sub(old));
+        if new < self.min {
+            self.min = new;
+        }
+        if new > self.max {
+            self.max = new;
+        }
+        true
+    }
+
     /// Finalizes under `func`. Empty groups finalize to `None` (they
     /// should normally be absent from results entirely).
     pub fn finalize(&self, func: AggFunc) -> Option<AggValue> {
@@ -194,6 +235,62 @@ mod tests {
         let before = a;
         a.merge(&AggState::new());
         assert_eq!(a, before);
+    }
+
+    #[test]
+    fn patch_replace_matches_refold_when_safe() {
+        let mut s = AggState::new();
+        for v in [3i64, -1, 7, 0] {
+            s.add(v);
+        }
+        // Replace an interior value: exact for every statistic.
+        assert!(s.patch_replace(3, 5));
+        let mut refold = AggState::new();
+        for v in [5i64, -1, 7, 0] {
+            refold.add(v);
+        }
+        assert_eq!(s, refold);
+        // Growing the max / shrinking the min stays patchable.
+        assert!(s.patch_replace(7, 11));
+        assert!(s.patch_replace(-1, -4));
+        let mut refold = AggState::new();
+        for v in [5i64, -4, 11, 0] {
+            refold.add(v);
+        }
+        assert_eq!(s, refold);
+    }
+
+    #[test]
+    fn patch_replace_refuses_shrinking_extremes() {
+        let mut s = AggState::new();
+        for v in [3i64, -1, 7] {
+            s.add(v);
+        }
+        let before = s;
+        // Raising the min or lowering the max would need a recompute.
+        assert!(!s.patch_replace(-1, 2));
+        assert_eq!(s, before, "failed patch leaves the state untouched");
+        assert!(!s.patch_replace(7, 4));
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn patch_replace_single_value_always_succeeds() {
+        let mut s = AggState::new();
+        s.add(9);
+        assert!(s.patch_replace(9, 2));
+        let mut refold = AggState::new();
+        refold.add(2);
+        assert_eq!(s, refold);
+    }
+
+    #[test]
+    fn patch_insert_equals_add() {
+        let mut a = AggState::new();
+        let mut b = AggState::new();
+        a.add(6);
+        b.patch_insert(6);
+        assert_eq!(a, b);
     }
 
     #[test]

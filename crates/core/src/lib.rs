@@ -93,6 +93,7 @@ mod select;
 pub mod sql;
 mod starjoin;
 pub mod util;
+mod write;
 
 pub use adt::OlapArray;
 pub use aggregate::{AggFunc, AggState, AggValue};
@@ -107,3 +108,4 @@ pub use rescache::{shared_result_cache, CacheKey, ResultCache};
 pub use result::{ConsolidationResult, GroupedDim, ResultCube, Rollup, Row};
 pub use sql::{parse_query, SqlStatement};
 pub use starjoin::{starjoin_consolidate, StarSchema};
+pub use write::{apply_batch, apply_batch_with, CubeMaintenance, WriteBatch, WriteReceipt};

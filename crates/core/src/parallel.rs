@@ -18,7 +18,7 @@
 //! monotonicity is per chunk, so chunk-granular partitioning preserves
 //! it.
 
-use molap_array::ChunkPipeline;
+use molap_array::{shared_version_table, ChunkPipeline};
 
 use crate::adt::OlapArray;
 use crate::consolidate::{full_scan_consumer, make_cube, phase1, BuildResultBtrees};
@@ -109,7 +109,13 @@ pub(crate) fn consolidate_pipelined_cube(
         ((0..shape.num_chunks()).collect(), None)
     };
 
-    let pipe = ChunkPipeline::new(adt.pool().clone(), chunk_nos, plan.depth);
+    // Pin a chunk snapshot so a write batch committing mid-scan cannot
+    // hand later chunks a newer array state than earlier ones saw: the
+    // pipeline resolves every chunk against the version table as of
+    // this generation, reading pinned pre-images where a writer has
+    // since overwritten bytes in place.
+    let snap = shared_version_table(adt.pool()).map(|vt| vt.begin_snapshot());
+    let pipe = ChunkPipeline::new(adt.pool().clone(), chunk_nos, plan.depth).with_snapshot(snap);
     let cubes = crossbeam::thread::scope(|scope| {
         for _ in 0..plan.prefetchers {
             scope.spawn(|_| pipe.run_worker(adt.array()));

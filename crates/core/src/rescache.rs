@@ -44,15 +44,15 @@
 //!
 //! * the pool's clear-epoch — `BufferPool::clear` bumps it, so cached
 //!   results never leak across the paper's cold-run boundary;
-//! * a cache-wide write generation — any `OlapArray::set_by_keys` on
-//!   the pool bumps it, conservatively invalidating every entry
-//!   (writes are rare in the paper's workload; precision is not worth
-//!   the bookkeeping).
+//! * a per-array write generation — the write path bumps it *before*
+//!   swapping delta-patched clones in (see [`PatchSession`]), so an
+//!   entry inserted from a pre-write computation is stamped stale and
+//!   dropped on its next probe instead of shadowing the patch.
 //!
 //! # Locking
 //!
 //! Sharded like the decoded-chunk cache: each shard's `results` mutex
-//! (rank 5 in the workspace lock order, see DESIGN.md §8) guards a map
+//! (rank 8 in the workspace lock order, see DESIGN.md §8) guards a map
 //! plus a second-chance clock ring bounded by approximate cube bytes.
 //! Nothing is ever locked while a `results` mutex is held, and shards
 //! are only ever locked one at a time — the subsumption scan clones
@@ -71,6 +71,7 @@ use crate::error::Result;
 use crate::query::{DimGrouping, Query, Selection};
 use crate::result::{ConsolidationResult, ResultCube, Rollup};
 use crate::util::FxHasher;
+use crate::write::CellDelta;
 
 /// Shards; a power of two so the key hash can mask.
 const CACHE_SHARDS: usize = 8;
@@ -115,6 +116,9 @@ struct CacheEntry {
     bytes: usize,
     epoch: u64,
     write_gen: u64,
+    /// Per-array write generation the entry was computed at (see
+    /// [`ResultCache::array_gen`]).
+    array_gen: u64,
     referenced: bool,
 }
 
@@ -183,6 +187,15 @@ pub struct ResultCache {
     /// Bumped by every write to any array on the pool; entries stamped
     /// with an older generation read as cold.
     write_gen: AtomicU64,
+    /// Per-array write generations (array identity hash → generation).
+    /// Delta maintenance bumps *one* array's generation and re-inserts
+    /// the patched cubes at the new one, so writes to array A never
+    /// cool entries for array B — and any same-array entry the patch
+    /// pass missed (inserted concurrently, or dropped to the MIN/MAX
+    /// fallback) reads as cold at its next lookup. The field name
+    /// `generations` is its workspace lock-order rank (DESIGN.md §8);
+    /// nothing else is ever locked while it is held.
+    generations: Mutex<HashMap<u64, u64>>,
 }
 
 impl ResultCache {
@@ -197,6 +210,7 @@ impl ResultCache {
                 .collect(),
             shard_capacity: capacity_bytes / CACHE_SHARDS,
             write_gen: AtomicU64::new(0),
+            generations: Mutex::new(HashMap::new()),
         }
     }
 
@@ -217,14 +231,34 @@ impl ResultCache {
         self.write_gen.fetch_add(1, Ordering::AcqRel);
     }
 
+    /// The current write generation of one array (0 until its first
+    /// delta-maintained write).
+    pub fn array_gen(&self, array_id: u64) -> u64 {
+        self.generations.lock().get(&array_id).copied().unwrap_or(0)
+    }
+
+    /// Advances one array's write generation, invalidating every entry
+    /// for it that is not re-inserted at the new generation.
+    pub fn bump_array_gen(&self, array_id: u64) -> u64 {
+        let mut gens = self.generations.lock();
+        let gen = gens.entry(array_id).or_insert(0);
+        *gen += 1;
+        *gen
+    }
+
     /// Looks up an exact entry, treating entries stamped with a
-    /// different pool epoch or write generation as cold (dropped on
-    /// the spot).
+    /// different pool epoch or write generation (global or per-array)
+    /// as cold (dropped on the spot).
     pub fn get(&self, key: &CacheKey, epoch: u64) -> Option<Arc<ResultCube>> {
         let write_gen = self.write_gen();
+        let array_gen = self.array_gen(key.array_id);
         let mut shard = self.shard(key).results.lock();
         match shard.map.get_mut(key) {
-            Some(entry) if entry.epoch == epoch && entry.write_gen == write_gen => {
+            Some(entry)
+                if entry.epoch == epoch
+                    && entry.write_gen == write_gen
+                    && entry.array_gen == array_gen =>
+            {
                 entry.referenced = true;
                 Some(entry.cube.clone())
             }
@@ -236,15 +270,32 @@ impl ResultCache {
         }
     }
 
-    /// Inserts a result cube, evicting as needed; returns how many
-    /// entries were evicted. Cubes larger than a whole shard's budget
-    /// are not cached.
+    /// Inserts a result cube stamped with the *current* generations
+    /// (see [`ResultCache::insert_at`] for the race-safe variant).
     pub fn insert(&self, key: CacheKey, cube: Arc<ResultCube>, epoch: u64) -> u64 {
+        let write_gen = self.write_gen();
+        let array_gen = self.array_gen(key.array_id);
+        self.insert_at(key, cube, epoch, write_gen, array_gen)
+    }
+
+    /// Inserts a result cube stamped with generations captured by the
+    /// caller *before* it computed the cube, evicting as needed;
+    /// returns how many entries were evicted. A write committing
+    /// mid-computation advances a generation, so the stale cube goes
+    /// in already-cold and can never serve a lookup. Cubes larger than
+    /// a whole shard's budget are not cached.
+    pub fn insert_at(
+        &self,
+        key: CacheKey,
+        cube: Arc<ResultCube>,
+        epoch: u64,
+        write_gen: u64,
+        array_gen: u64,
+    ) -> u64 {
         let bytes = cube.approx_bytes();
         if bytes == 0 || bytes > self.shard_capacity {
             return 0;
         }
-        let write_gen = self.write_gen();
         let key = Arc::new(key);
         let mut evicted = 0u64;
         let mut shard = self.shard(&key).results.lock();
@@ -263,6 +314,7 @@ impl ResultCache {
                 bytes,
                 epoch,
                 write_gen,
+                array_gen,
                 referenced: true,
             },
         );
@@ -276,11 +328,15 @@ impl ResultCache {
     /// their own lookups), so this never holds two `results` mutexes.
     pub fn candidates(&self, array_id: u64, epoch: u64) -> Vec<(Arc<CacheKey>, Arc<ResultCube>)> {
         let write_gen = self.write_gen();
+        let array_gen = self.array_gen(array_id);
         let mut out = Vec::new();
         for shard in &self.shards {
             let guard = shard.results.lock();
             for (key, entry) in &guard.map {
-                if key.array_id == array_id && entry.epoch == epoch && entry.write_gen == write_gen
+                if key.array_id == array_id
+                    && entry.epoch == epoch
+                    && entry.write_gen == write_gen
+                    && entry.array_gen == array_gen
                 {
                     out.push((key.clone(), entry.cube.clone()));
                 }
@@ -303,6 +359,12 @@ impl ResultCache {
     pub fn bytes(&self) -> usize {
         self.shards.iter().map(|s| s.results.lock().bytes).sum()
     }
+
+    /// Removes one entry (delta-maintenance MIN/MAX fallback: the cube
+    /// is recomputed lazily at its next lookup).
+    fn remove_entry(&self, key: &CacheKey) {
+        self.shard(key).results.lock().remove(key);
+    }
 }
 
 /// The pool-wide shared result cache, installed in a pool extension
@@ -322,6 +384,187 @@ pub(crate) fn invalidate_writes(pool: &Arc<BufferPool>) {
         cache.bump_write_gen();
         pool.stats().result_cache_invalidation();
     }
+}
+
+/// A delta-maintenance pass over one array's cached result cubes,
+/// opened by the batched write path (`core::write`) *before* the first
+/// chunk byte is overwritten and committed after the batch is durable
+/// and published. The bracket matters twice over:
+///
+/// * the candidate set is snapshotted pre-write, so a cube computed
+///   from a torn mid-batch read can never be patched — anything
+///   inserted while the batch applies was stamped with generations
+///   captured before its own compute and goes cold at the commit's
+///   generation bump;
+/// * the bump-then-swap order in [`PatchSession::commit`] means a
+///   concurrent lookup sees either the old generation's entries
+///   (pre-batch results — the batch has not logically committed for
+///   the cache yet) or the new generation's patched cubes, never a
+///   half-maintained mixture.
+pub struct PatchSession {
+    cache: Arc<ResultCache>,
+    array_id: u64,
+    epoch: u64,
+    entries: Vec<(Arc<CacheKey>, Arc<ResultCube>)>,
+}
+
+/// Opens a [`PatchSession`] over the cached cubes of `array_id`. Call
+/// before the first chunk overwrite of a write batch. `None` when the
+/// pool has no result cache (every extension slot claimed by other
+/// types) — the caller then has nothing to maintain.
+pub(crate) fn begin_write_patch(pool: &Arc<BufferPool>, array_id: u64) -> Option<PatchSession> {
+    let cache = shared_result_cache(pool)?;
+    let epoch = pool.epoch();
+    let entries = cache.candidates(array_id, epoch);
+    Some(PatchSession {
+        cache,
+        array_id,
+        epoch,
+        entries,
+    })
+}
+
+impl PatchSession {
+    /// Applies the committed batch's cell `deltas` to every snapshotted
+    /// cube and swaps the results in at the array's next write
+    /// generation. Returns `(patched, dropped)` entry counts.
+    ///
+    /// Per entry: each delta's coordinates run through the same
+    /// IndexToIndex remaps the consolidation kernels use (key → rank
+    /// for `Key` groupings, `load_i2i` for `Level`), the entry's
+    /// selections decide membership (writes change measures, never
+    /// coordinates, so membership is stable), and the addressed result
+    /// cell is patched through [`ResultCube::patch_cell`] on a private
+    /// clone. A shrinking MIN/MAX extreme makes the entry unpatchable:
+    /// it is dropped and recomputes lazily. Entries no delta reaches
+    /// are re-stamped unchanged, keeping them warm.
+    ///
+    /// Must be called *after* the batch is published to snapshot
+    /// readers; until then lookups serve the old generation's
+    /// (pre-batch) results, which is the correct serialization order.
+    pub(crate) fn commit(self, adt: &OlapArray, deltas: &[CellDelta]) -> Result<(u64, u64)> {
+        let write_gen = self.cache.write_gen();
+        // Phase B: patch private clones, no cache lock held. `load_i2i`
+        // reads LOBs through the pool, which is why this cannot run
+        // under a `results` mutex.
+        let mut keep: Vec<(Arc<CacheKey>, Arc<ResultCube>, bool)> = Vec::new();
+        let mut dropped: Vec<Arc<CacheKey>> = Vec::new();
+        let outcome = patch_entries(adt, &self.entries, deltas, &mut keep, &mut dropped);
+        // Phase C: advance the array generation first — every entry not
+        // re-inserted below (fallbacks, racing inserts) is now cold —
+        // then swap the maintained cubes in at the new generation.
+        let array_gen = self.cache.bump_array_gen(self.array_id);
+        // An error while patching (I/O under load_i2i) leaves all
+        // entries cold rather than stale: correct, merely colder.
+        outcome?;
+        let stats = adt.pool().stats();
+        let mut evicted = 0u64;
+        let mut n_patched = 0u64;
+        for (key, cube, touched) in keep {
+            evicted += self
+                .cache
+                .insert_at((*key).clone(), cube, self.epoch, write_gen, array_gen);
+            if touched {
+                n_patched += 1;
+                stats.result_cache_patch();
+            }
+        }
+        for key in &dropped {
+            self.cache.remove_entry(key);
+            stats.result_cache_fallback();
+        }
+        stats.result_cache_evictions_add(evicted);
+        Ok((n_patched, dropped.len() as u64))
+    }
+}
+
+/// Phase B worker for [`PatchSession::commit`]: sorts every entry into
+/// `keep` (with its maintained cube and whether any delta touched it)
+/// or `dropped` (MIN/MAX fallback / unmappable).
+fn patch_entries(
+    adt: &OlapArray,
+    entries: &[(Arc<CacheKey>, Arc<ResultCube>)],
+    deltas: &[CellDelta],
+    keep: &mut Vec<(Arc<CacheKey>, Arc<ResultCube>, bool)>,
+    dropped: &mut Vec<Arc<CacheKey>>,
+) -> Result<()> {
+    let n_measures = adt.n_measures();
+    'entry: for (key, cube) in entries {
+        if key.group_by.len() != adt.dims().len() {
+            dropped.push(key.clone());
+            continue;
+        }
+        // Coordinate → rank remap per grouped dimension, exactly as the
+        // kernels build them (§3.4 IndexToIndex).
+        let mut remaps: Vec<(usize, Vec<u32>)> = Vec::new();
+        for (d, g) in key.group_by.iter().enumerate() {
+            match g {
+                DimGrouping::Drop => {}
+                DimGrouping::Key => remaps.push((d, adt.key_i2i(d).0)),
+                DimGrouping::Level(l) => remaps.push((d, adt.load_i2i(d, *l)?)),
+            }
+        }
+        let mut clone: Option<ResultCube> = None;
+        let mut ranks = vec![0u32; remaps.len()];
+        let mut cell_deltas: Vec<(Option<i64>, i64)> = Vec::with_capacity(n_measures);
+        for delta in deltas {
+            if delta.old.as_deref() == Some(&delta.new[..]) {
+                continue; // no-op rewrite
+            }
+            match delta_selected(adt, key, &delta.coords) {
+                Some(true) => {}
+                Some(false) => continue, // outside the entry's slice
+                None => {
+                    dropped.push(key.clone());
+                    continue 'entry;
+                }
+            }
+            for (i, (d, map)) in remaps.iter().enumerate() {
+                match map.get(delta.coords[*d] as usize) {
+                    Some(&r) => ranks[i] = r,
+                    None => {
+                        dropped.push(key.clone());
+                        continue 'entry;
+                    }
+                }
+            }
+            let target = clone.get_or_insert_with(|| (**cube).clone());
+            let cell = target.linear(&ranks);
+            cell_deltas.clear();
+            for m in 0..n_measures {
+                cell_deltas.push((delta.old.as_ref().map(|o| o[m]), delta.new[m]));
+            }
+            if !target.patch_cell(cell, &cell_deltas) {
+                dropped.push(key.clone());
+                continue 'entry;
+            }
+        }
+        match clone {
+            Some(patched) => keep.push((key.clone(), Arc::new(patched), true)),
+            None => keep.push((key.clone(), cube.clone(), false)),
+        }
+    }
+    Ok(())
+}
+
+/// Does the cell at `coords` satisfy every selection of `key`? `None`
+/// when a referenced column cannot be resolved (treated as a fallback
+/// drop by the caller).
+fn delta_selected(adt: &OlapArray, key: &CacheKey, coords: &[u32]) -> Option<bool> {
+    for (d, sels) in key.selections.iter().enumerate() {
+        let dim = adt.dims().get(d)?;
+        let row = *coords.get(d)? as usize;
+        for sel in sels {
+            let value = match sel.attr {
+                crate::query::AttrRef::Key => *dim.keys().get(row)?,
+                crate::query::AttrRef::Level(l) => *dim.attr_codes(l).ok()?.get(row)?,
+            };
+            if !sel.pred.accepts(value) {
+                return Some(false);
+            }
+        }
+    }
+    Some(true)
 }
 
 /// The cached consolidation driver used by [`crate::consolidate_auto`]:
@@ -349,6 +592,13 @@ where
         return cube.to_result(&query.aggs);
     }
 
+    // Capture both write generations *before* deriving or computing:
+    // if a write commits mid-computation it advances one of them, so
+    // the cube goes in already-cold and can never serve a lookup with
+    // possibly torn mid-batch data.
+    let write_gen = cache.write_gen();
+    let array_gen = cache.array_gen(key.array_id);
+
     // Rollup subsumption: a finer cached cube for the same array and
     // selections answers a coarser grouping by re-aggregation. The
     // derived cube is inserted under its own key so the family's next
@@ -362,14 +612,14 @@ where
         };
         let derived = Arc::new(have_cube.rollup(&plan)?);
         stats.result_cache_derive();
-        let evicted = cache.insert(key, derived.clone(), epoch);
+        let evicted = cache.insert_at(key, derived.clone(), epoch, write_gen, array_gen);
         stats.result_cache_evictions_add(evicted);
         return derived.to_result(&query.aggs);
     }
 
     stats.result_cache_miss();
     let cube = Arc::new(compute()?);
-    let evicted = cache.insert(key, cube.clone(), epoch);
+    let evicted = cache.insert_at(key, cube.clone(), epoch, write_gen, array_gen);
     stats.result_cache_evictions_add(evicted);
     cube.to_result(&query.aggs)
 }

@@ -100,6 +100,32 @@ impl ResultCube {
         }
     }
 
+    /// Applies one cell's write delta to the group at linear index
+    /// `cell`: per measure, `(None, new)` folds a fresh value (the
+    /// array cell was empty before the write) and `(Some(old), new)`
+    /// replaces a previously folded one. Returns `false` as soon as a
+    /// measure's accumulator cannot be patched exactly (a shrinking
+    /// MIN/MAX extreme — see [`AggState::patch_replace`]); the cube may
+    /// then be *partially patched* and must be discarded by the caller,
+    /// which is why delta maintenance always patches a clone.
+    #[inline]
+    #[must_use]
+    pub(crate) fn patch_cell(&mut self, cell: usize, deltas: &[(Option<i64>, i64)]) -> bool {
+        debug_assert_eq!(deltas.len(), self.n_measures);
+        let base = cell * self.n_measures;
+        for (i, &(old, new)) in deltas.iter().enumerate() {
+            match old {
+                None => self.states[base + i].patch_insert(new),
+                Some(old) => {
+                    if !self.states[base + i].patch_replace(old, new) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
     /// Merges another cube (same geometry) into this one — used by the
     /// parallel scan extension.
     pub fn merge(&mut self, other: &ResultCube) -> Result<()> {
@@ -521,6 +547,24 @@ mod tests {
             ])
             .is_err());
         assert!(cube.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn patch_cell_matches_recompute() {
+        let mut cube = two_dim_cube();
+        cube.add(&[0, 0], &[3]);
+        cube.add(&[0, 0], &[4]);
+        // Replace the folded 4 with 9 (growing max) and insert a fresh 2.
+        let cell = cube.linear(&[0, 0]);
+        assert!(cube.patch_cell(cell, &[(Some(4), 9)]));
+        assert!(cube.patch_cell(cell, &[(None, 2)]));
+        let mut scratch = two_dim_cube();
+        scratch.add(&[0, 0], &[3]);
+        scratch.add(&[0, 0], &[9]);
+        scratch.add(&[0, 0], &[2]);
+        assert_eq!(cube.states, scratch.states, "every statistic patched");
+        // Shrinking the max is refused: 9 is the max, 1 < 9.
+        assert!(!cube.patch_cell(cell, &[(Some(9), 1)]));
     }
 
     #[test]

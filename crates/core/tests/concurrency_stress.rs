@@ -130,3 +130,137 @@ fn mixed_concurrent_consolidations_match_sequential() {
     wal.push(".wal");
     let _ = std::fs::remove_file(wal);
 }
+
+/// A writer committing durable batches races pipelined and cached
+/// readers. Every batch rewrites the array's first cell (chunk 0) and
+/// last cell (the last chunk) together, so any reader that tears a
+/// scan across a commit — mixing chunk 0 of one state with the last
+/// chunk of another — produces a total outside the per-boundary set.
+/// Under `--features lock-order-tracking` this also certifies the
+/// whole write path (commit → catalog → generations → results →
+/// versions → LOB → pool) against the declared lock order while
+/// readers hold pool and cache locks concurrently.
+#[test]
+fn writer_vs_pipelined_readers_see_only_batch_boundaries() {
+    use molap_core::{consolidate_pipelined, AggValue, PrefetchPlan, WriteBatch};
+    use std::sync::Barrier;
+
+    const BATCHES: i64 = 10;
+    const READERS: usize = 4;
+    const READS: usize = 25;
+
+    let path = temp_path("writer");
+    let db = Arc::new(Database::create(&path, 1 << 20).unwrap());
+    let dims = vec![
+        DimensionTable::build(
+            "store",
+            &(0..16i64).collect::<Vec<_>>(),
+            vec![("region", (0..16i64).map(|k| k / 4).collect())],
+        )
+        .unwrap(),
+        DimensionTable::build(
+            "product",
+            &(0..8i64).collect::<Vec<_>>(),
+            vec![("ptype", (0..8i64).map(|k| k % 2).collect())],
+        )
+        .unwrap(),
+    ];
+    let cells: Vec<(Vec<i64>, Vec<i64>)> = (0..16i64)
+        .flat_map(|x| (0..8i64).map(move |y| (vec![x, y], vec![x * 8 + y])))
+        .collect();
+    let base_sum: i64 = cells.iter().map(|(_, v)| v[0]).sum();
+    let adt = OlapArray::build(
+        db.pool().clone(),
+        dims,
+        &[4, 4],
+        ChunkFormat::Dense,
+        cells,
+        1,
+    )
+    .unwrap();
+    db.save_olap_array("wsales", &adt).unwrap();
+    db.checkpoint().unwrap();
+
+    // Total sums at every batch boundary: batch r sets cell [0,0]
+    // (originally 0) to r*100_000 and cell [15,7] (originally 127) to
+    // r*100_000 + 7.
+    let valid: std::collections::HashSet<i64> = (0..=BATCHES)
+        .map(|r| {
+            if r == 0 {
+                base_sum
+            } else {
+                base_sum - 127 + (r * 100_000) + (r * 100_000 + 7)
+            }
+        })
+        .collect();
+
+    let q = Query::new(vec![DimGrouping::Drop, DimGrouping::Drop]);
+    let barrier = Arc::new(Barrier::new(READERS + 1));
+
+    let writer = {
+        let db = db.clone();
+        let barrier = barrier.clone();
+        std::thread::spawn(move || {
+            barrier.wait();
+            for r in 1..=BATCHES {
+                let mut batch = WriteBatch::new();
+                batch.set(&[0, 0], &[r * 100_000]);
+                batch.set(&[15, 7], &[r * 100_000 + 7]);
+                let receipt = db.write_batch("wsales", &batch).unwrap();
+                assert_eq!(receipt.cells_written, 2);
+            }
+        })
+    };
+    let readers: Vec<_> = (0..READERS)
+        .map(|t| {
+            let db = db.clone();
+            let q = q.clone();
+            let valid = valid.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                // One handle for the whole run: in-place commits are
+                // visible through it, bridged by pinned pre-images
+                // while a scan is mid-flight.
+                let adt = db.open_olap_array("wsales").unwrap();
+                barrier.wait();
+                for i in 0..READS {
+                    let got = if t % 2 == 0 {
+                        consolidate_pipelined(&adt, &q, 2, PrefetchPlan::new(2, 4)).unwrap()
+                    } else {
+                        consolidate_auto(&adt, &q).unwrap()
+                    };
+                    let sum = match got.rows()[0].values[0] {
+                        AggValue::Int(v) => v,
+                        ref other => panic!("unexpected aggregate {other:?}"),
+                    };
+                    assert!(
+                        valid.contains(&sum),
+                        "reader {t} round {i} tore a scan: total {sum} is not \
+                         at any batch boundary"
+                    );
+                }
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    for h in readers {
+        h.join().unwrap();
+    }
+
+    // Quiesced: a fresh handle must see exactly the final batch.
+    let adt = db.open_olap_array("wsales").unwrap();
+    let final_sum = match adt.consolidate(&q).unwrap().rows()[0].values[0] {
+        AggValue::Int(v) => v,
+        ref other => panic!("unexpected aggregate {other:?}"),
+    };
+    assert_eq!(
+        final_sum,
+        base_sum - 127 + BATCHES * 100_000 + BATCHES * 100_000 + 7
+    );
+
+    drop(db);
+    let _ = std::fs::remove_file(&path);
+    let mut wal = path.into_os_string();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(wal);
+}

@@ -24,19 +24,25 @@ use crate::Finding;
 /// The workspace's declared lock order, outermost (acquire first) to
 /// innermost. Field names are unambiguous across the workspace:
 /// `inflight`/`queue`/`sessions`/`supervisor` (server: coalescing
-/// table, then admission queue), `catalog` (core), `results`
-/// (result-cube cache shard), `chunks` (decoded-chunk cache shard),
-/// `dir`/`pack` (LOB store), `state`/`data` (buffer pool: shard
-/// state, then per-frame latch), `pages` (MemDisk backing store).
+/// table, then admission queue), `commit` (core: one write batch at a
+/// time), `catalog` (core), `generations` (result cache: per-array
+/// write generations), `results` (result-cube cache shard), `chunks`
+/// (decoded-chunk cache shard), `versions` (chunk version table:
+/// pinned pre-images for snapshot reads), `dir`/`pack` (LOB store),
+/// `state`/`data` (buffer pool: shard state, then per-frame latch),
+/// `pages` (MemDisk backing store).
 pub const DECLARED_ORDER: &[&str] = &[
     "inflight",
     "queue",
     "sessions",
     "supervisor",
+    "commit",
     "catalog",
+    "generations",
     "results",
     "delivery",
     "chunks",
+    "versions",
     "dir",
     "pack",
     "state",

@@ -175,6 +175,27 @@ impl ServerClient {
         }
     }
 
+    /// Commits one batch of cell writes to the named array, atomically
+    /// and durably; returns the number of cells written once the
+    /// server has made the batch crash-safe. `rows` pairs each cell's
+    /// dimension keys with the full measure vector to store there.
+    pub fn write(
+        &mut self,
+        object: &str,
+        rows: &[(Vec<i64>, Vec<i64>)],
+    ) -> Result<u64, ClientError> {
+        let request = Request::Write {
+            object: object.to_string(),
+            rows: rows.to_vec(),
+        };
+        match self.round_trip(&request)? {
+            Response::WriteAck { cells_written } => Ok(cells_written),
+            other => Err(ClientError::Protocol(format!(
+                "expected a write ack, got {other:?}"
+            ))),
+        }
+    }
+
     /// Asks the server to shut down gracefully; returns once the
     /// server acknowledges that draining has begun.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {

@@ -205,6 +205,10 @@ impl MetricsSnapshot {
             self.io.result_cache_derived,
             self.io.result_cache_evictions,
             self.io.result_cache_invalidations,
+            self.io.write_batches,
+            self.io.write_cells,
+            self.io.result_cache_patched,
+            self.io.result_cache_fallbacks,
         ] {
             put_u64(out, v);
         }
@@ -251,6 +255,10 @@ impl MetricsSnapshot {
             result_cache_derived: c.u64()?,
             result_cache_evictions: c.u64()?,
             result_cache_invalidations: c.u64()?,
+            write_batches: c.u64()?,
+            write_cells: c.u64()?,
+            result_cache_patched: c.u64()?,
+            result_cache_fallbacks: c.u64()?,
         };
         let n_shards = c.u64()? as usize;
         // Cap the allocation by what the payload can actually hold.
@@ -324,7 +332,7 @@ impl std::fmt::Display for MetricsSnapshot {
             self.io.prefetch_wasted,
             self.io.prefetch_queue_peak
         )?;
-        write!(
+        writeln!(
             f,
             "results:  {} hits, {} derived (rollup), {} misses, {} evicted, {} invalidations",
             self.io.result_cache_hits,
@@ -332,6 +340,14 @@ impl std::fmt::Display for MetricsSnapshot {
             self.io.result_cache_misses,
             self.io.result_cache_evictions,
             self.io.result_cache_invalidations
+        )?;
+        write!(
+            f,
+            "writes:   {} batches / {} cells, {} cubes patched, {} recompute fallbacks",
+            self.io.write_batches,
+            self.io.write_cells,
+            self.io.result_cache_patched,
+            self.io.result_cache_fallbacks
         )?;
         if !self.shards.is_empty() {
             let hits: u64 = self.shards.iter().map(|s| s.hits).sum();
@@ -395,6 +411,10 @@ mod tests {
             result_cache_derived: 1,
             result_cache_evictions: 3,
             result_cache_invalidations: 1,
+            write_batches: 2,
+            write_cells: 11,
+            result_cache_patched: 4,
+            result_cache_fallbacks: 1,
         };
         let shards = vec![
             ShardStats { hits: 6, misses: 2 },

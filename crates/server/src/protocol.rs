@@ -28,6 +28,7 @@
 //! | `0x03` | Stats | empty |
 //! | `0x04` | ListObjects | empty |
 //! | `0x05` | Shutdown | empty (begins graceful drain) |
+//! | `0x06` | Write | `object: str`, `rows: u32 count + wrow*` |
 //!
 //! # Response frame types (server → client)
 //!
@@ -35,16 +36,23 @@
 //! |-----:|------|---------|
 //! | `0x81` | ResultSet | `columns: u16 count + str*`, `rows: u32 count + row*` |
 //! | `0x82` | Pong | empty |
-//! | `0x83` | StatsReply | [`crate::metrics::MetricsSnapshot`] encoding: 10 server counters (incl. queries-coalesced), 16 histogram buckets, 17 pool-I/O counters (incl. prefetch issued/hits/wasted/queue-peak and result-cache hits/misses/derived/evictions/invalidations), shard pairs |
+//! | `0x83` | StatsReply | [`crate::metrics::MetricsSnapshot`] encoding: 10 server counters (incl. queries-coalesced), 16 histogram buckets, 21 pool-I/O counters (incl. prefetch issued/hits/wasted/queue-peak, result-cache hits/misses/derived/evictions/invalidations/patched/fallbacks, and write batches/cells), shard pairs |
 //! | `0x84` | ObjectList | `u32 count + (name: str, kind: u8)*` |
 //! | `0x85` | Error | `code: u16`, `message: str` |
 //! | `0x86` | ShutdownStarted | empty |
+//! | `0x87` | WriteAck | `cells_written: u64` |
 //!
 //! A `row` is `keys: u16 count + i64*`, then `values: u16 count +
 //! aggvalue*`; an `aggvalue` is tag `0` + `i64` (Int) or tag `1` +
 //! `i64 sum` + `u64 count` (exact Ratio, from AVG). A `str` is `u32
 //! length + UTF-8 bytes. Decoding the ResultSet payload reconstructs a
 //! [`ConsolidationResult`] that compares `==` to in-process execution.
+//!
+//! A `wrow` (one cell mutation in a Write batch) is `keys: u16 count +
+//! i64*`, then `values: u16 count + i64*` — dimension keys addressing
+//! the cell, then the full measure vector to store there. The batch
+//! commits atomically: every row applies or none does, and the ack is
+//! only sent after the server's checkpoint makes the batch durable.
 //!
 //! # Error codes
 //!
@@ -209,6 +217,14 @@ pub enum Request {
     ListObjects,
     /// Ask the server to begin a graceful shutdown.
     Shutdown,
+    /// Commit one batch of cell writes to a cataloged array,
+    /// atomically and durably.
+    Write {
+        /// The catalog name of the target array.
+        object: String,
+        /// Cell mutations: `(dimension keys, measure values)` per cell.
+        rows: Vec<(Vec<i64>, Vec<i64>)>,
+    },
 }
 
 /// A server response. `Clone` so one coalesced execution can deliver
@@ -233,6 +249,12 @@ pub enum Response {
     },
     /// Reply to [`Request::Shutdown`].
     ShutdownStarted,
+    /// Reply to [`Request::Write`]: the batch is applied and durable.
+    WriteAck {
+        /// Number of cells the batch wrote (after last-write-wins
+        /// collapse of duplicate coordinates).
+        cells_written: u64,
+    },
 }
 
 // -------------------------------------------------- buffer primitives
@@ -401,6 +423,7 @@ const REQ_PING: u8 = 0x02;
 const REQ_STATS: u8 = 0x03;
 const REQ_LIST_OBJECTS: u8 = 0x04;
 const REQ_SHUTDOWN: u8 = 0x05;
+const REQ_WRITE: u8 = 0x06;
 
 impl Request {
     /// Encodes into `(frame_type, payload)`.
@@ -419,6 +442,22 @@ impl Request {
             Request::Stats => (REQ_STATS, Vec::new()),
             Request::ListObjects => (REQ_LIST_OBJECTS, Vec::new()),
             Request::Shutdown => (REQ_SHUTDOWN, Vec::new()),
+            Request::Write { object, rows } => {
+                let mut out = Vec::with_capacity(object.len() + 8 + rows.len() * 32);
+                put_str(&mut out, object);
+                put_u32(&mut out, rows.len() as u32);
+                for (keys, values) in rows {
+                    put_u16(&mut out, keys.len() as u16);
+                    for &k in keys {
+                        put_i64(&mut out, k);
+                    }
+                    put_u16(&mut out, values.len() as u16);
+                    for &v in values {
+                        put_i64(&mut out, v);
+                    }
+                }
+                (REQ_WRITE, out)
+            }
         }
     }
 
@@ -436,6 +475,25 @@ impl Request {
             REQ_STATS => Request::Stats,
             REQ_LIST_OBJECTS => Request::ListObjects,
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_WRITE => {
+                let object = c.str()?;
+                let n = c.u32()? as usize;
+                // Each row carries at least the two u16 counts.
+                if n > c.remaining() / 4 {
+                    return Err(ProtocolError::Corrupt(format!(
+                        "write row count {n} exceeds payload"
+                    )));
+                }
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let nk = c.u16()? as usize;
+                    let keys = (0..nk).map(|_| c.i64()).collect::<Result<Vec<_>, _>>()?;
+                    let nv = c.u16()? as usize;
+                    let values = (0..nv).map(|_| c.i64()).collect::<Result<Vec<_>, _>>()?;
+                    rows.push((keys, values));
+                }
+                Request::Write { object, rows }
+            }
             other => {
                 return Err(ProtocolError::Corrupt(format!(
                     "unknown request frame type {other:#04x}"
@@ -455,6 +513,7 @@ const RESP_STATS_REPLY: u8 = 0x83;
 const RESP_OBJECT_LIST: u8 = 0x84;
 const RESP_ERROR: u8 = 0x85;
 const RESP_SHUTDOWN_STARTED: u8 = 0x86;
+const RESP_WRITE_ACK: u8 = 0x87;
 
 fn put_agg_value(out: &mut Vec<u8>, v: &AggValue) {
     match *v {
@@ -555,6 +614,11 @@ impl Response {
                 (RESP_ERROR, out)
             }
             Response::ShutdownStarted => (RESP_SHUTDOWN_STARTED, Vec::new()),
+            Response::WriteAck { cells_written } => {
+                let mut out = Vec::new();
+                put_u64(&mut out, *cells_written);
+                (RESP_WRITE_ACK, out)
+            }
         }
     }
 
@@ -580,6 +644,9 @@ impl Response {
                 message: c.str()?,
             },
             RESP_SHUTDOWN_STARTED => Response::ShutdownStarted,
+            RESP_WRITE_ACK => Response::WriteAck {
+                cells_written: c.u64()?,
+            },
             other => {
                 return Err(ProtocolError::Corrupt(format!(
                     "unknown response frame type {other:#04x}"
@@ -641,6 +708,14 @@ mod tests {
             Request::Stats,
             Request::ListObjects,
             Request::Shutdown,
+            Request::Write {
+                object: "sales".into(),
+                rows: vec![(vec![3, 7], vec![42]), (vec![0, 0], vec![-1, 9])],
+            },
+            Request::Write {
+                object: "empty".into(),
+                rows: vec![],
+            },
         ] {
             let (ty, payload) = req.encode();
             assert_eq!(Request::decode(ty, &payload).unwrap(), req);
@@ -680,6 +755,26 @@ mod tests {
             assert!(!code.to_string().is_empty());
         }
         assert!(ErrorCode::from_u16(999).is_err());
+    }
+
+    #[test]
+    fn write_ack_roundtrips() {
+        let (ty, payload) = Response::WriteAck { cells_written: 17 }.encode();
+        match Response::decode(ty, &payload).unwrap() {
+            Response::WriteAck { cells_written } => assert_eq!(cells_written, 17),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_with_absurd_row_count_rejected() {
+        let mut payload = Vec::new();
+        put_str(&mut payload, "sales");
+        put_u32(&mut payload, u32::MAX); // claims 4B rows in no bytes
+        assert!(matches!(
+            Request::decode(REQ_WRITE, &payload),
+            Err(ProtocolError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -100,6 +100,10 @@ struct QueueState {
     draining: bool,
 }
 
+/// An in-flight coalescing entry: the write epoch the leader was
+/// admitted in, plus the reply senders of attached followers.
+type InflightEntry = (u64, Vec<mpsc::SyncSender<Response>>);
+
 /// State shared by the accept loop, sessions, and workers.
 pub(crate) struct Shared {
     pub(crate) db: Database,
@@ -108,11 +112,18 @@ pub(crate) struct Shared {
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
     /// Concurrent-query coalescing: canonical fingerprint of every
-    /// admitted-but-unfinished query → reply senders of followers that
-    /// attached instead of submitting a duplicate. The leader removes
-    /// its entry (and broadcasts) when its execution completes.
-    /// Ordered before `queue` in the workspace lock order.
-    inflight: Mutex<HashMap<u64, Vec<mpsc::SyncSender<Response>>>>,
+    /// admitted-but-unfinished query → the write epoch at admission
+    /// plus reply senders of followers that attached instead of
+    /// submitting a duplicate. The leader removes its entry (and
+    /// broadcasts) when its execution completes. Ordered before
+    /// `queue` in the workspace lock order.
+    inflight: Mutex<HashMap<u64, InflightEntry>>,
+    /// Bumped after every committed (or failed) write batch. Makes
+    /// coalescing write-safe: a follower only attaches to an in-flight
+    /// execution admitted in the *same* epoch, so a query arriving
+    /// after a write ack can never be served a pre-write answer
+    /// computed by a leader that started earlier.
+    write_epoch: AtomicU64,
     /// Socket clones of live sessions, so shutdown can unblock their
     /// reads. Keyed by session id.
     sessions: Mutex<HashMap<u64, TcpStream>>,
@@ -149,20 +160,34 @@ impl Shared {
         if q.draining {
             return Err(AdmissionError::ShuttingDown);
         }
+        let epoch = self.write_epoch.load(Ordering::SeqCst);
+        let mut fingerprint = fingerprint;
         if let Some((fp, table)) = inflight.as_mut() {
-            if let Some(waiters) = table.get_mut(fp) {
-                let (tx, rx) = mpsc::sync_channel(1);
-                waiters.push(tx);
-                self.metrics.query_coalesced();
-                return Ok(rx);
+            match table.get_mut(fp) {
+                Some((entry_epoch, waiters)) if *entry_epoch == epoch => {
+                    let (tx, rx) = mpsc::sync_channel(1);
+                    waiters.push(tx);
+                    self.metrics.query_coalesced();
+                    return Ok(rx);
+                }
+                Some(_) => {
+                    // The in-flight leader was admitted before a write
+                    // committed; its answer may predate the write.
+                    // Run this query independently, uncoalesced (the
+                    // stale leader still owns the table entry).
+                    fingerprint = None;
+                }
+                None => {}
             }
         }
         if q.jobs.len() >= self.config.queue_capacity {
             self.metrics.query_rejected();
             return Err(AdmissionError::Busy);
         }
-        if let Some((fp, table)) = inflight.as_mut() {
-            table.insert(*fp, Vec::new());
+        if fingerprint.is_some() {
+            if let Some((fp, table)) = inflight.as_mut() {
+                table.insert(*fp, (epoch, Vec::new()));
+            }
         }
         let (tx, rx) = mpsc::sync_channel(1);
         q.jobs.push_back(Job {
@@ -210,6 +235,50 @@ impl Shared {
         self.sessions.lock().remove(&id);
     }
 
+    /// Executes a Write request on the session thread: the database's
+    /// commit lock serializes writers, and the ack is only produced
+    /// after `Database::write_batch` has checkpointed the batch to
+    /// durable storage. The write epoch is bumped whether the batch
+    /// succeeded or not — after a failure the array's state is still
+    /// guaranteed un-regressed, but any in-flight coalesced execution
+    /// is conservatively treated as pre-write.
+    pub(crate) fn execute_write(&self, object: &str, rows: &[(Vec<i64>, Vec<i64>)]) -> Response {
+        if self.is_draining() {
+            return Response::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "server is draining; no new writes accepted".into(),
+            };
+        }
+        let mut batch = molap_core::WriteBatch::new();
+        for (keys, values) in rows {
+            batch.set(keys, values);
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.db.write_batch(object, &batch)
+        }));
+        self.write_epoch.fetch_add(1, Ordering::SeqCst);
+        match outcome {
+            Ok(Ok(receipt)) => Response::WriteAck {
+                cells_written: receipt.cells_written,
+            },
+            Ok(Err(err)) => Response::Error {
+                code: error_code_for(&err),
+                message: err.to_string(),
+            },
+            Err(panic) => {
+                let detail = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "write execution panicked".into());
+                Response::Error {
+                    code: ErrorCode::Internal,
+                    message: detail,
+                }
+            }
+        }
+    }
+
     fn worker_loop(&self) {
         loop {
             let job = {
@@ -235,7 +304,12 @@ impl Shared {
         // every follower captured here gets this response. Attach and
         // removal are both under `inflight`, so no waiter is lost.
         let followers = match job.fingerprint {
-            Some(fp) => self.inflight.lock().remove(&fp).unwrap_or_default(),
+            Some(fp) => self
+                .inflight
+                .lock()
+                .remove(&fp)
+                .map(|(_, waiters)| waiters)
+                .unwrap_or_default(),
             None => Vec::new(),
         };
         for follower in followers {
@@ -320,6 +394,7 @@ impl Server {
             }),
             queue_cv: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
+            write_epoch: AtomicU64::new(0),
             sessions: Mutex::new(HashMap::new()),
             next_session_id: AtomicU64::new(1),
             local_addr,

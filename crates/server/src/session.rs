@@ -5,8 +5,10 @@
 //! response frame per request. Cheap control requests (`Ping`,
 //! `Stats`, `ListObjects`) are answered inline; `Query` goes through
 //! the admission queue so the worker pool bounds database
-//! concurrency; `Shutdown` acknowledges and then trips the server
-//! into draining.
+//! concurrency; `Write` runs on the session thread (the database's
+//! commit lock serializes writers) and acks only after the batch is
+//! durable; `Shutdown` acknowledges and then trips the server into
+//! draining.
 
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -117,6 +119,7 @@ fn handle(shared: &Shared, request: Request) -> Response {
                 .collect(),
         ),
         Request::Shutdown => Response::ShutdownStarted,
+        Request::Write { object, rows } => shared.execute_write(&object, &rows),
     }
 }
 

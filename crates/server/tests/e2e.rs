@@ -332,7 +332,7 @@ fn queries_refused_while_draining() {
 }
 
 #[test]
-fn identical_concurrent_queries_coalesce_and_writes_invalidate() {
+fn identical_concurrent_queries_coalesce_and_writes_patch_cubes() {
     let path = temp_db_path("coalesce");
     let db = build_db(&path);
     const SQL: &str = "SELECT SUM(volume), dim0.h01 FROM sales GROUP BY dim0.h01";
@@ -380,14 +380,16 @@ fn identical_concurrent_queries_coalesce_and_writes_invalidate() {
     // so the leader answered from it.
     assert!(stats.io.result_cache_hits >= 1, "{stats:?}");
 
-    // A write through the shared pool invalidates every cached cube.
+    // A write through the shared pool delta-patches every cached cube
+    // in place instead of flushing the cache.
     let misses_before = stats.io.result_cache_misses;
     let (keys, values) = test_spec_cell();
     writer
         .set_by_keys(&keys, &values.iter().map(|v| v + 1000).collect::<Vec<_>>())
         .unwrap();
 
-    // Round 2: the herd coalesces again, but the leader recomputes.
+    // Round 2: the herd coalesces again, and the leader answers from
+    // the patched cube — no recompute, yet the write is visible.
     let round2 = run_herd();
     let first = &round2[0];
     for got in &round2 {
@@ -396,8 +398,11 @@ fn identical_concurrent_queries_coalesce_and_writes_invalidate() {
     assert_ne!(first, &expected, "the write must be visible");
     let stats = handle.metrics();
     assert_eq!(stats.queries_coalesced, 2 * (HERD as u64 - 1));
-    assert!(stats.io.result_cache_invalidations >= 1, "{stats:?}");
-    assert!(stats.io.result_cache_misses > misses_before, "{stats:?}");
+    assert!(stats.io.result_cache_patched >= 1, "{stats:?}");
+    assert_eq!(
+        stats.io.result_cache_misses, misses_before,
+        "delta maintenance must keep the cache hot across the write: {stats:?}"
+    );
 
     handle.shutdown();
     remove_db(&path);
@@ -442,4 +447,51 @@ fn client_error_from_clienterror_is_reported_cleanly() {
         message: "queue full".into(),
     };
     assert_eq!(err.to_string(), "server error [SERVER_BUSY]: queue full");
+}
+
+#[test]
+fn writes_commit_durably_and_refresh_query_results() {
+    let path = temp_db_path("writes");
+    let db = build_db(&path);
+    let handle = Server::start(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let mut client = ServerClient::connect(addr).unwrap();
+
+    let q = "SELECT SUM(volume), dim0.h01 FROM sales GROUP BY dim0.h01";
+    let before = client.query(q).unwrap();
+    let (keys, _) = test_spec_cell();
+    let written = client
+        .write(
+            "sales",
+            &[(keys, vec![1_000_000]), (vec![11, 9, 7], vec![-3])],
+        )
+        .unwrap();
+    assert_eq!(written, 2);
+    let after = client.query(q).unwrap();
+    assert_ne!(before, after, "the write must be visible to queries");
+    // A repeat (potentially coalesced) query sees the same post-write
+    // answer: the write epoch prevents attaching to pre-write leaders.
+    assert_eq!(client.query(q).unwrap(), after);
+
+    // Failed writes keep the session alive and change nothing.
+    let err = client
+        .write("no_such_cube", &[(vec![0, 0, 0], vec![1])])
+        .unwrap_err();
+    assert!(err.server_code().is_some(), "{err}");
+    let err = client.write("sales", &[(vec![0, 0], vec![1])]).unwrap_err();
+    assert!(err.server_code().is_some(), "{err}");
+    assert_eq!(client.query(q).unwrap(), after);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.io.write_batches, 1);
+    assert_eq!(stats.io.write_cells, 2);
+
+    handle.shutdown();
+    assert!(handle.is_stopped());
+    // The batch survives a full server restart: the ack implied a
+    // durable checkpoint.
+    let db = Database::open(&path, 16 << 20).unwrap();
+    assert_eq!(db.sql(q, &["volume"]).unwrap(), after);
+    drop(db);
+    remove_db(&path);
 }

@@ -36,6 +36,10 @@ pub struct IoStats {
     result_cache_derived: AtomicU64,
     result_cache_evictions: AtomicU64,
     result_cache_invalidations: AtomicU64,
+    write_batches: AtomicU64,
+    write_cells: AtomicU64,
+    result_cache_patched: AtomicU64,
+    result_cache_fallbacks: AtomicU64,
 }
 
 impl Default for IoStats {
@@ -67,6 +71,10 @@ impl IoStats {
             result_cache_derived: AtomicU64::new(0),
             result_cache_evictions: AtomicU64::new(0),
             result_cache_invalidations: AtomicU64::new(0),
+            write_batches: AtomicU64::new(0),
+            write_cells: AtomicU64::new(0),
+            result_cache_patched: AtomicU64::new(0),
+            result_cache_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -201,6 +209,33 @@ impl IoStats {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one committed write batch.
+    #[inline]
+    pub fn write_batch(&self) {
+        self.write_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` cells mutated by committed write batches.
+    #[inline]
+    pub fn write_cells_add(&self, n: u64) {
+        self.write_cells.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a cached result cube patched in place by delta
+    /// maintenance (kept warm across a write).
+    #[inline]
+    pub fn result_cache_patch(&self) {
+        self.result_cache_patched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a cached result cube dropped by delta maintenance
+    /// because an aggregate could not be patched incrementally
+    /// (MIN/MAX shrinking update → lazy recompute on next lookup).
+    #[inline]
+    pub fn result_cache_fallback(&self) {
+        self.result_cache_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of the counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -221,6 +256,10 @@ impl IoStats {
             result_cache_derived: self.result_cache_derived.load(Ordering::Relaxed),
             result_cache_evictions: self.result_cache_evictions.load(Ordering::Relaxed),
             result_cache_invalidations: self.result_cache_invalidations.load(Ordering::Relaxed),
+            write_batches: self.write_batches.load(Ordering::Relaxed),
+            write_cells: self.write_cells.load(Ordering::Relaxed),
+            result_cache_patched: self.result_cache_patched.load(Ordering::Relaxed),
+            result_cache_fallbacks: self.result_cache_fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -244,6 +283,10 @@ impl IoStats {
         self.result_cache_derived.store(0, Ordering::Relaxed);
         self.result_cache_evictions.store(0, Ordering::Relaxed);
         self.result_cache_invalidations.store(0, Ordering::Relaxed);
+        self.write_batches.store(0, Ordering::Relaxed);
+        self.write_cells.store(0, Ordering::Relaxed);
+        self.result_cache_patched.store(0, Ordering::Relaxed);
+        self.result_cache_fallbacks.store(0, Ordering::Relaxed);
     }
 }
 
@@ -295,6 +338,15 @@ pub struct IoSnapshot {
     pub result_cache_evictions: u64,
     /// Cache-wide invalidations observed (writes / pool clears).
     pub result_cache_invalidations: u64,
+    /// Write batches committed through the batched write path.
+    pub write_batches: u64,
+    /// Cells mutated by committed write batches.
+    pub write_cells: u64,
+    /// Cached result cubes patched in place by delta maintenance.
+    pub result_cache_patched: u64,
+    /// Cached result cubes dropped by delta maintenance (unpatchable
+    /// aggregate → recompute on next lookup).
+    pub result_cache_fallbacks: u64,
 }
 
 impl IoSnapshot {
@@ -338,6 +390,14 @@ impl IoSnapshot {
             result_cache_invalidations: self
                 .result_cache_invalidations
                 .saturating_sub(earlier.result_cache_invalidations),
+            write_batches: self.write_batches.saturating_sub(earlier.write_batches),
+            write_cells: self.write_cells.saturating_sub(earlier.write_cells),
+            result_cache_patched: self
+                .result_cache_patched
+                .saturating_sub(earlier.result_cache_patched),
+            result_cache_fallbacks: self
+                .result_cache_fallbacks
+                .saturating_sub(earlier.result_cache_fallbacks),
         }
     }
 
@@ -413,6 +473,11 @@ mod tests {
         s.result_cache_derive();
         s.result_cache_evictions_add(4);
         s.result_cache_invalidation();
+        s.write_batch();
+        s.write_cells_add(5);
+        s.result_cache_patch();
+        s.result_cache_patch();
+        s.result_cache_fallback();
         let snap = s.snapshot();
         assert_eq!(snap.logical_reads, 2);
         assert_eq!(snap.physical_reads, 1);
@@ -432,6 +497,10 @@ mod tests {
         assert_eq!(snap.result_cache_derived, 1);
         assert_eq!(snap.result_cache_evictions, 4);
         assert_eq!(snap.result_cache_invalidations, 1);
+        assert_eq!(snap.write_batches, 1);
+        assert_eq!(snap.write_cells, 5);
+        assert_eq!(snap.result_cache_patched, 2);
+        assert_eq!(snap.result_cache_fallbacks, 1);
 
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());

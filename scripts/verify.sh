@@ -49,6 +49,10 @@ echo "==> bench_pr5 --smoke (result cache: exact hit >= 10x cold, subsumption >=
 cargo run -q --release --offline -p molap-bench --bin bench_pr5 -- \
   --smoke --out target/BENCH_PR5.smoke.json > /dev/null
 
+echo "==> bench_pr6 --smoke (writes: delta-maintained herd >= 3x invalidate-all)"
+cargo run -q --release --offline -p molap-bench --bin bench_pr6 -- \
+  --smoke --out target/BENCH_PR6.smoke.json > /dev/null
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
