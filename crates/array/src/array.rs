@@ -7,6 +7,7 @@
 //! LOB store's directory; [`ChunkedArray::meta_to_bytes`] persists it
 //! together with the shape.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use molap_storage::util::{read_u32, read_u64, write_u32, write_u64};
@@ -15,8 +16,27 @@ use molap_storage::{BufferPool, LobId, LobStore};
 use crate::cache::{shared_chunk_cache, ChunkCache, ChunkKey};
 use crate::chunk::{ChunkBuilder, CompressedChunk, DenseChunk};
 use crate::geometry::Shape;
-use crate::version::{shared_version_table, ChunkSnapshot, VersionTable};
+use crate::version::{shared_version_table, ChunkSnapshot, VersionKey, VersionTable};
 use crate::{lzw, ArrayError, Result};
+
+/// Allocates a fresh array uid: a counter mixed with the wall clock
+/// through a SplitMix64 finalizer. Uids key chunk-version pins
+/// ([`VersionKey`]), so they only need to be distinct among arrays
+/// whose pages share one buffer pool — including arrays persisted by an
+/// earlier process and reopened next to newly built ones, which is why
+/// a bare counter is not enough.
+fn next_array_uid() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut z = t.wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// On-disk representation of each chunk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -131,6 +151,16 @@ pub struct ChunkedArray {
     /// racing in-place writes; `None` only if the pool's extension
     /// slot was claimed by a foreign type.
     versions: Option<Arc<VersionTable>>,
+    /// Persistent array identity ([`next_array_uid`]); with the chunk
+    /// number it forms the [`VersionKey`] version pins are keyed by.
+    /// Travels through the meta blob so every handle of one array
+    /// agrees on it.
+    uid: u64,
+    /// Open writer ticket in the version table: set by the first
+    /// [`ChunkedArray::apply_chunk_writes`] of a batch, retired by
+    /// [`ChunkedArray::publish_writes`] /
+    /// [`ChunkedArray::rollback_writes`].
+    writer: Option<u64>,
 }
 
 impl ChunkedArray {
@@ -203,22 +233,23 @@ impl ChunkedArray {
     /// shielded by their provisional pins).
     pub fn read_chunk_at(&self, chunk_no: u64, snap: Option<&ChunkSnapshot>) -> Result<Arc<Chunk>> {
         let id = LobId(chunk_no as u32);
+        let vkey = self.version_key(chunk_no);
         if self.lobs.object_len(id)? == 0 {
             return Ok(Arc::new(self.empty_chunk()));
         }
-        let key = self.chunk_key(id)?;
-        if let Some(pinned) = self.resolve_version(&key, snap) {
+        if let Some(pinned) = self.resolve_version(vkey, snap) {
             return Ok(pinned);
         }
         let Some(cache) = self.cache.as_deref() else {
             let bytes = self.lobs.read(id)?;
             return match self.decode_chunk(&bytes) {
                 Ok(chunk) => Ok(self
-                    .resolve_version(&key, snap)
+                    .resolve_version(vkey, snap)
                     .unwrap_or_else(|| Arc::new(chunk))),
-                Err(e) => self.resolve_version(&key, snap).ok_or(e),
+                Err(e) => self.resolve_version(vkey, snap).ok_or(e),
             };
         };
+        let key = self.chunk_key(id)?;
         let pool = self.lobs.pool();
         let epoch = pool.epoch();
         if let Some(hit) = cache.get(&key, epoch) {
@@ -232,13 +263,13 @@ impl ChunkedArray {
             // in-place overwrite; the writer pinned the pre-image
             // before its first byte landed, so the version table
             // resolves it. No pin means real corruption.
-            Err(e) => return self.resolve_version(&key, snap).ok_or(e),
+            Err(e) => return self.resolve_version(vkey, snap).ok_or(e),
         };
-        // Re-check after decoding: if a writer pinned this key mid-read
-        // the bytes may be torn even though they parsed. Serve the
-        // pinned pre-image and keep the suspect decode out of the
-        // shared cache.
-        if let Some(pinned) = self.resolve_version(&key, snap) {
+        // Re-check after decoding: if a writer pinned this chunk
+        // mid-read the bytes may be torn even though they parsed.
+        // Serve the pinned pre-image and keep the suspect decode out
+        // of the shared cache.
+        if let Some(pinned) = self.resolve_version(vkey, snap) {
             return Ok(pinned);
         }
         let evicted = cache.insert(key, epoch, chunk.clone(), chunk.decoded_bytes());
@@ -249,10 +280,19 @@ impl ChunkedArray {
         Ok(chunk)
     }
 
+    /// The chunk's logical version-pin key: array uid + chunk number.
+    /// Stable across relocation, unlike [`ChunkedArray::chunk_key`].
+    fn version_key(&self, chunk_no: u64) -> VersionKey {
+        VersionKey {
+            array: self.uid,
+            chunk_no,
+        }
+    }
+
     /// Resolves `key` through the version table: at the snapshot's
     /// generation when one is given, at the current commit generation
     /// otherwise. `None` means the on-disk bytes are the right image.
-    fn resolve_version(&self, key: &ChunkKey, snap: Option<&ChunkSnapshot>) -> Option<Arc<Chunk>> {
+    fn resolve_version(&self, key: VersionKey, snap: Option<&ChunkSnapshot>) -> Option<Arc<Chunk>> {
         match snap {
             Some(s) => s.chunk(key),
             None => self
@@ -307,10 +347,11 @@ impl ChunkedArray {
         let Some(cache) = self.cache.as_deref() else {
             return self.read_chunk_at(chunk_no, snap);
         };
-        let key = self.chunk_key(id)?;
-        if let Some(pinned) = self.resolve_version(&key, snap) {
+        let vkey = self.version_key(chunk_no);
+        if let Some(pinned) = self.resolve_version(vkey, snap) {
             return Ok(pinned);
         }
+        let key = self.chunk_key(id)?;
         let pool = self.lobs.pool();
         let epoch = pool.epoch();
         if let Some(hit) = cache.get(&key, epoch) {
@@ -323,7 +364,7 @@ impl ChunkedArray {
         let chunk = match self.decode_chunk_prefetched(&scratch.bytes, &mut scratch.raw) {
             Ok(chunk) => chunk,
             Err(e) => {
-                if let Some(pinned) = self.resolve_version(&key, snap) {
+                if let Some(pinned) = self.resolve_version(vkey, snap) {
                     return Ok(pinned);
                 }
                 if bypassed {
@@ -337,7 +378,7 @@ impl ChunkedArray {
         let chunk = Arc::new(chunk);
         // Same post-decode re-check as `read_chunk_at`: a pin that
         // appeared mid-read means the bytes are suspect.
-        if let Some(pinned) = self.resolve_version(&key, snap) {
+        if let Some(pinned) = self.resolve_version(vkey, snap) {
             return Ok(pinned);
         }
         let evicted = cache.insert(key, epoch, chunk.clone(), chunk.decoded_bytes());
@@ -423,29 +464,57 @@ impl ChunkedArray {
 
     /// Writes (inserts or overwrites) the cell at `coords` — the ADT's
     /// Write function (§3.5). Rewrites the containing chunk's object
-    /// and publishes the write immediately (single-cell commit).
+    /// and publishes the write immediately (single-cell commit). A
+    /// failed rewrite restores the chunk's pre-image bytes (or poisons
+    /// the pool's write path if even that fails), so the cell never
+    /// stays half-applied.
     pub fn set(&mut self, coords: &[u32], values: &[i64]) -> Result<()> {
         let (chunk_no, offset) = self.shape.locate(coords)?;
-        self.apply_chunk_writes(chunk_no, &[(offset, values.to_vec())])?;
-        self.publish_writes();
-        Ok(())
+        let pre = self.read_chunk(chunk_no)?;
+        match self.apply_chunk_writes(chunk_no, &[(offset, values.to_vec())]) {
+            Ok(_) => {
+                self.publish_writes();
+                Ok(())
+            }
+            Err(e) => {
+                // The overwrite may have half-landed; `valid_cells` was
+                // not yet bumped, so the restore reverses zero inserts.
+                if self.restore_chunk(chunk_no, &pre, 0).is_ok() {
+                    self.rollback_writes();
+                } else {
+                    self.poison_writes();
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Applies a batch of cell edits to one chunk: decode once, pin the
-    /// pre-image in the pool's [`VersionTable`], rewrite the chunk's
-    /// object once. Returns the pre-write measures per edit (aligned
-    /// with `edits`; `None` for inserted cells).
+    /// pre-image in the pool's [`VersionTable`] under this handle's
+    /// writer ticket, rewrite the chunk's object once. Returns the
+    /// pre-write measures per edit (aligned with `edits`; `None` for
+    /// inserted cells).
     ///
     /// Offsets in `edits` must be unique (callers resolve duplicate
     /// writes last-wins before grouping by chunk). The write is **not
     /// published**: concurrent readers keep resolving this chunk to the
     /// pinned pre-image until [`ChunkedArray::publish_writes`], so a
     /// multi-chunk batch becomes visible as one atomic generation step.
+    ///
+    /// On error the chunk's bytes may be half-written (its pin keeps
+    /// shielding readers). The caller must either restore every applied
+    /// chunk ([`ChunkedArray::restore_chunk`]) and then
+    /// [`ChunkedArray::rollback_writes`], or
+    /// [`ChunkedArray::poison_writes`] — `molap-core`'s write engine
+    /// and [`ChunkedArray::set`] do exactly that.
     pub fn apply_chunk_writes(
         &mut self,
         chunk_no: u64,
         edits: &[(u32, Vec<i64>)],
     ) -> Result<Vec<Option<Vec<i64>>>> {
+        if self.versions.as_deref().is_some_and(|v| v.is_poisoned()) {
+            return Err(ArrayError::Poisoned);
+        }
         for (_, values) in edits {
             if values.len() != self.n_measures {
                 return Err(ArrayError::Geometry("measure arity mismatch".into()));
@@ -482,15 +551,17 @@ impl ChunkedArray {
         let bytes = self.encode_chunk(&new_chunk);
         let id = LobId(chunk_no as u32);
         // Order matters: pin the pre-image first (readers racing the
-        // overwrite resolve to it), then drop the cached decode (keyed
-        // by the object's disk location, which an in-place overwrite
-        // reuses), then write the bytes.
+        // overwrite resolve to it — even a fresh chunk pins its empty
+        // image so the insert stays invisible until publish), then drop
+        // the cached decode (keyed by the object's disk location, which
+        // an in-place overwrite reuses), then write the bytes.
+        if let Some(versions) = self.versions.clone() {
+            let writer = *self.writer.get_or_insert_with(|| versions.begin_write());
+            versions.pin_provisional(writer, self.version_key(chunk_no), Arc::clone(&chunk));
+        }
         if self.lobs.object_len(id)? != 0 {
-            let key = self.chunk_key(id)?;
-            if let Some(versions) = self.versions.as_deref() {
-                versions.pin_provisional(key, chunk);
-            }
             if let Some(cache) = self.cache.as_deref() {
+                let key = self.chunk_key(id)?;
                 cache.remove(&key);
             }
         }
@@ -499,12 +570,57 @@ impl ChunkedArray {
         Ok(olds)
     }
 
-    /// Publishes every write applied since the last publish: snapshots
-    /// opened from here on read the new bytes, older snapshots keep
-    /// their pinned pre-images (see [`VersionTable::commit_publish`]).
-    pub fn publish_writes(&self) {
+    /// Rewrites chunk `chunk_no` back to `pre` (a pre-image captured
+    /// before [`ChunkedArray::apply_chunk_writes`]) and reverses the
+    /// `cells_added` bump that apply recorded for it — the rollback
+    /// half of a failed batch. The chunk's provisional pin stays in
+    /// place while the bytes go back, so racing readers remain
+    /// shielded; the caller drops the pins afterwards with
+    /// [`ChunkedArray::rollback_writes`].
+    pub fn restore_chunk(&mut self, chunk_no: u64, pre: &Chunk, cells_added: u64) -> Result<()> {
+        let bytes = self.encode_chunk(pre);
+        let id = LobId(chunk_no as u32);
+        if self.lobs.object_len(id)? != 0 {
+            if let Some(cache) = self.cache.as_deref() {
+                let key = self.chunk_key(id)?;
+                cache.remove(&key);
+            }
+        }
+        self.lobs.overwrite(id, &bytes)?;
+        self.valid_cells -= cells_added;
+        Ok(())
+    }
+
+    /// Publishes every write applied since the last publish or
+    /// rollback: snapshots opened from here on read the new bytes,
+    /// older snapshots keep their pinned pre-images (see
+    /// [`VersionTable::commit_publish`]). No-op without an open writer
+    /// ticket.
+    pub fn publish_writes(&mut self) {
+        if let (Some(versions), Some(writer)) = (self.versions.as_deref(), self.writer.take()) {
+            versions.commit_publish(writer);
+        }
+    }
+
+    /// Drops the open writer ticket's provisional pins without
+    /// publishing. Only correct after every chunk the ticket touched
+    /// was restored to its pre-image (see
+    /// [`ChunkedArray::restore_chunk`]); otherwise use
+    /// [`ChunkedArray::poison_writes`].
+    pub fn rollback_writes(&mut self) {
+        if let (Some(versions), Some(writer)) = (self.versions.as_deref(), self.writer.take()) {
+            versions.rollback_writer(writer);
+        }
+    }
+
+    /// Poisons the pool's write path: a failed batch left chunk bytes
+    /// it could not restore. Later writes on any array of the pool
+    /// refuse with [`ArrayError::Poisoned`]; the failed batch's pins
+    /// are left in place so readers keep resolving consistent
+    /// pre-batch images.
+    pub fn poison_writes(&self) {
         if let Some(versions) = self.versions.as_deref() {
-            versions.commit_publish();
+            versions.poison();
         }
     }
 
@@ -622,16 +738,17 @@ impl ChunkedArray {
         builder.build(pool)
     }
 
-    /// Serializes shape + format + counters + chunk directory.
+    /// Serializes shape + format + uid + counters + chunk directory.
     pub fn meta_to_bytes(&self) -> Vec<u8> {
         let shape = self.shape.to_bytes();
         let dir = self.lobs.directory_to_bytes();
-        let mut out = vec![0u8; 24];
+        let mut out = vec![0u8; 32];
         write_u32(&mut out, 0, self.n_measures as u32);
         write_u32(&mut out, 4, self.format as u32);
         write_u64(&mut out, 8, self.valid_cells);
         write_u32(&mut out, 16, shape.len() as u32);
         write_u32(&mut out, 20, dir.len() as u32);
+        write_u64(&mut out, 24, self.uid);
         out.extend_from_slice(&shape);
         out.extend_from_slice(&dir);
         out
@@ -639,7 +756,7 @@ impl ChunkedArray {
 
     /// Inverse of [`ChunkedArray::meta_to_bytes`] over the same pool.
     pub fn from_meta_bytes(pool: Arc<BufferPool>, bytes: &[u8]) -> Result<Self> {
-        if bytes.len() < 24 {
+        if bytes.len() < 32 {
             return Err(ArrayError::Corrupt("array meta header"));
         }
         let n_measures = read_u32(bytes, 0) as usize;
@@ -647,14 +764,15 @@ impl ChunkedArray {
         let valid_cells = read_u64(bytes, 8);
         let shape_len = read_u32(bytes, 16) as usize;
         let dir_len = read_u32(bytes, 20) as usize;
-        if bytes.len() < 24 + shape_len + dir_len {
+        let uid = read_u64(bytes, 24);
+        if bytes.len() < 32 + shape_len + dir_len {
             return Err(ArrayError::Corrupt("array meta truncated"));
         }
-        let shape = Shape::from_bytes(&bytes[24..24 + shape_len])?;
+        let shape = Shape::from_bytes(&bytes[32..32 + shape_len])?;
         let cache = shared_chunk_cache(&pool);
         let versions = shared_version_table(&pool);
         let lobs =
-            LobStore::from_directory_bytes(pool, &bytes[24 + shape_len..24 + shape_len + dir_len])?;
+            LobStore::from_directory_bytes(pool, &bytes[32 + shape_len..32 + shape_len + dir_len])?;
         Ok(ChunkedArray {
             shape,
             n_measures,
@@ -663,6 +781,8 @@ impl ChunkedArray {
             valid_cells,
             cache,
             versions,
+            uid,
+            writer: None,
         })
     }
 }
@@ -782,6 +902,8 @@ impl ArrayBuilder {
             valid_cells,
             cache,
             versions,
+            uid: next_array_uid(),
+            writer: None,
         })
     }
 }

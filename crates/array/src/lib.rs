@@ -59,7 +59,7 @@ pub use cache::{shared_chunk_cache, ChunkCache, ChunkKey};
 pub use chunk::{ChunkBuilder, CompressedChunk, DenseChunk};
 pub use geometry::Shape;
 pub use prefetch::{ChunkPipeline, PrefetchConfig};
-pub use version::{shared_version_table, ChunkSnapshot, VersionTable};
+pub use version::{shared_version_table, ChunkSnapshot, VersionKey, VersionTable};
 
 /// Errors raised by array construction and access.
 #[derive(Debug)]
@@ -70,6 +70,10 @@ pub enum ArrayError {
     Geometry(String),
     /// A serialized chunk or directory could not be decoded.
     Corrupt(&'static str),
+    /// The pool's write path was poisoned by a failed batch whose
+    /// pre-images could not be restored (see
+    /// [`ChunkedArray::poison_writes`]); further writes are refused.
+    Poisoned,
 }
 
 impl std::fmt::Display for ArrayError {
@@ -78,6 +82,10 @@ impl std::fmt::Display for ArrayError {
             ArrayError::Storage(e) => write!(f, "array storage error: {e}"),
             ArrayError::Geometry(msg) => write!(f, "array geometry error: {msg}"),
             ArrayError::Corrupt(what) => write!(f, "corrupt array data: {what}"),
+            ArrayError::Poisoned => write!(
+                f,
+                "array write path poisoned: a failed batch could not be rolled back"
+            ),
         }
     }
 }

@@ -88,16 +88,15 @@ struct CatalogState {
 }
 
 /// A persistent store of named OLAP objects.
+///
+/// Write-batch commits serialize on the *pool's* commit mutex (the
+/// version table's commit section, DESIGN.md §8) rather than a
+/// database-local lock, so batches issued through the write engine
+/// directly (`apply_batch` on an open [`OlapArray`]) and through
+/// [`Database::write_batch`] exclude each other too.
 pub struct Database {
     pool: Arc<BufferPool>,
     catalog: Mutex<CatalogState>,
-    /// Serializes write-batch commits ([`Database::write_batch`]):
-    /// exactly one batch at a time runs apply → checkpoint → catalog
-    /// flip, so two writers can never interleave their WAL/flush
-    /// windows. Readers never take it. The field name `commit` is its
-    /// workspace lock-order rank (DESIGN.md §8); `catalog` and the
-    /// storage ranks nest inside it.
-    commit: Mutex<()>,
 }
 
 impl Database {
@@ -126,7 +125,6 @@ impl Database {
                 objects: BTreeMap::new(),
                 dirty: false,
             }),
-            commit: Mutex::new(()),
         })
     }
 
@@ -175,7 +173,6 @@ impl Database {
                 objects,
                 dirty: false,
             }),
-            commit: Mutex::new(()),
         })
     }
 
@@ -269,6 +266,16 @@ impl Database {
     /// previous one is not reclaimed, so checkpoint-heavy workloads
     /// grow the file by the catalog's size per checkpoint.
     pub fn checkpoint(&self) -> Result<()> {
+        // A poisoned write path means some array chunks hold a torn,
+        // unrestorable batch prefix; persisting them would make the
+        // corruption durable.
+        if let Some(versions) = molap_array::shared_version_table(&self.pool) {
+            if versions.is_poisoned() {
+                return Err(Error::Data(
+                    "write path poisoned by a failed rollback; refusing checkpoint".into(),
+                ));
+            }
+        }
         let blob = {
             let cat = self.catalog.lock();
             let mut blob = Vec::new();
@@ -312,37 +319,49 @@ impl Database {
     /// Commits a [`crate::WriteBatch`] against the cataloged
     /// [`OlapArray`] `name`, durably:
     ///
-    /// 1. the batch applies through the write engine (pre-image
-    ///    pinning keeps concurrent scans consistent, cached result
-    ///    cubes are delta-patched);
+    /// 1. the batch **stages** through the write engine: every touched
+    ///    chunk is rewritten behind its pinned pre-image, so concurrent
+    ///    scans keep reading the pre-batch state;
     /// 2. the array's metadata (chunk directory, valid-cell count) is
     ///    re-cataloged;
     /// 3. one [`Database::checkpoint`] makes data + catalog durable —
     ///    WAL-journaled, so a crash after the log sync replays to
     ///    exactly the committed state, and a crash before it loses the
     ///    batch *wholesale* (the shadow root still points at the
-    ///    pre-batch catalog; no torn prefix is possible).
+    ///    pre-batch catalog; no torn prefix is possible);
+    /// 4. only then is the batch **published** to readers (and cached
+    ///    result cubes delta-patched). Durability strictly precedes
+    ///    visibility: no reader can observe a batch a crash could still
+    ///    take back. A checkpoint failure rolls the staged batch back
+    ///    and re-catalogs the restored metadata.
     ///
-    /// Batches from concurrent callers serialize on the `commit` lock;
-    /// readers are never blocked.
+    /// Batches from concurrent callers serialize on the pool's commit
+    /// section; readers are never blocked.
     pub fn write_batch(
         &self,
         name: &str,
         batch: &crate::WriteBatch,
     ) -> Result<crate::WriteReceipt> {
-        let _commit = self.commit.lock();
+        if batch.is_empty() {
+            return Ok(crate::WriteReceipt::default());
+        }
+        let versions = molap_array::shared_version_table(&self.pool);
+        let _commit = versions.as_deref().map(|v| v.commit_section());
         let mut adt = self.open_olap_array(name)?;
-        // Non-durable apply: visibility now, durability from the single
-        // checkpoint below (avoids double-flushing every page).
-        let receipt = crate::write::apply_cells(
+        let pending = crate::write::stage_cells(
             &mut adt,
             batch.rows(),
-            false,
             crate::write::CubeMaintenance::Delta,
         )?;
         self.save_olap_array(name, &adt)?;
-        self.checkpoint()?;
-        Ok(receipt)
+        if let Err(e) = self.checkpoint() {
+            pending.rollback(&mut adt);
+            // Re-catalog the restored (pre-batch-equivalent) metadata so
+            // a later checkpoint persists the rolled-back state.
+            let _ = self.save_olap_array(name, &adt);
+            return Err(e);
+        }
+        pending.publish(&mut adt)
     }
 
     /// Runs a SQL consolidation statement against a cataloged object.
@@ -635,6 +654,35 @@ mod tests {
         assert_eq!(adt.get_by_keys(&[0, 0])?, Some(vec![77]));
         assert_eq!(adt.get_by_keys(&[2, 2])?, Some(vec![5]));
         assert_eq!(adt.valid_cells(), 5);
+        std::fs::remove_file(&path)?;
+        let _ = std::fs::remove_file(wal_path(&path));
+        Ok(())
+    }
+
+    #[test]
+    fn poisoned_pool_refuses_checkpoints_and_batches() -> TestResult {
+        let path = temp_path("poison");
+        let db = Database::create(&path, 1 << 20)?;
+        let adt = OlapArray::build(
+            db.pool().clone(),
+            dims()?,
+            &[2, 2],
+            ChunkFormat::ChunkOffset,
+            cells(),
+            1,
+        )?;
+        db.save_olap_array("sales", &adt)?;
+        db.checkpoint()?;
+
+        adt.array().poison_writes();
+        assert!(db.checkpoint().is_err(), "checkpoint must refuse");
+        let mut batch = crate::WriteBatch::new();
+        batch.set(&[0, 0], &[1]);
+        assert!(db.write_batch("sales", &batch).is_err(), "writes refuse");
+        // Reads keep working off the last good state.
+        assert_eq!(adt.get_by_keys(&[0, 0])?, Some(vec![10]));
+
+        drop(db);
         std::fs::remove_file(&path)?;
         let _ = std::fs::remove_file(wal_path(&path));
         Ok(())

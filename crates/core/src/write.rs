@@ -3,25 +3,35 @@
 //! The paper evaluates a read-only array store; this module is the
 //! ROADMAP's step toward a live serving system. A [`WriteBatch`]
 //! collects `set_by_keys`-style cell mutations and [`apply_batch`]
-//! commits them as one unit:
+//! commits them as one unit. Commits on one pool serialize on the
+//! version table's commit mutex (`VersionTable::commit_section`), so
+//! two batches can never interleave their apply/WAL/flush windows:
 //!
 //! 1. **validate** — every key vector resolves through the key B-trees
 //!    and every value vector matches the measure arity *before* any
 //!    byte changes, so a malformed batch is rejected wholesale;
-//! 2. **apply** — mutations are grouped by chunk (last write to a cell
-//!    wins) and applied through
+//! 2. **stage** ([`stage_cells`]) — mutations are grouped by chunk
+//!    (last write to a cell wins) and applied through
 //!    `ChunkedArray::apply_chunk_writes`, which pins each chunk's
-//!    decoded pre-image in the pool's `VersionTable` before the first
-//!    overwritten byte, keeping concurrent scans consistent;
+//!    decoded pre-image in the pool's `VersionTable` (keyed by the
+//!    array's uid + chunk number, stable across relocation) before the
+//!    first overwritten byte, keeping concurrent scans consistent. If
+//!    any chunk fails mid-batch, every chunk already applied is
+//!    **rolled back** to its pinned pre-image and the batch's pins are
+//!    dropped — no torn prefix survives to the next publish or
+//!    checkpoint. If even the rollback fails, the pool's write path is
+//!    poisoned: later writes and checkpoints refuse, and the orphaned
+//!    pins keep shielding readers;
 //! 3. **checkpoint** — `BufferPool::checkpoint` journals every dirty
 //!    page to the WAL, syncs the log, writes the data pages, syncs
 //!    them, and truncates the log (log → sync → apply → checkpoint).
 //!    A crash before the WAL sync loses the whole batch; after it, WAL
 //!    replay on the next `Database` open completes the batch — never a
-//!    torn prefix;
-//! 4. **publish** — the version table's commit generation advances, so
-//!    new snapshots read the batch and old snapshots keep their pinned
-//!    pre-images;
+//!    torn prefix. A checkpoint *error* rolls the staged batch back;
+//! 4. **publish** ([`PendingCells::publish`]) — only after durability:
+//!    the version table's commit generation advances, so new snapshots
+//!    read the batch and old snapshots keep their pinned pre-images.
+//!    No reader can ever observe a state a crash would roll back;
 //! 5. **maintain** — each cell delta is routed through the same
 //!    IndexToIndex remaps the consolidation kernels use and patched
 //!    into every affected cached [`crate::ResultCube`]
@@ -35,7 +45,9 @@
 use crate::adt::OlapArray;
 use crate::error::{Error, Result};
 use crate::rescache;
+use molap_array::{shared_version_table, Chunk};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One committed cell mutation, in array coordinates: `old` is the
 /// cell's pre-batch measures (`None` for a fresh cell), `new` what the
@@ -124,21 +136,84 @@ pub fn apply_batch_with(
     apply_cells(adt, batch.rows(), true, maintenance)
 }
 
-/// The shared write engine: validates, groups by chunk, applies with
-/// pre-image pinning, optionally checkpoints for durability, publishes
-/// to snapshot readers, and maintains the result cache.
-/// `OlapArray::set_by_keys` calls this with `durable = false` (its
-/// historical contract: the mutation lives in the pool until the next
-/// checkpoint).
-pub(crate) fn apply_cells(
+/// A chunk [`stage_cells`] already rewrote, with everything needed to
+/// reverse it: the decoded pre-image and how many cells the rewrite
+/// inserted.
+struct AppliedChunk {
+    chunk_no: u64,
+    pre: Arc<Chunk>,
+    cells_added: u64,
+}
+
+/// A staged-but-unpublished batch: every chunk is rewritten and pinned,
+/// nothing is visible to readers yet. Exactly one of
+/// [`PendingCells::publish`] / [`PendingCells::rollback`] must follow —
+/// publish after the batch is durable, rollback when durability failed.
+pub(crate) struct PendingCells {
+    session: Option<rescache::PatchSession>,
+    maintenance: CubeMaintenance,
+    deltas: Vec<CellDelta>,
+    applied: Vec<AppliedChunk>,
+}
+
+impl PendingCells {
+    /// Makes the staged batch visible — version-table publish first,
+    /// then result-cube maintenance — and returns the receipt.
+    pub(crate) fn publish(self, adt: &mut OlapArray) -> Result<WriteReceipt> {
+        adt.array_mut().publish_writes();
+        let (cubes_patched, cubes_dropped) = match (self.session, self.maintenance) {
+            (Some(session), _) => session.commit(adt, &self.deltas)?,
+            (None, CubeMaintenance::InvalidateAll) => {
+                rescache::invalidate_writes(adt.pool());
+                (0, 0)
+            }
+            (None, CubeMaintenance::Delta) => (0, 0), // no cache on this pool
+        };
+        let stats = adt.pool().stats();
+        stats.write_batch();
+        stats.write_cells_add(self.deltas.len() as u64);
+        Ok(WriteReceipt {
+            cells_written: self.deltas.len() as u64,
+            cubes_patched,
+            cubes_dropped,
+        })
+    }
+
+    /// Restores every staged chunk to its pre-image and drops the
+    /// batch's pins; readers never see any of it. If a restore fails,
+    /// the pool's write path is poisoned instead (the pins stay,
+    /// shielding readers; writes and checkpoints refuse from then on).
+    pub(crate) fn rollback(self, adt: &mut OlapArray) {
+        let mut restored = true;
+        for chunk in &self.applied {
+            if adt
+                .array_mut()
+                .restore_chunk(chunk.chunk_no, &chunk.pre, chunk.cells_added)
+                .is_err()
+            {
+                restored = false;
+            }
+        }
+        if restored {
+            adt.array_mut().rollback_writes();
+        } else {
+            adt.array().poison_writes();
+        }
+        // The abandoned PatchSession drops here: the cache entries it
+        // snapshotted still describe the (restored) array state.
+    }
+}
+
+/// Validates and applies `rows` to the array without publishing:
+/// readers keep resolving every touched chunk to its pinned pre-image.
+/// A mid-batch failure rolls back internally and returns the error; a
+/// success hands back a [`PendingCells`] the caller must publish (after
+/// making the batch durable) or roll back.
+pub(crate) fn stage_cells(
     adt: &mut OlapArray,
     rows: &[(Vec<i64>, Vec<i64>)],
-    durable: bool,
     maintenance: CubeMaintenance,
-) -> Result<WriteReceipt> {
-    if rows.is_empty() {
-        return Ok(WriteReceipt::default());
-    }
+) -> Result<PendingCells> {
     // Captured before any mutation: the OnceLock freezes the pre-write
     // fingerprint, which is what readers key cache entries by.
     let array_id = adt.identity_hash();
@@ -176,46 +251,82 @@ pub(crate) fn apply_cells(
         CubeMaintenance::InvalidateAll => None,
     };
 
-    let mut deltas: Vec<CellDelta> = Vec::new();
+    let mut pending = PendingCells {
+        session,
+        maintenance,
+        deltas: Vec::new(),
+        applied: Vec::new(),
+    };
     for (chunk_no, cells) in by_chunk {
         let edits: Vec<(u32, Vec<i64>)> = cells
             .iter()
             .map(|(&off, (_, values))| (off, values.clone()))
             .collect();
-        let olds = adt.array_mut().apply_chunk_writes(chunk_no, &edits)?;
-        for ((_, (coords, values)), old) in cells.into_iter().zip(olds) {
-            deltas.push(CellDelta {
-                coords,
-                old,
-                new: values,
-            });
+        // The pre-image, captured for rollback before the rewrite. A
+        // cache hit in the common case (apply re-reads it right after).
+        let pre = match adt.array().read_chunk(chunk_no) {
+            Ok(pre) => pre,
+            Err(e) => {
+                pending.rollback(adt);
+                return Err(e.into());
+            }
+        };
+        match adt.array_mut().apply_chunk_writes(chunk_no, &edits) {
+            Ok(olds) => {
+                let cells_added = olds.iter().filter(|o| o.is_none()).count() as u64;
+                pending.applied.push(AppliedChunk {
+                    chunk_no,
+                    pre,
+                    cells_added,
+                });
+                for ((_, (coords, values)), old) in cells.into_iter().zip(olds) {
+                    pending.deltas.push(CellDelta {
+                        coords,
+                        old,
+                        new: values,
+                    });
+                }
+            }
+            Err(e) => {
+                // The failing chunk may be half-written (`valid_cells`
+                // untouched): restore it along with the earlier ones.
+                pending.applied.push(AppliedChunk {
+                    chunk_no,
+                    pre,
+                    cells_added: 0,
+                });
+                pending.rollback(adt);
+                return Err(e.into());
+            }
         }
     }
+    Ok(pending)
+}
 
-    // Durability before visibility: once the checkpoint returns, the
-    // batch survives a crash; only then is it published to readers.
+/// The shared write engine: stages under the pool's commit section,
+/// optionally checkpoints for durability (rolling back on failure), and
+/// publishes. `OlapArray::set_by_keys` calls this with `durable =
+/// false` (its historical contract: the mutation becomes visible
+/// immediately and lives in the pool until the next checkpoint).
+pub(crate) fn apply_cells(
+    adt: &mut OlapArray,
+    rows: &[(Vec<i64>, Vec<i64>)],
+    durable: bool,
+    maintenance: CubeMaintenance,
+) -> Result<WriteReceipt> {
+    if rows.is_empty() {
+        return Ok(WriteReceipt::default());
+    }
+    let versions = shared_version_table(adt.pool());
+    let _commit = versions.as_deref().map(|v| v.commit_section());
+    let pending = stage_cells(adt, rows, maintenance)?;
     if durable {
-        adt.pool().checkpoint()?;
-    }
-    adt.array().publish_writes();
-
-    let (cubes_patched, cubes_dropped) = match (session, maintenance) {
-        (Some(session), _) => session.commit(adt, &deltas)?,
-        (None, CubeMaintenance::InvalidateAll) => {
-            rescache::invalidate_writes(adt.pool());
-            (0, 0)
+        if let Err(e) = adt.pool().checkpoint() {
+            pending.rollback(adt);
+            return Err(e.into());
         }
-        (None, CubeMaintenance::Delta) => (0, 0), // no cache on this pool
-    };
-
-    let stats = adt.pool().stats();
-    stats.write_batch();
-    stats.write_cells_add(deltas.len() as u64);
-    Ok(WriteReceipt {
-        cells_written: deltas.len() as u64,
-        cubes_patched,
-        cubes_dropped,
-    })
+    }
+    pending.publish(adt)
 }
 
 #[cfg(test)]
@@ -323,6 +434,65 @@ mod tests {
             crate::consolidate_auto(&adt, &q).unwrap(),
             adt.consolidate(&q).unwrap()
         );
+    }
+
+    #[test]
+    fn staged_batch_is_invisible_until_published() {
+        let mut adt = build();
+        // Stage overwrites to the first and last chunks without
+        // publishing.
+        let rows = vec![(vec![0i64, 0], vec![-1i64]), (vec![7, 3], vec![-2])];
+        let pending = stage_cells(&mut adt, &rows, CubeMaintenance::Delta).unwrap();
+        // The bytes are rewritten, but every read resolves the staged
+        // chunks to their pinned pre-images — even through the
+        // writer's own handle.
+        assert_eq!(adt.get_by_keys(&[0, 0]).unwrap(), Some(vec![0]));
+        assert_eq!(adt.get_by_keys(&[7, 3]).unwrap(), Some(vec![703]));
+        let receipt = pending.publish(&mut adt).unwrap();
+        assert_eq!(receipt.cells_written, 2);
+        assert_eq!(adt.get_by_keys(&[0, 0]).unwrap(), Some(vec![-1]));
+        assert_eq!(adt.get_by_keys(&[7, 3]).unwrap(), Some(vec![-2]));
+    }
+
+    #[test]
+    fn rollback_restores_pre_images_and_frees_pins() {
+        let mut adt = build();
+        let q = Query::new(vec![DimGrouping::Drop, DimGrouping::Drop]);
+        let before = adt.consolidate(&q).unwrap();
+        let valid_before = adt.array().valid_cells();
+
+        let rows = vec![(vec![0i64, 0], vec![999_999i64]), (vec![7, 3], vec![-5])];
+        let pending = stage_cells(&mut adt, &rows, CubeMaintenance::Delta).unwrap();
+        pending.rollback(&mut adt);
+
+        // Cell values, totals, and the valid-cell count are all back.
+        assert_eq!(adt.get_by_keys(&[0, 0]).unwrap(), Some(vec![0]));
+        assert_eq!(adt.get_by_keys(&[7, 3]).unwrap(), Some(vec![703]));
+        assert_eq!(adt.consolidate(&q).unwrap(), before);
+        assert_eq!(adt.array().valid_cells(), valid_before);
+        // The batch's pins were dropped, not leaked.
+        let vt = shared_version_table(adt.pool()).unwrap();
+        assert_eq!(vt.pinned_versions(), 0);
+        // And the write path is healthy: a fresh batch commits.
+        let mut batch = WriteBatch::new();
+        batch.set(&[1, 1], &[77]);
+        apply_batch(&mut adt, &batch).unwrap();
+        assert_eq!(adt.get_by_keys(&[1, 1]).unwrap(), Some(vec![77]));
+    }
+
+    #[test]
+    fn poisoned_pool_refuses_further_batches() {
+        let mut adt = build();
+        adt.array().poison_writes();
+        let mut batch = WriteBatch::new();
+        batch.set(&[0, 0], &[1]);
+        let err = apply_batch(&mut adt, &batch).unwrap_err();
+        assert!(
+            err.to_string().contains("poisoned"),
+            "unexpected error: {err}"
+        );
+        // Reads still work, shielded by whatever pins remain.
+        assert_eq!(adt.get_by_keys(&[0, 0]).unwrap(), Some(vec![0]));
     }
 
     #[test]

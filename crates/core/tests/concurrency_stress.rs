@@ -264,3 +264,160 @@ fn writer_vs_pipelined_readers_see_only_batch_boundaries() {
     wal.push(".wal");
     let _ = std::fs::remove_file(wal);
 }
+
+/// The relocation variant of the writer-vs-readers race, over
+/// [`ChunkFormat::ChunkOffset`]. Every batch *inserts* a previously
+/// empty cell into chunk 0, so its encoded length grows and
+/// `LobStore::overwrite` must relocate the chunk to a fresh extent —
+/// the case where version pins keyed by storage location silently
+/// stopped shielding anything (the pinned pre-image lived at the old
+/// location while readers resolved the new one). With pins keyed by
+/// logical chunk identity, readers reopening the array mid-batch must
+/// still land on batch-boundary totals. The same batch also rewrites
+/// the last cell in place, so each commit mixes a relocating and an
+/// in-place overwrite.
+#[test]
+fn chunkoffset_relocating_writes_vs_reopening_readers() {
+    use molap_core::{consolidate_pipelined, AggValue, PrefetchPlan, WriteBatch};
+    use std::sync::Barrier;
+
+    const BATCHES: i64 = 10;
+    const READERS: usize = 4;
+    const READS: usize = 20;
+
+    // One fresh coordinate per batch, all inside chunk 0 (x, y < 4):
+    // inserting it grows chunk 0's valid-cell count and forces the
+    // overwrite to relocate.
+    const INSERTS: [[i64; 2]; BATCHES as usize] = [
+        [1, 1],
+        [1, 2],
+        [1, 3],
+        [2, 1],
+        [2, 2],
+        [2, 3],
+        [3, 1],
+        [3, 2],
+        [3, 3],
+        [2, 0],
+    ];
+
+    let path = temp_path("reloc");
+    let db = Arc::new(Database::create(&path, 1 << 20).unwrap());
+    let dims = vec![
+        DimensionTable::build(
+            "store",
+            &(0..16i64).collect::<Vec<_>>(),
+            vec![("region", (0..16i64).map(|k| k / 4).collect())],
+        )
+        .unwrap(),
+        DimensionTable::build(
+            "product",
+            &(0..8i64).collect::<Vec<_>>(),
+            vec![("ptype", (0..8i64).map(|k| k % 2).collect())],
+        )
+        .unwrap(),
+    ];
+    // Start with every cell valid *except* the reserved insert slots.
+    let cells: Vec<(Vec<i64>, Vec<i64>)> = (0..16i64)
+        .flat_map(|x| (0..8i64).map(move |y| (vec![x, y], vec![x * 8 + y])))
+        .filter(|(k, _)| !INSERTS.contains(&[k[0], k[1]]))
+        .collect();
+    let base_sum: i64 = cells.iter().map(|(_, v)| v[0]).sum();
+    let adt = OlapArray::build(
+        db.pool().clone(),
+        dims,
+        &[4, 4],
+        ChunkFormat::ChunkOffset,
+        cells,
+        1,
+    )
+    .unwrap();
+    db.save_olap_array("rsales", &adt).unwrap();
+    db.checkpoint().unwrap();
+
+    // Batch r sets [0,0] (originally 0) to r*100_000, [15,7]
+    // (originally 127) to r*100_000 + 7, and inserts INSERTS[r-1]
+    // with value r*1_000; boundary r carries all inserts up to r.
+    let valid: std::collections::HashSet<i64> = (0..=BATCHES)
+        .map(|r| {
+            if r == 0 {
+                base_sum
+            } else {
+                base_sum - 127 + 2 * r * 100_000 + 7 + 1_000 * r * (r + 1) / 2
+            }
+        })
+        .collect();
+    assert_eq!(valid.len(), BATCHES as usize + 1);
+
+    let q = Query::new(vec![DimGrouping::Drop, DimGrouping::Drop]);
+    let barrier = Arc::new(Barrier::new(READERS + 1));
+
+    let writer = {
+        let db = db.clone();
+        let barrier = barrier.clone();
+        std::thread::spawn(move || {
+            barrier.wait();
+            for r in 1..=BATCHES {
+                let mut batch = WriteBatch::new();
+                batch.set(&[0, 0], &[r * 100_000]);
+                batch.set(&[15, 7], &[r * 100_000 + 7]);
+                batch.set(&INSERTS[(r - 1) as usize], &[r * 1_000]);
+                let receipt = db.write_batch("rsales", &batch).unwrap();
+                assert_eq!(receipt.cells_written, 3);
+            }
+        })
+    };
+    let readers: Vec<_> = (0..READERS)
+        .map(|t| {
+            let db = db.clone();
+            let q = q.clone();
+            let valid = valid.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..READS {
+                    // Reopen per read, as sessions do: a handle's chunk
+                    // directory is frozen at open, so only a fresh open
+                    // observes relocated chunks. An open that races a
+                    // batch mid-commit picks up staged directory
+                    // entries, and the snapshot-pinned scan below must
+                    // resolve those chunks back to the pre-batch
+                    // images via their logical version pins.
+                    let adt = db.open_olap_array("rsales").unwrap();
+                    let got = consolidate_pipelined(&adt, &q, 2, PrefetchPlan::new(2, 4)).unwrap();
+                    let sum = match got.rows()[0].values[0] {
+                        AggValue::Int(v) => v,
+                        ref other => panic!("unexpected aggregate {other:?}"),
+                    };
+                    assert!(
+                        valid.contains(&sum),
+                        "reader {t} round {i} tore a scan: total {sum} is not \
+                         at any batch boundary"
+                    );
+                }
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    for h in readers {
+        h.join().unwrap();
+    }
+
+    // Quiesced: a fresh handle sees the final batch exactly.
+    let adt = db.open_olap_array("rsales").unwrap();
+    let final_sum = match adt.consolidate(&q).unwrap().rows()[0].values[0] {
+        AggValue::Int(v) => v,
+        ref other => panic!("unexpected aggregate {other:?}"),
+    };
+    assert_eq!(
+        final_sum,
+        base_sum - 127 + 2 * BATCHES * 100_000 + 7 + 1_000 * BATCHES * (BATCHES + 1) / 2
+    );
+    assert_eq!(adt.array().valid_cells(), 16 * 8);
+
+    drop(db);
+    let _ = std::fs::remove_file(&path);
+    let mut wal = path.into_os_string();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(wal);
+}

@@ -24,8 +24,10 @@ use crate::Finding;
 /// The workspace's declared lock order, outermost (acquire first) to
 /// innermost. Field names are unambiguous across the workspace:
 /// `inflight`/`queue`/`sessions`/`supervisor` (server: coalescing
-/// table, then admission queue), `commit` (core: one write batch at a
-/// time), `catalog` (core), `generations` (result cache: per-array
+/// table, then admission queue), `commit` (array: the version table's
+/// one-write-batch-at-a-time commit section, taken via
+/// `VersionTable::commit_section` by the core write paths),
+/// `catalog` (core), `generations` (result cache: per-array
 /// write generations), `results` (result-cube cache shard), `chunks`
 /// (decoded-chunk cache shard), `versions` (chunk version table:
 /// pinned pre-images for snapshot reads), `dir`/`pack` (LOB store),
