@@ -348,19 +348,23 @@ impl Database {
         let versions = molap_array::shared_version_table(&self.pool);
         let _commit = versions.as_deref().map(|v| v.commit_section());
         let mut adt = self.open_olap_array(name)?;
+        // lint:allow(lock-io): the commit section deliberately spans stage → checkpoint → publish so readers never observe a half-applied batch (DESIGN.md §9)
         let pending = crate::write::stage_cells(
             &mut adt,
             batch.rows(),
             crate::write::CubeMaintenance::Delta,
         )?;
         self.save_olap_array(name, &adt)?;
+        // lint:allow(lock-io): the durable checkpoint is the point of the commit section — it must complete before publish makes the batch visible (DESIGN.md §9)
         if let Err(e) = self.checkpoint() {
+            // lint:allow(lock-io): rollback restores overwritten bytes and must stay inside the commit section that covered the failed checkpoint (DESIGN.md §9)
             pending.rollback(&mut adt);
             // Re-catalog the restored (pre-batch-equivalent) metadata so
             // a later checkpoint persists the rolled-back state.
             let _ = self.save_olap_array(name, &adt);
             return Err(e);
         }
+        // lint:allow(lock-io): publish flips versions (and write-dates delta cubes) under the same commit section that checkpointed them (DESIGN.md §9)
         pending.publish(&mut adt)
     }
 

@@ -41,6 +41,31 @@
 //!
 //! [`CubeMaintenance::InvalidateAll`] preserves the old flush-the-world
 //! behavior for comparison benchmarks and tests.
+//!
+//! # Commit protocol spec
+//!
+//! `molap-lint`'s `protocol-order` rule enforces the ordering above
+//! from this table (the same module-doc-as-spec pattern the wire
+//! protocol uses): in every `scope` file, a durable checkpoint must
+//! dominate each publish effect, and no ack may be constructed before
+//! the checkpoint. `primitive` rows name the single-step protocol
+//! implementations that are exempt themselves but whose callers must
+//! bracket them correctly.
+//!
+//! | role | token |
+//! |------|-------|
+//! | scope | `crates/core/src/write.rs` |
+//! | scope | `crates/core/src/catalog.rs` |
+//! | scope | `crates/server/src/server.rs` |
+//! | checkpoint-fn | `checkpoint` |
+//! | publish-fn | `publish` |
+//! | publish-fn | `publish_writes` |
+//! | publish-fn | `commit_publish` |
+//! | primitive | `publish` |
+//! | primitive | `publish_writes` |
+//! | primitive | `commit_publish` |
+//! | ack-marker | `Response::WriteAck` |
+//! | ack-marker | `WriteReceipt {` |
 
 use crate::adt::OlapArray;
 use crate::error::{Error, Result};
@@ -319,13 +344,17 @@ pub(crate) fn apply_cells(
     }
     let versions = shared_version_table(adt.pool());
     let _commit = versions.as_deref().map(|v| v.commit_section());
+    // lint:allow(lock-io): the commit section deliberately spans stage → checkpoint → publish so readers never observe a half-applied batch (DESIGN.md §9)
     let pending = stage_cells(adt, rows, maintenance)?;
     if durable {
+        // lint:allow(lock-io): the durable checkpoint is the point of the commit section — it must complete before publish makes the batch visible (DESIGN.md §9)
         if let Err(e) = adt.pool().checkpoint() {
+            // lint:allow(lock-io): rollback restores overwritten bytes and must stay inside the commit section that covered the failed checkpoint (DESIGN.md §9)
             pending.rollback(adt);
             return Err(e.into());
         }
     }
+    // lint:allow(lock-io): publish flips versions (and write-dates delta cubes) under the same commit section that checkpointed them (DESIGN.md §9)
     pending.publish(adt)
 }
 

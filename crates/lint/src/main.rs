@@ -4,15 +4,26 @@
 //! molap-lint --check <root> [--json]
 //! ```
 //!
-//! Lints every `.rs` file under `<root>` (skipping `target/`, `.git/`,
-//! and lint corpus directories) and prints findings as
-//! `path:line: [rule] message`, or as one JSON object per line with
-//! `--json`. Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+//! Lints every `.rs` file (plus `DESIGN.md`) under `<root>` (skipping
+//! `target/`, `.git/`, and lint corpus directories) and prints findings
+//! as `path:line: [rule] message`. With `--json` it prints one JSON
+//! document with the findings (stable-sorted by path, line, rule, so
+//! diffs are reproducible), per-rule counts, call-graph statistics
+//! (functions, edges, fixpoint iterations), and wall time:
+//!
+//! ```text
+//! {"findings":[…],"counts":{"lock-io":2},
+//!  "callgraph":{"functions":310,"edges":612,"fixpoint_iterations":4},
+//!  "wall_ms":18}
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,25 +54,53 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let findings = match molap_lint::lint_workspace(&root) {
-        Ok(f) => f,
+    let started = Instant::now();
+    let report = match molap_lint::lint_workspace_with(&root, &molap_lint::Options::default()) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("molap-lint: cannot read {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
-    for finding in &findings {
-        if json {
-            println!("{}", finding.to_json());
-        } else {
+    let wall_ms = started.elapsed().as_millis();
+    let findings = &report.findings;
+
+    if json {
+        let objects: Vec<String> = findings.iter().map(|f| f.to_json()).collect();
+        let counts: Vec<String> = molap_lint::rule_counts(findings)
+            .iter()
+            .map(|(rule, n)| format!("\"{rule}\":{n}"))
+            .collect();
+        println!(
+            "{{\"findings\":[{}],\"counts\":{{{}}},\"callgraph\":{{\"functions\":{},\
+             \"edges\":{},\"fixpoint_iterations\":{}}},\"wall_ms\":{}}}",
+            objects.join(","),
+            counts.join(","),
+            report.stats.functions,
+            report.stats.edges,
+            report.stats.fixpoint_iterations,
+            wall_ms
+        );
+    } else {
+        for finding in findings {
             println!("{finding}");
         }
     }
+    let s = report.stats;
     if findings.is_empty() {
-        eprintln!("molap-lint: clean");
+        eprintln!(
+            "molap-lint: clean ({} fns, {} edges, {} fixpoint iters, {wall_ms} ms)",
+            s.functions, s.edges, s.fixpoint_iterations
+        );
         ExitCode::SUCCESS
     } else {
-        eprintln!("molap-lint: {} finding(s)", findings.len());
+        eprintln!(
+            "molap-lint: {} finding(s) ({} fns, {} edges, {} fixpoint iters, {wall_ms} ms)",
+            findings.len(),
+            s.functions,
+            s.edges,
+            s.fixpoint_iterations
+        );
         ExitCode::FAILURE
     }
 }

@@ -1,0 +1,121 @@
+//! `doc-drift` — cross-checks the DESIGN.md §8 lock table against
+//! [`DECLARED_ORDER`](crate::rules::lock::DECLARED_ORDER), the same
+//! doc-table pattern `wire-spec` uses for the protocol spec. The table
+//! is the human contract (rank, lock, what it protects); the const is
+//! what the `lock-order` rule and the runtime tracker enforce. If a
+//! rank is added, renamed, or reordered in one place but not the
+//! other, the lint fails instead of letting them diverge silently.
+//!
+//! Scope: files named `DESIGN.md`. The parser finds the first markdown
+//! table whose header starts with `| rank | lock` and reads the first
+//! two columns of each row; the row order must match `DECLARED_ORDER`
+//! exactly and the rank column must count 1..=N.
+
+use crate::rules::lock::DECLARED_ORDER;
+use crate::source::SourceFile;
+use crate::Finding;
+
+fn in_scope(path: &str) -> bool {
+    path == "DESIGN.md" || path.ends_with("/DESIGN.md")
+}
+
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if !in_scope(&file.path) {
+        return;
+    }
+    // Markdown, so work on the raw text, not the rust-lexed views.
+    let lines: Vec<&str> = file.raw.lines().collect();
+    let Some(header) = lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("| rank | lock"))
+    else {
+        findings.push(Finding {
+            path: file.path.clone(),
+            line: 1,
+            rule: "doc-drift".into(),
+            message: format!(
+                "no `| rank | lock …` table found; DESIGN.md must document all {} declared \
+                 lock ranks",
+                DECLARED_ORDER.len()
+            ),
+        });
+        return;
+    };
+
+    let mut rows: Vec<(usize, String, String)> = Vec::new(); // (line, rank cell, lock name)
+    for (off, l) in lines[header + 1..].iter().enumerate() {
+        let t = l.trim_start();
+        if !t.starts_with('|') {
+            break;
+        }
+        let cells: Vec<&str> = t.split('|').map(str::trim).collect();
+        if cells.len() < 3 || cells[1].starts_with('-') {
+            continue; // separator row
+        }
+        rows.push((
+            header + 1 + off + 1,
+            cells[1].to_string(),
+            cells[2].trim_matches('`').to_string(),
+        ));
+    }
+
+    for (i, (line, rank_cell, lock)) in rows.iter().enumerate() {
+        match DECLARED_ORDER.get(i) {
+            Some(expected) => {
+                if lock != expected {
+                    findings.push(Finding {
+                        path: file.path.clone(),
+                        line: *line,
+                        rule: "doc-drift".into(),
+                        message: format!(
+                            "lock table row {} names `{}` but `DECLARED_ORDER[{}]` is \
+                             `{}`; the table and the const must agree",
+                            i + 1,
+                            lock,
+                            i,
+                            expected
+                        ),
+                    });
+                }
+                if rank_cell.parse::<usize>() != Ok(i + 1) {
+                    findings.push(Finding {
+                        path: file.path.clone(),
+                        line: *line,
+                        rule: "doc-drift".into(),
+                        message: format!(
+                            "lock table rank column says `{}` where row {} is expected",
+                            rank_cell,
+                            i + 1
+                        ),
+                    });
+                }
+            }
+            None => {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: *line,
+                    rule: "doc-drift".into(),
+                    message: format!(
+                        "lock table lists `{}` beyond the {} ranks in `DECLARED_ORDER`",
+                        lock,
+                        DECLARED_ORDER.len()
+                    ),
+                });
+            }
+        }
+    }
+    if rows.len() < DECLARED_ORDER.len() {
+        findings.push(Finding {
+            path: file.path.clone(),
+            line: header + 1,
+            rule: "doc-drift".into(),
+            message: format!(
+                "lock table lists {} locks but `DECLARED_ORDER` declares {}; first missing: \
+                 `{}`",
+                rows.len(),
+                DECLARED_ORDER.len(),
+                DECLARED_ORDER[rows.len()]
+            ),
+        });
+    }
+}

@@ -1,23 +1,36 @@
-//! Lock discipline, two rules:
+//! Lock discipline, three rules, all interprocedural since PR 7:
 //!
 //! * `lock-io` — a lock guard held across file/socket I/O turns one
 //!   slow disk or one stalled peer into a pile-up of blocked threads.
-//!   Flagged lexically: a `let`/`for`/`match`/`if let` binding of
-//!   `<field>.lock()`/`.read()`/`.write()` is considered live until
-//!   its enclosing block closes (or an explicit `drop(<name>)`), and
-//!   any I/O marker inside the live span is a finding. Deliberate
-//!   latch-coupled write-back sites carry reasoned `lint:allow`
-//!   pragmas.
+//!   Flagged when an I/O marker sits inside a live guard span, *or*
+//!   when a call made inside the span reaches I/O through any chain of
+//!   callees (the finding prints the chain). Deliberate latch-coupled
+//!   write-back sites carry reasoned `lint:allow` pragmas, which also
+//!   stop the effect from propagating to callers.
 //! * `lock-order` — acquisitions must respect [`DECLARED_ORDER`]
 //!   (outermost first); acquiring an earlier-ranked lock while a
-//!   later-ranked guard is live is an inversion that can deadlock
-//!   against a thread locking in the declared order. The runtime
-//!   counterpart is the `parking_lot` shim's `lock-order-tracking`
-//!   feature.
+//!   later-ranked guard is live — directly or through a callee — is an
+//!   inversion that can deadlock against a thread locking in the
+//!   declared order. The runtime counterpart is the `parking_lot`
+//!   shim's `lock-order-tracking` feature.
+//! * `lock-blocking` — parking the thread (condvar wait, join, channel
+//!   recv) while any guard is held stalls every waiter on that lock;
+//!   worse, the wakeup path may need the held lock. The one exemption
+//!   is the guard handed to the wait itself (`cv.wait(&mut g)` releases
+//!   `g` while parked). The runtime counterpart panics in the shim's
+//!   `lock-order-tracking` feature.
+//!
+//! Guard liveness is lexical: a `let`/`for`/`match` binding of
+//! `<field>.lock()`/`.read()`/`.write()` is live until its enclosing
+//! block closes (or an explicit `drop(<name>)`); a guard immediately
+//! method-chained (`m.lock().take()`) is statement-temporary. A call to
+//! a function whose signature returns a `…Guard…` type and whose body
+//! acquires a ranked lock (e.g. `VersionTable::commit_section`) makes
+//! the caller's `let` binding a live guard on that lock.
 //!
 //! Scope: non-test code under `crates/*/src`.
 
-use crate::rules::ident_ending_at;
+use crate::model::{Effect, Model, Unit};
 use crate::source::SourceFile;
 use crate::Finding;
 
@@ -33,6 +46,9 @@ use crate::Finding;
 /// pinned pre-images for snapshot reads), `dir`/`pack` (LOB store),
 /// `state`/`data` (buffer pool: shard state, then per-frame latch),
 /// `pages` (MemDisk backing store).
+///
+/// The DESIGN.md §8 lock table is cross-checked against this const by
+/// the `doc-drift` rule; the two cannot silently diverge.
 pub const DECLARED_ORDER: &[&str] = &[
     "inflight",
     "queue",
@@ -52,28 +68,9 @@ pub const DECLARED_ORDER: &[&str] = &[
     "pages",
 ];
 
-const IO_MARKERS: &[&str] = &[
-    ".write_all(",
-    ".read_exact(",
-    ".flush(",
-    ".sync_all(",
-    ".sync_data(",
-    ".set_len(",
-    ".shutdown(",
-    ".accept()",
-    "File::open",
-    "File::create",
-    "OpenOptions",
-    "TcpStream::connect",
-    "read_frame(",
-    "write_frame(",
-    ".write_page(",
-    ".read_page(",
-    ".read_pages(",
-    ".log_page(",
-    ".allocate_contiguous(",
-    "std::fs::",
-];
+pub(crate) fn rank(lock: &str) -> Option<usize> {
+    DECLARED_ORDER.iter().position(|&l| l == lock)
+}
 
 fn in_scope(path: &str) -> bool {
     path.starts_with("crates/") && path.contains("/src/")
@@ -91,30 +88,27 @@ struct LiveGuard {
     min_depth: i32,
 }
 
-/// Runs both lock rules over one file.
-pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
-    if !in_scope(&file.path) {
-        return;
+/// Runs the lock rules over every unit of the model.
+pub fn check_model(model: &Model<'_>, findings: &mut Vec<Finding>) {
+    for unit in &model.units {
+        let file = &model.files[unit.file];
+        if !in_scope(&file.path) {
+            continue;
+        }
+        check_unit(model, unit, file, findings);
     }
-    let lines = file.scrubbed_lines();
+}
+
+fn check_unit(model: &Model<'_>, unit: &Unit, file: &SourceFile, findings: &mut Vec<Finding>) {
     let mut depth = 0i32;
     let mut live: Vec<LiveGuard> = Vec::new();
 
-    for (idx, line) in lines.iter().enumerate() {
-        let lineno = idx + 1;
-        if file.is_test_line(lineno) {
-            // Keep depth bookkeeping but skip analysis inside tests.
-            depth += brace_delta(line);
-            live.retain(|g| depth >= g.min_depth);
-            continue;
-        }
+    for lf in &unit.lines {
+        let lineno = lf.line;
 
-        let acquisitions = find_acquisitions(line);
-
-        // lock-order: every acquisition is checked against guards
-        // already live (including same-line earlier ones — handled by
-        // insertion order below).
-        for acq in &acquisitions {
+        // lock-order, direct: every acquisition is checked against
+        // guards already live.
+        for acq in &lf.acquisitions {
             if let Some(new_rank) = rank(&acq.lock) {
                 for g in &live {
                     if let Some(held_rank) = rank(&g.lock) {
@@ -135,46 +129,145 @@ pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
             }
         }
 
-        // lock-io: I/O markers while any guard is live. The guard may
-        // also be acquired on this same line (`for … in x.lock()…`).
-        let has_live_before = !live.is_empty();
-        let acquired_holding = !acquisitions.iter().all(|a| a.temporary);
-        if has_live_before || acquired_holding {
-            for marker in IO_MARKERS {
-                if line.contains(marker) {
-                    let holder = live
-                        .first()
-                        .map(|g| format!("`{}` (line {})", g.lock, g.line))
-                        .unwrap_or_else(|| {
-                            acquisitions
-                                .first()
-                                .map(|a| format!("`{}` (this line)", a.lock))
-                                .unwrap_or_default()
-                        });
-                    findings.push(Finding {
-                        path: file.path.clone(),
-                        line: lineno,
-                        rule: "lock-io".into(),
-                        message: format!(
-                            "I/O call `{}` while lock guard {} is held; move the I/O outside \
-                             the critical section",
-                            marker.trim_matches(|c| c == '.' || c == '('),
-                            holder
-                        ),
-                    });
+        // Interprocedural: effects reachable through calls made on this
+        // line, checked against the guards live around the call.
+        if model.interprocedural {
+            for call in &lf.calls {
+                for &j in model.callees(call) {
+                    let callee = &model.units[j];
+                    for effect in callee.summary.keys() {
+                        match effect {
+                            Effect::Acquire(lock) => {
+                                let Some(new_rank) = rank(lock) else {
+                                    continue;
+                                };
+                                for g in &live {
+                                    let Some(held_rank) = rank(&g.lock) else {
+                                        continue;
+                                    };
+                                    if new_rank < held_rank {
+                                        findings.push(Finding {
+                                            path: file.path.clone(),
+                                            line: lineno,
+                                            rule: "lock-order".into(),
+                                            message: format!(
+                                                "acquiring `{}` via {} while holding `{}` \
+                                                 (line {}) inverts the declared lock order \
+                                                 ({} before {})",
+                                                lock,
+                                                model.chain(j, effect),
+                                                g.lock,
+                                                g.line,
+                                                lock,
+                                                g.lock
+                                            ),
+                                        });
+                                    }
+                                }
+                            }
+                            Effect::Io(marker) => {
+                                if let Some(g) = live.first() {
+                                    findings.push(Finding {
+                                        path: file.path.clone(),
+                                        line: lineno,
+                                        rule: "lock-io".into(),
+                                        message: format!(
+                                            "I/O (`{}`) reached via {} while lock guard `{}` \
+                                             (line {}) is held; move the call outside the \
+                                             critical section",
+                                            trim_marker(marker),
+                                            model.chain(j, effect),
+                                            g.lock,
+                                            g.line
+                                        ),
+                                    });
+                                }
+                            }
+                            Effect::Blocking(marker) => {
+                                if let Some(g) = live.first() {
+                                    findings.push(Finding {
+                                        path: file.path.clone(),
+                                        line: lineno,
+                                        rule: "lock-blocking".into(),
+                                        message: format!(
+                                            "blocking op (`{}`) reached via {} while lock guard \
+                                             `{}` (line {}) is held; a parked thread must not \
+                                             pin a lock",
+                                            trim_marker(marker),
+                                            model.chain(j, effect),
+                                            g.lock,
+                                            g.line
+                                        ),
+                                    });
+                                }
+                            }
+                            Effect::Checkpoint | Effect::Publish => {}
+                        }
+                    }
                 }
+            }
+        }
+
+        // lock-io, direct: I/O markers while any guard is live. The
+        // guard may also be acquired on this same line
+        // (`for … in x.lock()…`).
+        let has_live_before = !live.is_empty();
+        let acquired_holding = !lf.acquisitions.iter().all(|a| a.temporary);
+        if has_live_before || acquired_holding {
+            for marker in &lf.io {
+                let holder = live
+                    .first()
+                    .map(|g| format!("`{}` (line {})", g.lock, g.line))
+                    .unwrap_or_else(|| {
+                        lf.acquisitions
+                            .first()
+                            .map(|a| format!("`{}` (this line)", a.lock))
+                            .unwrap_or_default()
+                    });
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: lineno,
+                    rule: "lock-io".into(),
+                    message: format!(
+                        "I/O call `{}` while lock guard {} is held; move the I/O outside \
+                         the critical section",
+                        trim_marker(marker),
+                        holder
+                    ),
+                });
+            }
+        }
+
+        // lock-blocking, direct: a blocking op while a guard other
+        // than the waited-on one is live.
+        for op in &lf.blocking {
+            let offending = live
+                .iter()
+                .find(|g| g.binding.as_deref() != op.waived.as_deref() || op.waived.is_none());
+            if let Some(g) = offending {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: lineno,
+                    rule: "lock-blocking".into(),
+                    message: format!(
+                        "blocking op `{}` while lock guard `{}` (line {}) is held; a parked \
+                         thread must not pin a lock",
+                        trim_marker(op.marker),
+                        g.lock,
+                        g.line
+                    ),
+                });
             }
         }
 
         // Update liveness *after* analysis: a temporary dies with its
         // statement, a held binding lives until its block closes.
-        let delta = brace_delta(line);
-        depth += delta;
-        for acq in acquisitions {
+        depth += lf.brace_delta;
+        for acq in &lf.acquisitions {
             if !acq.temporary {
                 live.push(LiveGuard {
-                    lock: acq.lock,
-                    binding: acq.binding,
+                    lock: acq.lock.clone(),
+                    binding: acq.binding.clone(),
                     line: lineno,
                     // A `for`/`match` header that opened a brace owns
                     // the guard for that block; a `let` owns it for
@@ -183,94 +276,34 @@ pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
                 });
             }
         }
+        // A `let` binding of a guard-returning call is a live guard on
+        // the lock that call acquires (`commit_section()`).
+        if model.interprocedural {
+            if let Some(binding) = &lf.binding {
+                if binding != "_" {
+                    for call in &lf.calls {
+                        for &j in model.callees(call) {
+                            if let Some(lock) = &model.units[j].returns_guard {
+                                live.push(LiveGuard {
+                                    lock: lock.clone(),
+                                    binding: Some(binding.clone()),
+                                    line: lineno,
+                                    min_depth: depth,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
         // Explicit drops.
-        if let Some(dropped) = dropped_binding(line) {
-            live.retain(|g| g.binding.as_deref() != Some(dropped));
+        if let Some(dropped) = &lf.dropped {
+            live.retain(|g| g.binding.as_deref() != Some(dropped.as_str()));
         }
         live.retain(|g| depth >= g.min_depth);
     }
 }
 
-fn rank(lock: &str) -> Option<usize> {
-    DECLARED_ORDER.iter().position(|&l| l == lock)
-}
-
-struct Acquisition {
-    lock: String,
-    binding: Option<String>,
-    /// Statement-temporary: the guard cannot outlive this line.
-    temporary: bool,
-}
-
-/// Finds `<ident>.lock()` / `.read()` / `.write()` acquisitions on a
-/// scrubbed line and classifies how long the guard lives.
-fn find_acquisitions(line: &str) -> Vec<Acquisition> {
-    let mut out = Vec::new();
-    let trimmed = line.trim_start();
-    let is_binding = trimmed.starts_with("let ")
-        || trimmed.starts_with("if let ")
-        || trimmed.starts_with("while let ");
-    let is_header = trimmed.starts_with("for ")
-        || trimmed.starts_with("match ")
-        || line.contains("for (")
-        || line.contains(" in ");
-    for method in [".lock()", ".read()", ".write()"] {
-        let mut from = 0usize;
-        while let Some(rel) = line[from..].find(method) {
-            let at = from + rel;
-            from = at + method.len();
-            let lock = ident_ending_at(line, at).to_string();
-            if lock.is_empty() {
-                continue;
-            }
-            let binding = if is_binding {
-                binding_name(trimmed)
-            } else {
-                None
-            };
-            // `let _ = …` drops immediately; a bare expression
-            // statement (`x.lock().insert(…)`) is a temporary unless
-            // it is a `for`/`match` header, whose temporary lives for
-            // the whole block.
-            let temporary = if is_binding {
-                binding.as_deref() == Some("_")
-            } else {
-                !is_header
-            };
-            out.push(Acquisition {
-                lock,
-                binding,
-                temporary,
-            });
-        }
-    }
-    out
-}
-
-/// `let [mut] <name> = …` → the bound name, if it is a plain ident.
-fn binding_name(trimmed: &str) -> Option<String> {
-    let rest = trimmed
-        .strip_prefix("let ")
-        .or_else(|| trimmed.strip_prefix("if let "))
-        .or_else(|| trimmed.strip_prefix("while let "))?;
-    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
-    let name: String = rest
-        .chars()
-        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-        .collect();
-    (!name.is_empty()).then_some(name)
-}
-
-fn dropped_binding(line: &str) -> Option<&str> {
-    let at = line.find("drop(")?;
-    let rest = &line[at + 5..];
-    let end = rest.find(')')?;
-    let name = rest[..end].trim();
-    name.chars()
-        .all(|c| c.is_ascii_alphanumeric() || c == '_')
-        .then_some(name)
-}
-
-fn brace_delta(line: &str) -> i32 {
-    line.matches('{').count() as i32 - line.matches('}').count() as i32
+fn trim_marker(marker: &str) -> &str {
+    marker.trim_matches(|c| c == '.' || c == '(' || c == ')')
 }

@@ -1,7 +1,9 @@
 //! The rule implementations.
 
+pub mod doc_drift;
 pub mod lock;
 pub mod panic_free;
+pub mod protocol;
 pub mod unsafe_inv;
 pub mod wire_spec;
 

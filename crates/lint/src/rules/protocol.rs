@@ -1,0 +1,251 @@
+//! `protocol-order` — static enforcement of the durable commit
+//! protocol from DESIGN.md §9: *durability strictly precedes
+//! visibility*. On any path that reaches a publish (making staged
+//! writes visible to readers), a durable checkpoint effect (WAL sync +
+//! truncate) must dominate it, and no client acknowledgment may be
+//! constructed before the checkpoint — otherwise a crash between ack
+//! and sync forgets a write the client was told succeeded.
+//!
+//! The rule is configured by a module-doc table, the same pattern
+//! `wire-spec` uses, so the protocol vocabulary lives next to the code
+//! it describes (in `crates/core/src/write.rs`):
+//!
+//! ```text
+//! //! # Commit protocol spec
+//! //!
+//! //! | role | token |
+//! //! |------|-------|
+//! //! | scope | `crates/core/src/write.rs` |
+//! //! | checkpoint-fn | `checkpoint` |
+//! //! | publish-fn | `publish_writes` |
+//! //! | primitive | `publish_writes` |
+//! //! | ack-marker | `Response::WriteAck` |
+//! ```
+//!
+//! Roles:
+//! * `scope` — exact file paths whose functions the rule checks.
+//! * `checkpoint-fn` — a call with this name is a durable checkpoint
+//!   effect; so is a call to any function whose propagated summary
+//!   carries [`Effect::Checkpoint`].
+//! * `publish-fn` — a call with this name is a publish effect; a
+//!   function *named* this is treated as the publish implementation.
+//! * `primitive` — functions (by name) that implement one protocol
+//!   step and are therefore exempt from the whole-protocol check; a
+//!   primitive's *callers* must still bracket it correctly.
+//! * `ack-marker` — a token whose appearance on a line constructs a
+//!   client-visible success response.
+//!
+//! Detection is a two-phase computation that stays monotone (so the
+//! fixpoint terminates): phase 1 is the model's ordinary effect
+//! propagation, which fixes every function's `Checkpoint` effect set;
+//! phase 2 then computes *publish exposure* — a function is exposed
+//! when, walking its body in line order, a publish effect (direct
+//! `publish-fn` call or call to an exposed callee) appears before any
+//! checkpoint effect. Exposure only ever grows given the fixed
+//! checkpoint sets. A protocol-complete callee (checkpoint internally
+//! precedes its publish) is *not* exposed and contributes a checkpoint
+//! effect at its callsite instead.
+
+use std::collections::BTreeSet;
+
+use crate::model::{Effect, Model};
+use crate::Finding;
+
+/// Parsed `# Commit protocol spec` module-doc table(s).
+pub struct ProtocolSpec {
+    pub scope: BTreeSet<String>,
+    pub checkpoint_fns: BTreeSet<String>,
+    pub publish_fns: BTreeSet<String>,
+    pub primitives: BTreeSet<String>,
+    pub ack_markers: Vec<String>,
+}
+
+/// Scans every file's comments for `# Commit protocol spec` tables and
+/// merges them. Returns `None` when no spec exists (the rule is then
+/// inert — corpus runs without a spec file stay clean).
+pub fn parse_spec(files: &[crate::source::SourceFile]) -> Option<ProtocolSpec> {
+    let mut spec = ProtocolSpec {
+        scope: BTreeSet::new(),
+        checkpoint_fns: BTreeSet::new(),
+        publish_fns: BTreeSet::new(),
+        primitives: BTreeSet::new(),
+        ack_markers: Vec::new(),
+    };
+    let mut any = false;
+    for file in files {
+        if file.path.ends_with(".md") {
+            continue;
+        }
+        let mut in_table = false;
+        for comment in &file.comments {
+            let text = comment
+                .trim_start()
+                .trim_start_matches('/')
+                .trim_start_matches('!')
+                .trim();
+            if text.contains("# Commit protocol spec") {
+                in_table = true;
+                continue;
+            }
+            if !in_table {
+                continue;
+            }
+            if text.starts_with("# ") {
+                in_table = false; // next doc section
+                continue;
+            }
+            if !text.starts_with('|') {
+                continue;
+            }
+            let cells: Vec<&str> = text.split('|').map(str::trim).collect();
+            if cells.len() < 3 {
+                continue;
+            }
+            let role = cells[1];
+            let token = cells[2].trim_matches('`').to_string();
+            if role == "role" || role.starts_with('-') || token.is_empty() {
+                continue;
+            }
+            any = true;
+            match role {
+                "scope" => {
+                    spec.scope.insert(token);
+                }
+                "checkpoint-fn" => {
+                    spec.checkpoint_fns.insert(token);
+                }
+                "publish-fn" => {
+                    spec.publish_fns.insert(token);
+                }
+                "primitive" => {
+                    spec.primitives.insert(token);
+                }
+                "ack-marker" if !spec.ack_markers.contains(&token) => {
+                    spec.ack_markers.push(token);
+                }
+                _ => {}
+            }
+        }
+    }
+    any.then_some(spec)
+}
+
+/// Does this line carry a checkpoint effect: a direct `checkpoint-fn`
+/// call, or a call to a function whose summary checkpoints.
+fn checkpoint_event(model: &Model<'_>, spec: &ProtocolSpec, lf: &crate::model::LineFacts) -> bool {
+    lf.calls.iter().any(|c| {
+        spec.checkpoint_fns.contains(c)
+            || model
+                .callees(c)
+                .iter()
+                .any(|&j| model.units[j].summary.contains_key(&Effect::Checkpoint))
+    })
+}
+
+pub fn check(model: &Model<'_>, spec: &ProtocolSpec, findings: &mut Vec<Finding>) {
+    let n = model.units.len();
+    // Phase 2: publish exposure, iterated to its own fixpoint over the
+    // (already fixed) checkpoint effects. Seeds: the publish
+    // implementations themselves.
+    let mut exposed = vec![false; n];
+    let mut exposed_at: Vec<Option<(usize, String)>> = vec![None; n];
+    for (i, u) in model.units.iter().enumerate() {
+        if spec.publish_fns.contains(&u.name) {
+            exposed[i] = true;
+        }
+    }
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if exposed[i] {
+                continue;
+            }
+            let unit = &model.units[i];
+            let mut checkpointed = false;
+            for lf in &unit.lines {
+                if checkpoint_event(model, spec, lf) {
+                    checkpointed = true;
+                }
+                if checkpointed {
+                    continue;
+                }
+                let publish_cause = lf.calls.iter().find(|c| {
+                    spec.publish_fns.contains(*c) || model.callees(c).iter().any(|&j| exposed[j])
+                });
+                if let Some(cause) = publish_cause {
+                    exposed[i] = true;
+                    exposed_at[i] = Some((lf.line, cause.clone()));
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for (i, unit) in model.units.iter().enumerate() {
+        let file = &model.files[unit.file];
+        if !spec.scope.contains(&file.path) || unit.spawn_unit {
+            continue;
+        }
+        let primitive = spec.primitives.contains(&unit.name);
+
+        // Publish not dominated by a checkpoint.
+        if exposed[i] && !primitive {
+            if let Some((line, cause)) = &exposed_at[i] {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: *line,
+                    rule: "protocol-order".into(),
+                    message: format!(
+                        "publish effect (`{cause}`) is not dominated by a durable checkpoint \
+                         on this path; checkpoint before publishing (DESIGN.md §9: durability \
+                         precedes visibility)"
+                    ),
+                });
+            }
+        }
+
+        // Ack construction reachable before the first checkpoint.
+        if primitive {
+            continue;
+        }
+        let has_protocol = exposed[i]
+            || unit.summary.contains_key(&Effect::Checkpoint)
+            || unit.summary.contains_key(&Effect::Publish);
+        if !has_protocol {
+            continue;
+        }
+        let first_checkpoint = unit
+            .lines
+            .iter()
+            .find(|lf| checkpoint_event(model, spec, lf))
+            .map(|lf| lf.line)
+            .unwrap_or(usize::MAX);
+        let scrubbed = file.scrubbed_lines();
+        for lf in &unit.lines {
+            if lf.line >= first_checkpoint {
+                break;
+            }
+            let Some(text) = scrubbed.get(lf.line - 1) else {
+                continue;
+            };
+            for marker in &spec.ack_markers {
+                if text.contains(marker.as_str()) {
+                    findings.push(Finding {
+                        path: file.path.clone(),
+                        line: lf.line,
+                        rule: "protocol-order".into(),
+                        message: format!(
+                            "ack (`{marker}`) constructed before the durable checkpoint; a \
+                             crash after replying would forget an acknowledged write \
+                             (DESIGN.md §9)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -408,6 +408,16 @@ fn parse_pragmas(comments: &[String], scrubbed: &str) -> Vec<Pragma> {
                 break;
             };
             let rule = comment[start..start + close].trim().to_string();
+            // Rule names are kebab-case idents; anything else (e.g.
+            // the `<rule>` placeholder in docs that *describe* the
+            // pragma syntax) is not a pragma.
+            if rule.is_empty()
+                || !rule
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+            {
+                continue;
+            }
             let rest = &comment[start + close + 1..];
             let has_reason = rest
                 .strip_prefix(':')

@@ -1,0 +1,47 @@
+//@ path: crates/server/src/corpus_interproc.rs
+//! Corpus: violations hidden one call deep. Every tilde-annotated case
+//! in this file needs call-graph propagation to find — the
+//! `interprocedural_findings_require_propagation` test asserts they
+//! all vanish when propagation is turned off, proving the old
+//! intraprocedural engine misses them.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub queue: Mutex<Vec<u32>>,
+    pub sessions: Mutex<Vec<u32>>,
+}
+
+fn grab_queue(s: &Shared) -> usize {
+    let g = s.queue.lock();
+    g.len()
+}
+
+pub fn abba_through_helper(s: &Shared) -> usize {
+    let _outer = s.sessions.lock();
+    grab_queue(s) //~ lock-order
+}
+
+fn log_line(out: &mut std::net::TcpStream) {
+    out.write_all(b"tick").ok();
+}
+
+pub fn io_one_call_deep(s: &Shared, out: &mut std::net::TcpStream) {
+    let _g = s.queue.lock();
+    log_line(out); //~ lock-io
+}
+
+fn wait_for_worker(worker: std::thread::JoinHandle<()>) {
+    worker.join().ok();
+}
+
+pub fn blocking_one_call_deep(s: &Shared, worker: std::thread::JoinHandle<()>) {
+    let _g = s.sessions.lock();
+    wait_for_worker(worker); //~ lock-blocking
+}
+
+pub fn stale_allow(s: &Shared) -> usize {
+    // lint:allow(lock-io): nothing below does I/O anymore — kept to prove stale detection //~ lint-pragma
+    s.queue.lock().len()
+}

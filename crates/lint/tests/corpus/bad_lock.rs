@@ -37,3 +37,21 @@ pub fn allowed_io(s: &Shared, out: &mut std::net::TcpStream) {
     out.write_all(b"x").ok();
     drop(guard);
 }
+
+pub fn join_under_lock(s: &Shared, worker: std::thread::JoinHandle<()>) {
+    let _g = s.sessions.lock();
+    worker.join().ok(); //~ lock-blocking
+}
+
+pub fn recv_under_lock(s: &Shared, rx: &std::sync::mpsc::Receiver<u32>) {
+    let _g = s.queue.lock();
+    rx.recv().ok(); //~ lock-blocking
+}
+
+pub fn waived_wait_is_fine(s: &Shared, cv: &std::sync::Condvar) {
+    // The waited-on guard itself is exempt: the wait releases it.
+    let mut q = s.queue.lock();
+    while q.is_empty() {
+        cv.wait(&mut q);
+    }
+}

@@ -1,0 +1,52 @@
+//@ path: crates/core/src/corpus_protocol.rs
+//! Corpus: commit-protocol ordering violations. The spec table below
+//! scopes the `protocol-order` rule to this file only, mirroring the
+//! real table in `crates/core/src/write.rs`.
+//!
+//! # Commit protocol spec
+//!
+//! | role | token |
+//! |------|-------|
+//! | scope | `crates/core/src/corpus_protocol.rs` |
+//! | checkpoint-fn | `checkpoint` |
+//! | publish-fn | `publish` |
+//! | primitive | `publish` |
+//! | ack-marker | `Response::WriteAck` |
+
+pub struct Store;
+
+pub enum Response {
+    WriteAck { cells: usize },
+}
+
+impl Store {
+    pub fn checkpoint(&self) -> Result<(), ()> {
+        Ok(())
+    }
+
+    pub fn publish(&self) -> usize {
+        1
+    }
+
+    /// Checkpoint dominates the publish: protocol-complete, clean.
+    pub fn good_commit(&self) -> Result<usize, ()> {
+        self.checkpoint()?;
+        Ok(self.publish())
+    }
+
+    /// Publishes before any durable checkpoint on the path.
+    pub fn bad_commit(&self) -> Result<usize, ()> {
+        let n = self.publish(); //~ protocol-order
+        self.checkpoint()?;
+        Ok(n)
+    }
+
+    /// Builds the client ack before the checkpoint: a crash after the
+    /// reply would forget an acknowledged write.
+    pub fn bad_ack(&self) -> Result<Response, ()> {
+        let ack = Response::WriteAck { cells: 1 }; //~ protocol-order
+        self.checkpoint()?;
+        self.publish();
+        Ok(ack)
+    }
+}

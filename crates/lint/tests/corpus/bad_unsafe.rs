@@ -11,6 +11,10 @@ pub fn with_safety(p: *const u8) -> u8 {
     unsafe { *p }
 }
 
+/// The escape hatch: a reasoned allow suppresses the finding even
+/// though no SAFETY justification is in sight. (These doc lines also
+/// push the neighboring justification comment out of the lookback
+/// window, so the pragma demonstrably earns its keep.)
 pub fn allowed_unsafe(p: *const u8) -> u8 {
     // lint:allow(unsafe-inventory): corpus demonstrates the escape hatch
     unsafe { *p }

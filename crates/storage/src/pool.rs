@@ -397,6 +397,7 @@ impl BufferPool {
                     }
                 }
             }
+            // lint:allow(lock-io): the journal sync belongs to the same latch-coupled flush batch as the log_page writes above
             wal.sync()?;
         }
         for frame in &self.frames {
@@ -427,6 +428,7 @@ impl BufferPool {
             let mut fd = frame.data.write();
             if fd.dirty {
                 if let Some(pid) = fd.pid {
+                    // lint:allow(lock-io): clear() holds every shard lock by design so no fault can remap a frame mid-write-back
                     self.write_back(pid, &fd.buf, true)?;
                 }
             }
@@ -532,6 +534,7 @@ impl BufferPool {
             // frame rather than faulting a stale copy from disk.
             loop {
                 if fd.dirty {
+                    // lint:allow(lock-io): victim write-back must happen under the frame latch so readers of the old page see flushed bytes, never a torn frame
                     if let Err(e) = self.write_back(old, &fd.buf, true) {
                         // The dirty page stays cached and reachable;
                         // only the reservation is withdrawn.

@@ -16,8 +16,22 @@ cargo test -q --workspace --offline
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> molap-lint --check . (repo-specific static analysis)"
-cargo run -q -p molap-lint --offline -- --check .
+echo "==> molap-lint --check . --json (repo-specific static analysis)"
+# The JSON report (findings + per-rule counts + call-graph stats +
+# wall time) is archived as a build artifact; the run must be clean
+# AND the interprocedural engine must actually have analyzed the tree
+# (a zero-function call graph would mean the walker silently skipped
+# the sources).
+cargo run -q -p molap-lint --offline -- --check . --json > target/molap-lint.json || true
+grep -q '"findings":\[\]' target/molap-lint.json || {
+  echo "verify: molap-lint reported findings (see target/molap-lint.json)" >&2
+  exit 1
+}
+if grep -q '"functions":0' target/molap-lint.json; then
+  echo "verify: molap-lint call graph saw zero functions" >&2
+  exit 1
+fi
+echo "    archived target/molap-lint.json"
 
 echo "==> molap-lint --check crates/lint/tests/corpus (must report findings)"
 # The seeded-violation corpus keeps the lint honest: if the rules rot

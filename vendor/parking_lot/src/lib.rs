@@ -243,7 +243,14 @@ impl Condvar {
     /// Under `lock-order-tracking` the hold registration is kept for
     /// the duration of the wait: the thread is parked, so it cannot
     /// acquire other locks, and on wakeup it holds the mutex again.
+    /// Waiting while holding any *other* tracked mutex panics — the
+    /// wait releases only this guard's lock, so the others stay held
+    /// for the wait's unbounded duration and a thread that needs one
+    /// of them to reach `notify` deadlocks.
+    #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        #[cfg(feature = "lock-order-tracking")]
+        order::blocking_wait(guard._order.id(), std::panic::Location::caller());
         // Temporarily move the std guard out to satisfy the std API.
         replace_guard(guard, |g| {
             self.0.wait(g).unwrap_or_else(PoisonError::into_inner)
@@ -251,8 +258,12 @@ impl Condvar {
     }
 
     /// Blocks until notified or `timeout` elapses; returns true if the
-    /// wait timed out.
+    /// wait timed out. Bounded waits still serialize behind the held
+    /// locks, so the wait-under-lock check applies to them too.
+    #[track_caller]
     pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        #[cfg(feature = "lock-order-tracking")]
+        order::blocking_wait(guard._order.id(), std::panic::Location::caller());
         let mut timed_out = false;
         replace_guard(guard, |g| {
             let (g, result) = self

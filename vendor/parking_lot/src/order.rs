@@ -95,6 +95,13 @@ pub struct HeldToken {
     id: usize,
 }
 
+impl HeldToken {
+    /// The held lock's process-unique id (for the condvar-wait check).
+    pub(crate) fn id(&self) -> usize {
+        self.id
+    }
+}
+
 impl Drop for HeldToken {
     fn drop(&mut self) {
         HELD.with(|held| {
@@ -155,6 +162,27 @@ pub(crate) fn nonblocking_acquire(id: usize, site: Site) -> HeldToken {
     HeldToken { id }
 }
 
+/// Panics if the thread is about to park on a condvar while holding
+/// any lock other than `waited` — the one the wait atomically
+/// releases. The wait keeps every *other* held lock locked for its
+/// whole (unbounded) duration, so a thread that needs one of them in
+/// order to reach `notify` can never run: the runtime analog of
+/// `molap-lint`'s `lock-blocking` rule, with the same waived-guard
+/// exemption.
+pub(crate) fn blocking_wait(waited: usize, site: Site) {
+    HELD.with(|held| {
+        let held = held.borrow();
+        if let Some(&(held_id, held_site)) = held.iter().find(|&&(id, _)| id != waited) {
+            panic!(
+                "blocking wait under a lock: parking on a condvar at {site} while holding \
+                 lock #{held_id} (acquired at {held_site}); the wait only releases the \
+                 waited mutex #{waited}, so a thread that needs #{held_id} to signal can \
+                 deadlock against this one",
+            );
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use crate::Mutex;
@@ -185,5 +213,36 @@ mod tests {
             let _ga = a.lock();
             let _gb = b.lock();
         }
+    }
+
+    #[test]
+    fn wait_under_another_lock_panics() {
+        let outer = Mutex::new(());
+        let inner = Mutex::new(());
+        let cv = crate::Condvar::new();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _outer = outer.lock();
+            let mut g = inner.lock();
+            cv.wait_for(&mut g, std::time::Duration::from_millis(1));
+        }))
+        .expect_err("condvar wait while holding another mutex must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("blocking wait under a lock"), "got: {msg}");
+    }
+
+    #[test]
+    fn wait_on_the_only_held_lock_is_fine() {
+        let m = std::sync::Arc::new(Mutex::new(false));
+        let cv = std::sync::Arc::new(crate::Condvar::new());
+        let (m2, cv2) = (m.clone(), cv.clone());
+        let t = std::thread::spawn(move || {
+            let mut done = m2.lock();
+            while !*done {
+                cv2.wait(&mut done); // waived: the waited guard itself
+            }
+        });
+        *m.lock() = true;
+        cv.notify_all();
+        t.join().unwrap();
     }
 }
