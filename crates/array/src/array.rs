@@ -252,7 +252,7 @@ impl ChunkedArray {
         let key = self.chunk_key(id)?;
         let pool = self.lobs.pool();
         let epoch = pool.epoch();
-        if let Some(hit) = cache.get(&key, epoch) {
+        if let Some(hit) = cache.get_tracked(&key, epoch, pool.stats()) {
             pool.stats().chunk_cache_hit();
             return Ok(hit);
         }
@@ -354,7 +354,7 @@ impl ChunkedArray {
         let key = self.chunk_key(id)?;
         let pool = self.lobs.pool();
         let epoch = pool.epoch();
-        if let Some(hit) = cache.get(&key, epoch) {
+        if let Some(hit) = cache.get_tracked(&key, epoch, pool.stats()) {
             pool.stats().chunk_cache_hit();
             return Ok(hit);
         }

@@ -92,6 +92,65 @@ impl BTree {
         self.height
     }
 
+    /// The root page (for [`crate::SharedBTree`]'s lock-free mirror).
+    pub(crate) fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// The pool this tree pages through.
+    pub(crate) fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Every existing page an [`BTree::insert`] of `key` could mutate:
+    /// the `internal_descend_index` descent path, leaf included. Split
+    /// targets and new roots are fresh pages — unreachable until the
+    /// insert links them — so they need no coverage.
+    pub(crate) fn insert_path(&self, key: i64) -> Result<Vec<PageId>> {
+        let mut path = Vec::with_capacity(self.height as usize + 1);
+        let mut pid = self.root;
+        path.push(pid);
+        for _ in 0..self.height {
+            let page = self.pool.fetch(pid)?;
+            let idx = node::internal_descend_index(&page, key);
+            pid = node::internal_child(&page, idx);
+            path.push(pid);
+        }
+        Ok(path)
+    }
+
+    /// Every existing page a [`BTree::delete`] of `key` could mutate:
+    /// the `find_run_start` descent path plus the leaf-chain walk
+    /// through the key's duplicate run (the lazy delete scans right
+    /// until it passes `key`; it mutates at most one of those leaves,
+    /// but which one depends on the stored values).
+    pub(crate) fn delete_path(&self, key: i64) -> Result<Vec<PageId>> {
+        let mut path = Vec::with_capacity(self.height as usize + 2);
+        let mut pid = self.root;
+        path.push(pid);
+        for _ in 0..self.height {
+            let page = self.pool.fetch(pid)?;
+            let idx = node::internal_scan_index(&page, key);
+            pid = node::internal_child(&page, idx);
+            path.push(pid);
+        }
+        loop {
+            let page = self.pool.fetch(pid)?;
+            let n = node::count(&page);
+            if n > 0 && node::leaf_key(&page, n - 1) > key {
+                break; // the delete stops inside this leaf
+            }
+            match node::next_leaf(&page) {
+                Some(next) => {
+                    pid = next;
+                    path.push(pid);
+                }
+                None => break,
+            }
+        }
+        Ok(path)
+    }
+
     /// Serializes root/height/len/config so a higher layer can persist
     /// and later [`BTree::from_meta_bytes`] the tree over the same pool.
     pub fn meta_to_bytes(&self) -> Vec<u8> {

@@ -209,6 +209,18 @@ impl MetricsSnapshot {
             self.io.write_cells,
             self.io.result_cache_patched,
             self.io.result_cache_fallbacks,
+            self.io.opt_pool_reads,
+            self.io.opt_pool_restarts,
+            self.io.opt_pool_escalations,
+            self.io.opt_chunk_reads,
+            self.io.opt_chunk_restarts,
+            self.io.opt_chunk_escalations,
+            self.io.opt_result_reads,
+            self.io.opt_result_restarts,
+            self.io.opt_result_escalations,
+            self.io.opt_btree_reads,
+            self.io.opt_btree_restarts,
+            self.io.opt_btree_escalations,
         ] {
             put_u64(out, v);
         }
@@ -259,6 +271,18 @@ impl MetricsSnapshot {
             write_cells: c.u64()?,
             result_cache_patched: c.u64()?,
             result_cache_fallbacks: c.u64()?,
+            opt_pool_reads: c.u64()?,
+            opt_pool_restarts: c.u64()?,
+            opt_pool_escalations: c.u64()?,
+            opt_chunk_reads: c.u64()?,
+            opt_chunk_restarts: c.u64()?,
+            opt_chunk_escalations: c.u64()?,
+            opt_result_reads: c.u64()?,
+            opt_result_restarts: c.u64()?,
+            opt_result_escalations: c.u64()?,
+            opt_btree_reads: c.u64()?,
+            opt_btree_restarts: c.u64()?,
+            opt_btree_escalations: c.u64()?,
         };
         let n_shards = c.u64()? as usize;
         // Cap the allocation by what the payload can actually hold.
@@ -341,13 +365,29 @@ impl std::fmt::Display for MetricsSnapshot {
             self.io.result_cache_evictions,
             self.io.result_cache_invalidations
         )?;
-        write!(
+        writeln!(
             f,
             "writes:   {} batches / {} cells, {} cubes patched, {} recompute fallbacks",
             self.io.write_batches,
             self.io.write_cells,
             self.io.result_cache_patched,
             self.io.result_cache_fallbacks
+        )?;
+        write!(
+            f,
+            "olc:      pool {}/{}/{}, chunks {}/{}/{}, results {}/{}/{}, btree {}/{}/{} (reads/restarts/escalations)",
+            self.io.opt_pool_reads,
+            self.io.opt_pool_restarts,
+            self.io.opt_pool_escalations,
+            self.io.opt_chunk_reads,
+            self.io.opt_chunk_restarts,
+            self.io.opt_chunk_escalations,
+            self.io.opt_result_reads,
+            self.io.opt_result_restarts,
+            self.io.opt_result_escalations,
+            self.io.opt_btree_reads,
+            self.io.opt_btree_restarts,
+            self.io.opt_btree_escalations
         )?;
         if !self.shards.is_empty() {
             let hits: u64 = self.shards.iter().map(|s| s.hits).sum();
@@ -415,6 +455,18 @@ mod tests {
             write_cells: 11,
             result_cache_patched: 4,
             result_cache_fallbacks: 1,
+            opt_pool_reads: 20,
+            opt_pool_restarts: 3,
+            opt_pool_escalations: 1,
+            opt_chunk_reads: 19,
+            opt_chunk_restarts: 2,
+            opt_chunk_escalations: 0,
+            opt_result_reads: 18,
+            opt_result_restarts: 1,
+            opt_result_escalations: 0,
+            opt_btree_reads: 17,
+            opt_btree_restarts: 4,
+            opt_btree_escalations: 2,
         };
         let shards = vec![
             ShardStats { hits: 6, misses: 2 },

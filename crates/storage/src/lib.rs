@@ -52,6 +52,7 @@
 mod disk;
 mod error;
 mod lob;
+pub mod olc;
 mod page;
 mod pool;
 mod stats;
@@ -61,6 +62,9 @@ mod wal;
 pub use disk::{DiskManager, FileDisk, MemDisk};
 pub use error::{Result, StorageError};
 pub use lob::{LobId, LobStore};
+pub use olc::{
+    AtomicIndex, ExclusiveOptGuard, OptLock, OptProbe, OptRead, OptimisticGuard, MAX_RESTARTS,
+};
 pub use page::{PageBuf, PageId, INVALID_PAGE, PAGE_SIZE};
 pub use pool::{BufferPool, PageMut, PageRef};
 pub use stats::{IoSnapshot, IoStats, ShardStats};

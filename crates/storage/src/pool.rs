@@ -41,8 +41,10 @@ use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::disk::DiskManager;
 use crate::error::{Result, StorageError};
+use crate::olc::{AtomicIndex, OptLock, MAX_RESTARTS};
 use crate::page::{PageBuf, PageId, PAGE_SIZE};
 use crate::stats::{IoStats, ShardStats};
+use crate::util::fib_shard;
 use crate::wal::Wal;
 
 /// Frames per shard below which splitting further stops paying for
@@ -94,8 +96,6 @@ struct ShardState {
     table: HashMap<PageId, usize>,
     /// Clock hand, as an offset into this shard's frame range.
     clock: usize,
-    hits: u64,
-    misses: u64,
 }
 
 struct Shard {
@@ -104,6 +104,19 @@ struct Shard {
     /// Number of frames owned by this shard.
     len: usize,
     state: Mutex<ShardState>,
+    /// Version word over `state.table`: every table mutation runs under
+    /// an exclusive hold, so `pin_opt`'s lock-free hits validate
+    /// against it. Ranks directly after the frame latch (`state` →
+    /// `data` → `state_v` in DESIGN.md §8): the miss path mutates the
+    /// table while holding both.
+    state_v: OptLock,
+    /// Lock-free mirror of `state.table` (page id → frame index),
+    /// maintained under `state_v`; the authority stays the `HashMap`.
+    index: AtomicIndex,
+    /// Hit/miss counters, atomic so the optimistic hit path can count
+    /// without the shard mutex.
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 /// A fixed-budget page cache over a [`DiskManager`].
@@ -155,9 +168,11 @@ impl BufferPool {
                 state: Mutex::new(ShardState {
                     table: HashMap::with_capacity(len),
                     clock: 0,
-                    hits: 0,
-                    misses: 0,
                 }),
+                state_v: OptLock::new(),
+                index: AtomicIndex::with_capacity(len),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
             });
             base += len;
         }
@@ -232,12 +247,9 @@ impl BufferPool {
     pub fn shard_stats(&self) -> Vec<ShardStats> {
         self.shards
             .iter()
-            .map(|shard| {
-                let state = shard.state.lock();
-                ShardStats {
-                    hits: state.hits,
-                    misses: state.misses,
-                }
+            .map(|shard| ShardStats {
+                hits: shard.hits.load(Ordering::Relaxed),
+                misses: shard.misses.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -304,11 +316,10 @@ impl BufferPool {
             .ok_or(StorageError::Corrupt("buffer frame index out of range"))
     }
 
-    /// The shard owning `pid` (multiplicative hash; the shard count is a
+    /// The shard owning `pid` (Fibonacci hash; the shard count is a
     /// power of two).
     fn shard_for(&self, pid: PageId) -> Result<&Shard> {
-        let h = pid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let idx = (h >> 33) as usize & (self.shards.len() - 1);
+        let idx = fib_shard(pid.0, self.shards.len());
         self.shards
             .get(idx)
             .ok_or(StorageError::Corrupt("pool shard index out of range"))
@@ -332,6 +343,39 @@ impl BufferPool {
             }
             drop(guard);
             self.unpin(idx);
+            // A mismatch means another thread's fault or eviction of
+            // this frame is still in flight. The optimistic pin path
+            // takes no lock, so this loop would otherwise spin a whole
+            // scheduler quantum on a single core without ever letting
+            // that thread finish the remap; yield instead of burning
+            // the retry budget.
+            std::thread::yield_now();
+        }
+        Err(StorageError::Corrupt("page pin retry limit exceeded"))
+    }
+
+    /// [`BufferPool::fetch`] forced down the mutex pin path — the
+    /// pre-optimistic protocol with the lock-free probe skipped.
+    /// Functionally identical to `fetch`; kept callable so the
+    /// contention microbench and oracle tests can compare the two pin
+    /// paths on the same pool.
+    #[doc(hidden)]
+    pub fn fetch_via_mutex(&self, pid: PageId) -> Result<PageRef<'_>> {
+        for _ in 0..PIN_RETRY_LIMIT {
+            self.stats.logical_read();
+            let shard = self.shard_for(pid)?;
+            let idx = self.pin_locked(shard, pid, false)?;
+            let guard = self.frame(idx)?.data.read();
+            if guard.pid == Some(pid) {
+                return Ok(PageRef {
+                    pool: self,
+                    idx,
+                    guard,
+                });
+            }
+            drop(guard);
+            self.unpin(idx);
+            std::thread::yield_now();
         }
         Err(StorageError::Corrupt("page pin retry limit exceeded"))
     }
@@ -351,6 +395,8 @@ impl BufferPool {
             }
             drop(guard);
             self.unpin(idx);
+            // See `fetch`: give the in-flight fault a chance to finish.
+            std::thread::yield_now();
         }
         Err(StorageError::Corrupt("page pin retry limit exceeded"))
     }
@@ -375,6 +421,8 @@ impl BufferPool {
             }
             drop(guard);
             self.unpin(idx);
+            // See `fetch`: give the in-flight fault a chance to finish.
+            std::thread::yield_now();
         }
         Err(StorageError::Corrupt("page pin retry limit exceeded"))
     }
@@ -436,8 +484,10 @@ impl BufferPool {
             fd.dirty = false;
             frame.referenced.store(false, Ordering::Release);
         }
-        for state in guards.iter_mut() {
+        for (shard, state) in self.shards.iter().zip(guards.iter_mut()) {
+            let _v = shard.state_v.lock_exclusive();
             state.table.clear();
+            shard.index.clear();
             state.clock = 0;
         }
         self.epoch.fetch_add(1, Ordering::AcqRel);
@@ -481,36 +531,129 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Inserts `pid → idx` into the shard's page table and its
+    /// lock-free mirror, under an exclusive hold of the version word so
+    /// concurrent optimistic probes restart instead of trusting a
+    /// half-applied update. If the mirror is too full (tombstone
+    /// build-up), it is rebuilt from the authoritative table.
+    fn table_insert(&self, shard: &Shard, state: &mut ShardState, pid: PageId, idx: usize) {
+        let _v = shard.state_v.lock_exclusive();
+        state.table.insert(pid, idx);
+        if !shard.index.insert(pid.0, idx as u64) {
+            shard.index.clear();
+            for (&p, &i) in state.table.iter() {
+                let _ = shard.index.insert(p.0, i as u64);
+            }
+        }
+    }
+
+    /// Removes `pid` from the shard's page table and its mirror, under
+    /// an exclusive hold of the version word.
+    fn table_remove(&self, shard: &Shard, state: &mut ShardState, pid: PageId) {
+        let _v = shard.state_v.lock_exclusive();
+        if let Some(idx) = state.table.remove(&pid) {
+            shard.index.remove(pid.0, idx as u64);
+        }
+    }
+
     /// Removes the reservation `pid → idx` if it is still in place —
     /// the cleanup for an abandoned fault.
     fn drop_reservation(&self, shard: &Shard, pid: PageId, idx: usize) {
         let mut state = shard.state.lock();
         if state.table.get(&pid) == Some(&idx) {
-            state.table.remove(&pid);
+            self.table_remove(shard, &mut state, pid);
         }
     }
 
     /// Pins the frame holding `pid`, faulting it in if necessary.
     /// When `fresh` is true the page is installed zeroed with no read.
     ///
+    /// Hits are resolved optimistically first — a version-validated
+    /// probe of the lock-free table mirror that never touches the shard
+    /// mutex ([`BufferPool::pin_opt`]); a validated miss or a
+    /// conflict-escalation falls back to [`BufferPool::pin_locked`],
+    /// the pre-existing mutex protocol, unchanged.
+    fn pin_frame(&self, pid: PageId, fresh: bool) -> Result<usize> {
+        self.stats.logical_read();
+        let shard = self.shard_for(pid)?;
+        if let Some(idx) = self.pin_opt(shard, pid) {
+            return Ok(idx);
+        }
+        self.pin_locked(shard, pid, fresh)
+    }
+
+    /// One optimistic page-table lookup: probe the mirror, pin, then
+    /// validate the shard's version word. Returns the pinned frame
+    /// index on a validated hit; `None` (with the transient pin
+    /// withdrawn) on a validated miss or after [`MAX_RESTARTS`]
+    /// conflicts, sending the caller to the mutex path.
+    fn pin_opt(&self, shard: &Shard, pid: PageId) -> Option<usize> {
+        let mut restarts = 0u32;
+        loop {
+            let Some(guard) = shard.state_v.begin_optimistic() else {
+                if restarts >= MAX_RESTARTS {
+                    self.stats.opt_pool(u64::from(restarts), true);
+                    return None;
+                }
+                restarts += 1;
+                std::hint::spin_loop();
+                continue;
+            };
+            match shard.index.probe(pid.0) {
+                None => {
+                    if guard.validate() {
+                        // Validated absence: a real miss — fault in
+                        // under the shard mutex.
+                        self.stats.opt_pool(u64::from(restarts), false);
+                        return None;
+                    }
+                }
+                Some(idx) => {
+                    let idx = idx as usize;
+                    let Some(frame) = self.frames.get(idx) else {
+                        self.stats.opt_pool(u64::from(restarts), true);
+                        return None;
+                    };
+                    // Pin first, validate second: a validated version
+                    // proves the mapping was intact when the pin
+                    // landed, and the caller's latch + page-id
+                    // re-check handles any later remap exactly as on
+                    // the mutex path.
+                    frame.pin.fetch_add(1, Ordering::AcqRel);
+                    if guard.validate() {
+                        frame.referenced.store(true, Ordering::Release);
+                        shard.hits.fetch_add(1, Ordering::Relaxed);
+                        self.stats.opt_pool(u64::from(restarts), false);
+                        return Some(idx);
+                    }
+                    frame.pin.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            if restarts >= MAX_RESTARTS {
+                self.stats.opt_pool(u64::from(restarts), true);
+                return None;
+            }
+            restarts += 1;
+        }
+    }
+
+    /// The mutex pin path: shard-table hit or full fault-in.
+    ///
     /// On a miss, all I/O (victim write-back, fault-in read) runs with
     /// only the claimed frame's latch held — the shard lock is taken in
     /// short critical sections before and after, so hits on other pages
     /// proceed concurrently. Callers must latch the returned frame and
     /// re-check its page id (see [`BufferPool::fetch`]).
-    fn pin_frame(&self, pid: PageId, fresh: bool) -> Result<usize> {
-        self.stats.logical_read();
-        let shard = self.shard_for(pid)?;
-
+    fn pin_locked(&self, shard: &Shard, pid: PageId, fresh: bool) -> Result<usize> {
         let mut state = shard.state.lock();
         if let Some(&idx) = state.table.get(&pid) {
-            state.hits += 1;
+            shard.hits.fetch_add(1, Ordering::Relaxed);
             let frame = self.frame(idx)?;
             frame.pin.fetch_add(1, Ordering::AcqRel);
             frame.referenced.store(true, Ordering::Release);
             return Ok(idx);
         }
-        state.misses += 1;
+        shard.misses.fetch_add(1, Ordering::Relaxed);
 
         let idx = self.find_victim(shard, &mut state)?;
         let frame = self.frame(idx)?;
@@ -524,7 +667,7 @@ impl BufferPool {
         // Reserve the mapping so concurrent fetchers of `pid` pin this
         // frame and wait on its latch instead of faulting a second
         // copy; they re-check the page id once the latch is theirs.
-        state.table.insert(pid, idx);
+        self.table_insert(shard, &mut state, pid, idx);
         drop(state);
 
         if let Some(old) = old_pid {
@@ -557,7 +700,7 @@ impl BufferPool {
                     // Unreachable while the pin protocol holds (a
                     // pinned frame is never remapped), but fail safe.
                     if state.table.get(&pid) == Some(&idx) {
-                        state.table.remove(&pid);
+                        self.table_remove(shard, &mut state, pid);
                     }
                     drop(state);
                     drop(fd);
@@ -567,7 +710,7 @@ impl BufferPool {
                 if fd.dirty {
                     continue;
                 }
-                state.table.remove(&old);
+                self.table_remove(shard, &mut state, old);
                 self.stats.eviction();
                 break;
             }
@@ -929,6 +1072,43 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn optimistic_hits_bypass_the_shard_mutex() {
+        let p = pool(4);
+        let pid = p.allocate_pages(1).unwrap();
+        drop(p.create_page(pid).unwrap());
+        let before = p.stats().snapshot();
+        // Hold the shard mutex across the fetches: hits must still
+        // complete (the success path never touches it) — if a fetch
+        // tried to lock it from this thread it would deadlock.
+        let shard = p.shard_for(pid).unwrap();
+        let state = shard.state.lock();
+        for _ in 0..5 {
+            let page = p.fetch(pid).unwrap();
+            assert_eq!(page.len(), PAGE_SIZE);
+        }
+        drop(state);
+        let delta = p.stats().snapshot().since(&before);
+        assert_eq!(delta.opt_pool_reads, 5);
+        assert_eq!(delta.opt_pool_escalations, 0);
+        assert_eq!(delta.physical_reads, 0, "hits stay in memory");
+    }
+
+    #[test]
+    fn optimistic_probe_misses_fall_back_to_the_fault_path() {
+        let p = pool(4);
+        let pid = p.allocate_pages(1).unwrap();
+        let before = p.stats().snapshot();
+        drop(p.create_page(pid).unwrap()); // cold: validated miss → fault
+        drop(p.fetch(pid).unwrap()); // warm: optimistic hit
+        let delta = p.stats().snapshot().since(&before);
+        assert_eq!(delta.opt_pool_reads, 2);
+        assert_eq!(delta.opt_pool_escalations, 0);
+        let stats = p.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.hits).sum::<u64>(), 1);
+        assert_eq!(stats.iter().map(|s| s.misses).sum::<u64>(), 1);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Little-endian fixed-width codecs over byte slices.
+//! Little-endian fixed-width codecs over byte slices, plus the shared
+//! Fibonacci shard-selection hash.
 //!
 //! Every persisted structure in the workspace (B-tree nodes, fact-file
 //! tuples, bitmap segments, array chunk directories) lays integers out
@@ -6,6 +7,25 @@
 //! of ad-hoc slicing. Callers own the offset invariant (`off + width
 //! <= buf.len()`); debug builds check it with a named assertion so an
 //! out-of-bounds access fails at the codec, not deep inside `core`.
+
+/// Golden-ratio multiplier for Fibonacci hashing (⌊2⁶⁴/φ⌋, odd).
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Maps an arbitrary `key` onto one of `n` shards (`n` a power of two)
+/// by Fibonacci hashing: multiply by ⌊2⁶⁴/φ⌋ and keep high bits, which
+/// spreads consecutive keys (page ids, hash codes) across shards far
+/// better than a plain mask would. This is the one shard-selection
+/// function shared by the buffer pool, the decoded-chunk cache, the
+/// result-cube cache, and the optimistic-lock bucket index.
+///
+/// Callers with composite keys pre-mix the extra components in (e.g.
+/// `start_page.wrapping_add(byte_off)`); re-hashing an already-hashed
+/// key is harmless.
+#[inline]
+pub fn fib_shard(key: u64, n: usize) -> usize {
+    debug_assert!(n.is_power_of_two(), "shard count must be a power of two");
+    (key.wrapping_mul(FIB) >> 33) as usize & (n - 1)
+}
 
 /// Reads a `u16` at byte offset `off`.
 #[inline]
@@ -86,6 +106,21 @@ mod tests {
         assert_eq!(read_u32(&buf, 4), 0xDEAD_BEEF);
         assert_eq!(read_u64(&buf, 8), 0x0123_4567_89AB_CDEF);
         assert_eq!(read_i64(&buf, 16), -42);
+    }
+
+    #[test]
+    fn fib_shard_masks_and_spreads() {
+        // Always in range, for every power-of-two shard count.
+        for n in [1usize, 2, 8, 64] {
+            for k in 0..1000u64 {
+                assert!(fib_shard(k, n) < n);
+            }
+        }
+        // Consecutive keys do not all land on one shard.
+        let hits: std::collections::BTreeSet<usize> = (0..64u64).map(|k| fib_shard(k, 8)).collect();
+        assert!(hits.len() > 4, "poor spread: {hits:?}");
+        // One shard degenerates to index 0.
+        assert_eq!(fib_shard(12345, 1), 0);
     }
 
     #[test]

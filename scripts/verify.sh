@@ -67,6 +67,10 @@ echo "==> bench_pr6 --smoke (writes: delta-maintained herd >= 3x invalidate-all)
 cargo run -q --release --offline -p molap-bench --bin bench_pr6 -- \
   --smoke --out target/BENCH_PR6.smoke.json > /dev/null
 
+echo "==> bench_pr8 --smoke (optimistic reads >= 1.0x mutex at 1 thread; >= 1.5x at 4 when nproc >= 4)"
+cargo run -q --release --offline -p molap-bench --bin bench_pr8 -- \
+  --smoke --out target/BENCH_PR8.smoke.json > /dev/null
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

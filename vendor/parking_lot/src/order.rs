@@ -154,6 +154,20 @@ pub(crate) fn blocking_acquire(id: usize, site: Site) -> HeldToken {
     HeldToken { id }
 }
 
+/// Public hook for external blocking lock primitives (spinlocks,
+/// version-word exclusives) that live outside this crate but must
+/// still appear in the runtime ABBA graph. The caller embeds an
+/// `AtomicUsize` identity slot (zero-initialised) in its lock; this
+/// registers the acquisition exactly like [`crate::Mutex::lock`] does —
+/// edges from every held lock, cycle check, panic on inversion — and
+/// the returned [`HeldToken`] pops the hold when dropped. Call it
+/// *before* spinning or parking, so an inverted escalation order
+/// panics instead of deadlocking.
+#[track_caller]
+pub fn external_blocking_acquire(slot: &AtomicUsize) -> HeldToken {
+    blocking_acquire(lock_id(slot), Location::caller())
+}
+
 /// Registers a hold without recording order edges: a `try_lock` never
 /// blocks, so it cannot participate in a deadlock as the *waiting*
 /// side, but locks acquired while it is held still edge from it.
@@ -203,6 +217,27 @@ mod tests {
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("lock-order cycle"), "got: {msg}");
         assert!(msg.contains("order.rs"), "sites missing: {msg}");
+    }
+
+    #[test]
+    fn external_locks_join_the_graph() {
+        // An out-of-crate primitive registered via the public hook
+        // (molap-storage's OptLock escalation path) edges into the same
+        // graph as real mutexes, in both directions.
+        use std::sync::atomic::AtomicUsize;
+        let m = Mutex::new(());
+        let slot = AtomicUsize::new(0);
+        {
+            let _g = m.lock();
+            let _e = super::external_blocking_acquire(&slot); // m -> ext
+        }
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _e = super::external_blocking_acquire(&slot);
+            let _g = m.lock(); // ext -> m closes the cycle
+        }))
+        .expect_err("inverted external acquisition must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lock-order cycle"), "got: {msg}");
     }
 
     #[test]
