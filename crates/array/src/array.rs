@@ -17,7 +17,7 @@ use crate::cache::{shared_chunk_cache, ChunkCache, ChunkKey};
 use crate::chunk::{ChunkBuilder, CompressedChunk, DenseChunk};
 use crate::geometry::Shape;
 use crate::version::{shared_version_table, ChunkSnapshot, VersionKey, VersionTable};
-use crate::{lzw, ArrayError, Result};
+use crate::{diffseq, lzw, ArrayError, Result};
 
 /// Allocates a fresh array uid: a counter mixed with the wall clock
 /// through a SplitMix64 finalizer. Uids key chunk-version pins
@@ -49,16 +49,65 @@ pub enum ChunkFormat {
     /// Dense serialization behind LZW — the generic Paradise array's
     /// format (§3.1), kept as an ablation baseline.
     DenseLzw = 2,
+    /// Difference-sequence compression: sorted offsets delta-encoded
+    /// and bit-packed per block, measures columnar (Szépkúti,
+    /// arXiv:1103.3857; see `diffseq`). Decodes to the compressed
+    /// representation; the prefetch pipeline streams it to kernels
+    /// without materializing a chunk at all.
+    DiffSeq = 3,
 }
 
 impl ChunkFormat {
+    /// Every format, in wire-tag order — the iteration order used by
+    /// format-matrix tests and benches.
+    pub const ALL: [ChunkFormat; 4] = [
+        ChunkFormat::ChunkOffset,
+        ChunkFormat::Dense,
+        ChunkFormat::DenseLzw,
+        ChunkFormat::DiffSeq,
+    ];
+
     fn from_u32(v: u32) -> Result<Self> {
         match v {
             0 => Ok(ChunkFormat::ChunkOffset),
             1 => Ok(ChunkFormat::Dense),
             2 => Ok(ChunkFormat::DenseLzw),
+            3 => Ok(ChunkFormat::DiffSeq),
             _ => Err(ArrayError::Corrupt("unknown chunk format")),
         }
+    }
+
+    /// Canonical lower-case name, accepted back by
+    /// [`ChunkFormat::parse`] — the spelling of CLI/bench `--format`
+    /// flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChunkFormat::ChunkOffset => "chunkoffset",
+            ChunkFormat::Dense => "dense",
+            ChunkFormat::DenseLzw => "denselzw",
+            ChunkFormat::DiffSeq => "diffseq",
+        }
+    }
+
+    /// Parses a format name as CLI flags spell it; case-insensitive,
+    /// `-`/`_` separators ignored (`chunk-offset` == `chunkoffset`).
+    pub fn parse(s: &str) -> Option<ChunkFormat> {
+        let folded: String = s
+            .chars()
+            .filter(|c| *c != '-' && *c != '_')
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        ChunkFormat::ALL
+            .into_iter()
+            .find(|f| f.name() == folded || (folded == "lzw" && *f == ChunkFormat::DenseLzw))
+    }
+}
+
+impl std::str::FromStr for ChunkFormat {
+    type Err = ArrayError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        ChunkFormat::parse(s).ok_or(ArrayError::Corrupt("unknown chunk format"))
     }
 }
 
@@ -119,6 +168,33 @@ impl Chunk {
         match self {
             Chunk::Compressed(c) => c.byte_size(),
             Chunk::Dense(d) => d.byte_size(),
+        }
+    }
+}
+
+/// What a prefetch producer hands a pipeline consumer: a decoded chunk,
+/// or — on the DiffSeq streaming path — the chunk's validated encoded
+/// bytes, which the consumer unpacks block by block through a
+/// `diffseq::DiffSeqCursor` without ever materializing a [`Chunk`].
+#[derive(Clone)]
+pub enum ChunkPayload {
+    /// A fully decoded chunk (all materializing paths: non-DiffSeq
+    /// formats, empty chunks, version pins, chunk-cache hits).
+    Chunk(Arc<Chunk>),
+    /// A DiffSeq chunk's encoded bytes, structurally validated by the
+    /// producer (`diffseq::validate`).
+    DiffSeq(Arc<Vec<u8>>),
+}
+
+impl ChunkPayload {
+    /// Materializes the payload into a decoded chunk (identity for
+    /// [`ChunkPayload::Chunk`]); `limit` is the chunk's cell count.
+    pub fn into_chunk(self, limit: u32) -> Result<Arc<Chunk>> {
+        match self {
+            ChunkPayload::Chunk(c) => Ok(c),
+            ChunkPayload::DiffSeq(bytes) => Ok(Arc::new(Chunk::Compressed(
+                diffseq::decompress_fast(&bytes, limit)?,
+            ))),
         }
     }
 }
@@ -207,7 +283,9 @@ impl ChunkedArray {
     /// Materializes an empty chunk in the array's format.
     fn empty_chunk(&self) -> Chunk {
         match self.format {
-            ChunkFormat::ChunkOffset => Chunk::Compressed(CompressedChunk::empty(self.n_measures)),
+            ChunkFormat::ChunkOffset | ChunkFormat::DiffSeq => {
+                Chunk::Compressed(CompressedChunk::empty(self.n_measures))
+            }
             _ => Chunk::Dense(DenseChunk::new(
                 self.shape.chunk_cells() as usize,
                 self.n_measures,
@@ -389,6 +467,78 @@ impl ChunkedArray {
         Ok(chunk)
     }
 
+    /// The streaming edition of [`ChunkedArray::read_chunk_prefetched_at`]
+    /// for difference-sequence arrays: instead of materializing a
+    /// [`Chunk`], a cache-missing DiffSeq chunk comes back as its
+    /// **validated encoded bytes** ([`ChunkPayload::DiffSeq`]) for the
+    /// consumer to stream through a `diffseq::DiffSeqCursor` — the scan
+    /// path then never builds a chunk. Everything that already has a
+    /// decoded image keeps it: empty chunks, version pins, snapshots,
+    /// and decoded-chunk cache hits return [`ChunkPayload::Chunk`], as
+    /// do all non-DiffSeq formats (full fallback to the prefetched
+    /// read). Streamed bytes are *not* inserted into the chunk cache —
+    /// the cache stores decoded chunks and stays fed by the
+    /// materializing paths.
+    ///
+    /// Torn-read handling mirrors the prefetched read: the bytes are
+    /// structurally validated (`diffseq::validate`) right here where
+    /// the fallback ladder lives — on failure the version pin is
+    /// re-checked and, if the read bypassed the pool, the chunk is
+    /// re-read through the page-latched pooled path.
+    pub fn read_chunk_stream_at(
+        &self,
+        chunk_no: u64,
+        scratch: &mut PrefetchScratch,
+        snap: Option<&ChunkSnapshot>,
+    ) -> Result<ChunkPayload> {
+        if self.format != ChunkFormat::DiffSeq {
+            return Ok(ChunkPayload::Chunk(
+                self.read_chunk_prefetched_at(chunk_no, scratch, snap)?,
+            ));
+        }
+        let id = LobId(chunk_no as u32);
+        if self.lobs.object_len(id)? == 0 {
+            return Ok(ChunkPayload::Chunk(Arc::new(self.empty_chunk())));
+        }
+        let Some(cache) = self.cache.as_deref() else {
+            return Ok(ChunkPayload::Chunk(self.read_chunk_at(chunk_no, snap)?));
+        };
+        let vkey = self.version_key(chunk_no);
+        if let Some(pinned) = self.resolve_version(vkey, snap) {
+            return Ok(ChunkPayload::Chunk(pinned));
+        }
+        let key = self.chunk_key(id)?;
+        let pool = self.lobs.pool();
+        if let Some(hit) = cache.get_tracked(&key, pool.epoch(), pool.stats()) {
+            pool.stats().chunk_cache_hit();
+            return Ok(ChunkPayload::Chunk(hit));
+        }
+        let bypassed = self
+            .lobs
+            .read_into_prefetch(id, &mut scratch.bytes, &mut scratch.span)?;
+        if let Err(e) = diffseq::validate(&scratch.bytes, self.diffseq_limit()) {
+            if let Some(pinned) = self.resolve_version(vkey, snap) {
+                return Ok(ChunkPayload::Chunk(pinned));
+            }
+            if bypassed {
+                // Possibly torn; the pooled path serializes against
+                // the writer's page latches and re-checks pins.
+                return Ok(ChunkPayload::Chunk(self.read_chunk_at(chunk_no, snap)?));
+            }
+            return Err(e);
+        }
+        // Same post-read re-check as the decoding paths: a pin that
+        // appeared mid-read means the bytes are suspect.
+        if let Some(pinned) = self.resolve_version(vkey, snap) {
+            return Ok(ChunkPayload::Chunk(pinned));
+        }
+        // Hand the scratch buffer itself to the payload instead of
+        // copying it; the next read grows a fresh (empty) scratch.
+        Ok(ChunkPayload::DiffSeq(Arc::new(std::mem::take(
+            &mut scratch.bytes,
+        ))))
+    }
+
     /// The chunk's cache key: its current disk location.
     fn chunk_key(&self, id: LobId) -> Result<ChunkKey> {
         let (start_page, byte_off, len) = self.lobs.location(id)?;
@@ -399,6 +549,12 @@ impl ChunkedArray {
         })
     }
 
+    /// The chunk's cell-count bound for difference-sequence decoding
+    /// (every `Shape` guarantees it fits `u32`).
+    fn diffseq_limit(&self) -> u32 {
+        self.shape.chunk_cells() as u32
+    }
+
     fn decode_chunk(&self, bytes: &[u8]) -> Result<Chunk> {
         match self.format {
             ChunkFormat::ChunkOffset => Ok(Chunk::Compressed(CompressedChunk::from_bytes(bytes)?)),
@@ -407,19 +563,28 @@ impl ChunkedArray {
                 let raw = lzw::decompress(bytes)?;
                 Ok(Chunk::Dense(DenseChunk::from_bytes(&raw)?))
             }
+            ChunkFormat::DiffSeq => Ok(Chunk::Compressed(diffseq::decompress(
+                bytes,
+                self.diffseq_limit(),
+            )?)),
         }
     }
 
     /// [`Self::decode_chunk`] for the prefetch pipeline: identical
     /// results, but LZW chunks use the span-based fast decompressor
-    /// with a reusable output buffer (the sequential path keeps the
-    /// chain-walk decoder as its oracle).
+    /// with a reusable output buffer and DiffSeq chunks the streaming
+    /// block cursor (the sequential paths keep the chain-walk /
+    /// bit-by-bit decoders as their oracles).
     fn decode_chunk_prefetched(&self, bytes: &[u8], raw: &mut Vec<u8>) -> Result<Chunk> {
         match self.format {
             ChunkFormat::DenseLzw => {
                 lzw::decompress_fast_into(bytes, raw)?;
                 Ok(Chunk::Dense(DenseChunk::from_bytes(raw)?))
             }
+            ChunkFormat::DiffSeq => Ok(Chunk::Compressed(diffseq::decompress_fast(
+                bytes,
+                self.diffseq_limit(),
+            )?)),
             _ => self.decode_chunk(bytes),
         }
     }
@@ -445,6 +610,13 @@ impl ChunkedArray {
                     Vec::new()
                 } else {
                     lzw::compress(&d.to_bytes())
+                }
+            }
+            (ChunkFormat::DiffSeq, Chunk::Compressed(c)) => {
+                if c.is_empty() {
+                    Vec::new()
+                } else {
+                    diffseq::compress(c)
                 }
             }
             _ => unreachable!("chunk representation does not match array format"),
@@ -866,14 +1038,19 @@ impl ArrayBuilder {
                 Vec::new()
             } else {
                 match format {
-                    ChunkFormat::ChunkOffset => {
+                    ChunkFormat::ChunkOffset | ChunkFormat::DiffSeq => {
                         let mut b = ChunkBuilder::new(n_measures);
                         for &i in entries {
                             let (_, off) = positions[i as usize];
                             let vi = i as usize * n_measures;
                             b.add(off, &values[vi..vi + n_measures]);
                         }
-                        b.build()?.to_bytes()
+                        let chunk = b.build()?;
+                        if format == ChunkFormat::DiffSeq {
+                            diffseq::compress(&chunk)
+                        } else {
+                            chunk.to_bytes()
+                        }
                     }
                     ChunkFormat::Dense | ChunkFormat::DenseLzw => {
                         let mut d = DenseChunk::new(chunk_cells, n_measures);
@@ -950,11 +1127,7 @@ mod tests {
 
     #[test]
     fn build_and_get_all_formats() {
-        for format in [
-            ChunkFormat::ChunkOffset,
-            ChunkFormat::Dense,
-            ChunkFormat::DenseLzw,
-        ] {
+        for format in ChunkFormat::ALL {
             let a = build_sample(format);
             assert_eq!(a.format(), format);
             check_contents(&a);
@@ -1176,11 +1349,7 @@ mod tests {
 
     #[test]
     fn prefetched_reads_match_the_pooled_path_and_share_the_cache() {
-        for format in [
-            ChunkFormat::ChunkOffset,
-            ChunkFormat::Dense,
-            ChunkFormat::DenseLzw,
-        ] {
+        for format in ChunkFormat::ALL {
             let p = pool();
             // Chunks big enough that a cold read spans several pages.
             let shape = Shape::new(vec![8192], vec![4096]).unwrap();
@@ -1227,7 +1396,11 @@ mod tests {
         // snapshot makes consistent. Relocating overwrites leave the
         // old bytes intact for the frozen directory; in-place
         // overwrites are bridged by the pinned pre-image.
-        for format in [ChunkFormat::ChunkOffset, ChunkFormat::Dense] {
+        for format in [
+            ChunkFormat::ChunkOffset,
+            ChunkFormat::Dense,
+            ChunkFormat::DiffSeq,
+        ] {
             let mut a = build_sample(format);
             let reader =
                 ChunkedArray::from_meta_bytes(a.pool().clone(), &a.meta_to_bytes()).unwrap();
@@ -1318,6 +1491,7 @@ mod tests {
         }
         let mut sizes = Vec::new();
         for format in [
+            ChunkFormat::DiffSeq,
             ChunkFormat::ChunkOffset,
             ChunkFormat::DenseLzw,
             ChunkFormat::Dense,
@@ -1330,8 +1504,8 @@ mod tests {
             sizes.push((format, a.total_bytes()));
         }
         assert!(
-            sizes[0].1 < sizes[1].1 && sizes[1].1 < sizes[2].1,
-            "expected chunk-offset < lzw < dense, got {sizes:?}"
+            sizes[0].1 < sizes[1].1 && sizes[1].1 < sizes[2].1 && sizes[2].1 < sizes[3].1,
+            "expected diff-seq < chunk-offset < lzw < dense, got {sizes:?}"
         );
     }
 }

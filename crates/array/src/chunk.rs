@@ -155,6 +155,20 @@ impl CompressedChunk {
         })
     }
 
+    /// Assembles a chunk from already-validated parts — the decode
+    /// target of the difference-sequence codec, whose reconstruction
+    /// is strictly monotone by construction (`diffseq`).
+    pub(crate) fn from_parts(n_measures: usize, offsets: Vec<u32>, values: Vec<i64>) -> Self {
+        debug_assert!(n_measures > 0);
+        debug_assert!(offsets.windows(2).all(|w| w[0] < w[1]));
+        debug_assert_eq!(values.len(), offsets.len() * n_measures);
+        CompressedChunk {
+            n_measures,
+            offsets,
+            values,
+        }
+    }
+
     /// Expands into a dense chunk of `chunk_cells` cells.
     pub fn to_dense(&self, chunk_cells: usize) -> DenseChunk {
         let mut dense = DenseChunk::new(chunk_cells, self.n_measures);

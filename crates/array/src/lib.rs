@@ -49,12 +49,13 @@
 mod array;
 mod cache;
 mod chunk;
+pub mod diffseq;
 mod geometry;
 pub mod lzw;
 mod prefetch;
 mod version;
 
-pub use array::{ArrayBuilder, Chunk, ChunkFormat, ChunkedArray, PrefetchScratch};
+pub use array::{ArrayBuilder, Chunk, ChunkFormat, ChunkPayload, ChunkedArray, PrefetchScratch};
 pub use cache::{shared_chunk_cache, ChunkCache, ChunkKey};
 pub use chunk::{ChunkBuilder, CompressedChunk, DenseChunk};
 pub use geometry::Shape;

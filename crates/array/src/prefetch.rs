@@ -28,7 +28,7 @@ use std::sync::Arc;
 use molap_storage::BufferPool;
 use parking_lot::{Condvar, Mutex};
 
-use crate::array::{Chunk, ChunkedArray, PrefetchScratch};
+use crate::array::{Chunk, ChunkPayload, ChunkedArray, PrefetchScratch};
 use crate::version::ChunkSnapshot;
 use crate::Result;
 
@@ -63,8 +63,8 @@ struct QueueState {
     next_issue: usize,
     /// Next candidate index a consumer will receive.
     next_deliver: usize,
-    /// Decoded (or failed) chunks awaiting in-order delivery.
-    ready: HashMap<usize, Result<Arc<Chunk>>>,
+    /// Decoded (or failed) payloads awaiting in-order delivery.
+    ready: HashMap<usize, Result<ChunkPayload>>,
     /// Set by [`ChunkPipeline::shutdown`]; producers and consumers exit.
     cancelled: bool,
 }
@@ -86,6 +86,11 @@ pub struct ChunkPipeline {
     /// through it, so the whole pipelined scan observes one commit
     /// generation even while a writer publishes mid-scan.
     snapshot: Option<ChunkSnapshot>,
+    /// When set, producers on DiffSeq arrays deliver validated encoded
+    /// bytes ([`ChunkPayload::DiffSeq`]) instead of decoded chunks, so
+    /// [`ChunkPipeline::next_payload`] consumers can stream gaps
+    /// straight into kernels. Other formats are unaffected.
+    streaming: bool,
     delivery: Mutex<QueueState>,
     /// Signalled when a chunk is published (consumers wait here).
     avail: Condvar,
@@ -102,6 +107,7 @@ impl ChunkPipeline {
             depth: depth.max(1),
             pool,
             snapshot: None,
+            streaming: false,
             delivery: Mutex::new(QueueState {
                 next_issue: 0,
                 next_deliver: 0,
@@ -117,6 +123,17 @@ impl ChunkPipeline {
     /// chunk at the snapshot's commit generation.
     pub fn with_snapshot(mut self, snapshot: Option<ChunkSnapshot>) -> Self {
         self.snapshot = snapshot;
+        self
+    }
+
+    /// Enables streaming delivery: producers on a DiffSeq array hand
+    /// consumers validated encoded bytes instead of decoded chunks
+    /// (see [`ChunkedArray::read_chunk_stream_at`]). A no-op for every
+    /// other format. [`ChunkPipeline::next`] still materializes, so
+    /// only [`ChunkPipeline::next_payload`] consumers observe the
+    /// difference.
+    pub fn with_streaming(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
         self
     }
 
@@ -160,12 +177,22 @@ impl ChunkPipeline {
                 i
             };
             stats.prefetch_issue();
-            // Read + decode outside the delivery lock.
-            let result = array.read_chunk_prefetched_at(
-                self.candidates[index],
-                &mut scratch,
-                self.snapshot.as_ref(),
-            );
+            // Read + decode/validate outside the delivery lock.
+            let result = if self.streaming {
+                array.read_chunk_stream_at(
+                    self.candidates[index],
+                    &mut scratch,
+                    self.snapshot.as_ref(),
+                )
+            } else {
+                array
+                    .read_chunk_prefetched_at(
+                        self.candidates[index],
+                        &mut scratch,
+                        self.snapshot.as_ref(),
+                    )
+                    .map(ChunkPayload::Chunk)
+            };
             let mut q = self.delivery.lock();
             if q.cancelled {
                 stats.prefetch_wasted_add(1);
@@ -177,12 +204,14 @@ impl ChunkPipeline {
         }
     }
 
-    /// Consumer side: blocks for the next chunk **in candidate order**
-    /// and returns it with its chunk number. Returns `None` when every
-    /// candidate has been delivered or the pipeline was cancelled. On
-    /// `Some(Err(_))` the caller must [`ChunkPipeline::shutdown`] and
-    /// propagate the error.
-    pub fn next(&self) -> Option<Result<(u64, Arc<Chunk>)>> {
+    /// Consumer side: blocks for the next payload **in candidate
+    /// order** and returns it with its chunk number. Returns `None`
+    /// when every candidate has been delivered or the pipeline was
+    /// cancelled. On `Some(Err(_))` the caller must
+    /// [`ChunkPipeline::shutdown`] and propagate the error. Streaming
+    /// consumers use this; [`ChunkPipeline::next`] wraps it for
+    /// consumers that want materialized chunks.
+    pub fn next_payload(&self) -> Option<Result<(u64, ChunkPayload)>> {
         let mut q = self.delivery.lock();
         loop {
             if q.cancelled || q.next_deliver >= self.candidates.len() {
@@ -195,10 +224,19 @@ impl ChunkPipeline {
                 if result.is_ok() {
                     self.pool.stats().prefetch_hit();
                 }
-                return Some(result.map(|chunk| (self.candidates[index], chunk)));
+                return Some(result.map(|payload| (self.candidates[index], payload)));
             }
             self.avail.wait(&mut q);
         }
+    }
+
+    /// [`ChunkPipeline::next_payload`] materialized: any streamed
+    /// DiffSeq bytes are decoded (fast path) before delivery, so
+    /// non-streaming consumers keep receiving whole chunks.
+    pub fn next(&self) -> Option<Result<(u64, Arc<Chunk>)>> {
+        self.next_payload().map(|item| {
+            item.and_then(|(chunk_no, payload)| Ok((chunk_no, payload.into_chunk(u32::MAX)?)))
+        })
     }
 
     /// Cancels the pipeline: producers stop claiming work, consumers

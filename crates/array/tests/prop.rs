@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use molap_array::{lzw, ArrayBuilder, ChunkFormat, Shape};
+use molap_array::{diffseq, lzw, ArrayBuilder, ChunkBuilder, ChunkFormat, Shape};
 use molap_storage::{BufferPool, MemDisk};
 use proptest::prelude::*;
 
@@ -59,12 +59,13 @@ proptest! {
     fn array_matches_hashmap_model(
         shape in shape_strategy(),
         cells in proptest::collection::vec((proptest::collection::vec(0u32..12, 4), -100i64..100), 0..100),
-        format_sel in 0u8..3,
+        format_sel in 0u8..4,
     ) {
         let format = match format_sel {
             0 => ChunkFormat::ChunkOffset,
             1 => ChunkFormat::Dense,
-            _ => ChunkFormat::DenseLzw,
+            2 => ChunkFormat::DenseLzw,
+            _ => ChunkFormat::DiffSeq,
         };
         let n = shape.n_dims();
         let mut model: HashMap<Vec<u32>, i64> = HashMap::new();
@@ -134,6 +135,41 @@ proptest! {
         }
         let enc = lzw::compress(&data);
         prop_assert_eq!(lzw::decompress(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn diffseq_roundtrips_and_decoders_agree(
+        occupancy in proptest::collection::vec(0u32..2000, 0..300),
+        n_measures in 1usize..4,
+        fill in 0u8..10,
+    ) {
+        let limit = 2000u32;
+        // Bias the distribution toward the structural edge cases the
+        // codec special-cases: empty chunks (no sections at all) and
+        // full chunks (every gap zero, width-0 blocks end to end).
+        let offsets: Vec<u32> = match fill {
+            0 => Vec::new(),
+            1 => (0..limit).collect(),
+            _ => occupancy
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect(),
+        };
+        let mut b = ChunkBuilder::new(n_measures);
+        for (i, &off) in offsets.iter().enumerate() {
+            let vals: Vec<i64> = (0..n_measures)
+                .map(|m| off as i64 * 31 - i as i64 + m as i64 * 7)
+                .collect();
+            b.add(off, &vals);
+        }
+        let chunk = b.build().unwrap();
+        let bytes = diffseq::compress(&chunk);
+        let slow = diffseq::decompress(&bytes, limit).unwrap();
+        let fast = diffseq::decompress_fast(&bytes, limit).unwrap();
+        // Bit-identical roundtrip through both decoders.
+        prop_assert_eq!(slow.to_bytes(), chunk.to_bytes());
+        prop_assert_eq!(fast.to_bytes(), chunk.to_bytes());
     }
 
     #[test]

@@ -37,6 +37,7 @@ fn bench_consolidation(c: &mut Criterion) {
         runs: 1,
         pool_bytes: 16 << 20,
         in_memory: true,
+        format: molap_core::ChunkFormat::ChunkOffset,
     };
     let spec = small_spec(5);
     let sel_level = spec.level_cards[0].len() - 1;

@@ -1,0 +1,349 @@
+//! PR 9 acceptance bench: the difference-sequence chunk codec and its
+//! streaming (offset, value) decode path.
+//!
+//! Matrix: cold/warm × streaming-vs-materialize × 1/2/4/8 threads ×
+//! all three compressed formats (chunk_offset, diff_seq, dense_lzw) on
+//! the paper's 1 %-dense Data Set 1 point. `streaming=true` delivers
+//! diff-seq chunks as validated raw bytes that the consumers gap-unpack
+//! → prefix-sum → kernel-remap without materializing a `Chunk`;
+//! `streaming=false` is the materialize-then-scan path on the same
+//! bytes (chunk_offset and dense_lzw always materialize, so their two
+//! columns bracket run-to-run noise). Every configuration is asserted
+//! bit-identical to the sequential oracle before its wall counts;
+//! minimum-of-N wall times throughout (noise is strictly additive).
+//!
+//! The on-disk size of every format is recorded alongside; the codec's
+//! acceptance bar is diff_seq ≤ 0.8× chunk_offset on this dataset.
+//!
+//! ```text
+//! bench_pr9 [--smoke] [--out <path>]
+//!
+//! --smoke    same per-chunk density on a 10x smaller cube, run as a
+//!            CI gate (streaming must not lose to the oracle)
+//! --out      output path (default BENCH_PR9.json in the CWD)
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use molap_array::ChunkFormat;
+use molap_bench::{PAPER_CHUNK_DIMS, PAPER_POOL_BYTES};
+use molap_core::{consolidate_pipelined, DimGrouping, OlapArray, PrefetchPlan, Query};
+use molap_datagen::{generate, CubeSpec};
+use molap_storage::{BufferPool, FileDisk};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Full-run acceptance: cold streaming(4) vs cold materialize(4) on
+/// diff_seq.
+const BAR_STREAMING: f64 = 1.3;
+/// On-disk size: diff_seq / chunk_offset on the 1 %-dense dataset.
+const BAR_SIZE_RATIO: f64 = 0.8;
+
+struct Sample {
+    mode: &'static str,
+    streaming: bool,
+    threads: usize,
+    wall_ms: f64,
+    physical_reads: u64,
+    prefetch_issued: u64,
+    prefetch_hits: u64,
+}
+
+struct FormatResult {
+    name: &'static str,
+    bytes: u64,
+    pages: u64,
+    seq_cold_ms: f64,
+    samples: Vec<Sample>,
+    /// cold materialize(4) / cold streaming(4).
+    streaming_speedup: f64,
+    /// cold sequential / cold streaming(4).
+    vs_oracle: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR9.json".into());
+    let runs = if smoke { 5 } else { 3 };
+
+    // 1 % density either way: the full run is the paper's Data Set 1
+    // third point (40^3 x 1000, 640k cells, 800 chunks); smoke shrinks
+    // the cube tenfold (40^3 x 100 at 1 %) which keeps the *per-chunk*
+    // occupancy identical (~800 of 40 000 cells), so gap widths — and
+    // therefore the size ratio the gate checks — match the full run.
+    let spec = if smoke {
+        CubeSpec::dataset2(0.01)
+    } else {
+        CubeSpec::dataset1(1000)
+    };
+    let query = Query::new(vec![DimGrouping::Level(0); 4]);
+    println!(
+        "dataset: 40x40x40x{}, {} valid cells ({:.1}% dense), {runs} runs per point",
+        spec.dim_sizes[3],
+        spec.valid_cells,
+        spec.density() * 100.0
+    );
+    let cube = generate(&spec).expect("generate cube");
+
+    let formats = [
+        ("chunk_offset", ChunkFormat::ChunkOffset),
+        ("diff_seq", ChunkFormat::DiffSeq),
+        ("dense_lzw", ChunkFormat::DenseLzw),
+    ];
+    let mut results = Vec::new();
+    for (name, format) in formats {
+        let (adt, store_path) = build(&cube, format);
+        let bytes = adt.array().total_bytes();
+        let pages = adt.array_pages();
+        println!(
+            "format {name}: {:.2} MB on disk ({pages} pages)",
+            bytes as f64 / 1048576.0
+        );
+        let expect = adt.consolidate(&query).expect("oracle query");
+
+        // Cold sequential oracle wall (min-of-N) for the smoke gate.
+        let pool = adt.pool();
+        let mut seq_walls = Vec::new();
+        for _ in 0..runs {
+            pool.clear().expect("cold pool");
+            let t0 = Instant::now();
+            let r = adt.consolidate(&query).expect("sequential run");
+            seq_walls.push(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(r, expect);
+        }
+        seq_walls.sort_by(|a, b| a.total_cmp(b));
+        let seq_cold_ms = seq_walls[0];
+        println!("  cold sequential oracle: {seq_cold_ms:8.2} ms");
+
+        let mut samples = Vec::new();
+        for streaming in [false, true] {
+            for &threads in &THREADS {
+                for mode in ["cold", "warm"] {
+                    let s = measure(&adt, &query, mode, streaming, threads, runs);
+                    println!(
+                        "  {mode:>4} stream={} t={threads}: {:8.2} ms, {:6} physical reads, \
+                         prefetch {}/{} issued/hit",
+                        if streaming { "on " } else { "off" },
+                        s.wall_ms,
+                        s.physical_reads,
+                        s.prefetch_issued,
+                        s.prefetch_hits
+                    );
+                    // Every configuration must agree with the oracle.
+                    let check = run_once(&adt, &query, streaming, threads);
+                    assert_eq!(
+                        check, expect,
+                        "{name} {mode} stream={streaming} t={threads}"
+                    );
+                    samples.push(s);
+                }
+            }
+        }
+        let cold_mat4 = point(&samples, "cold", false, 4);
+        let cold_str4 = point(&samples, "cold", true, 4);
+        let streaming_speedup = cold_mat4 / cold_str4;
+        let vs_oracle = seq_cold_ms / cold_str4;
+        println!(
+            "  {name}: cold materialize(4) {cold_mat4:.2} ms -> cold streaming(4) \
+             {cold_str4:.2} ms ({streaming_speedup:.2}x; {vs_oracle:.2}x vs oracle)"
+        );
+        results.push(FormatResult {
+            name,
+            bytes,
+            pages,
+            seq_cold_ms,
+            samples,
+            streaming_speedup,
+            vs_oracle,
+        });
+        drop(adt);
+        let _ = std::fs::remove_file(store_path);
+    }
+
+    let diffseq = results.iter().find(|r| r.name == "diff_seq").unwrap();
+    let chunkoffset = results.iter().find(|r| r.name == "chunk_offset").unwrap();
+    let size_ratio = diffseq.bytes as f64 / chunkoffset.bytes as f64;
+    let headline = diffseq.streaming_speedup;
+    println!(
+        "headline (diff_seq): streaming {headline:.2}x materialize (bar {BAR_STREAMING:.2}x), \
+         size ratio vs chunk_offset {size_ratio:.3} (bar {BAR_SIZE_RATIO:.2})"
+    );
+
+    let json = to_json(runs, &results, size_ratio, headline);
+    std::fs::write(&out, json).expect("write BENCH_PR9.json");
+    println!("wrote {out}");
+
+    let mut failed = false;
+    if size_ratio > BAR_SIZE_RATIO {
+        eprintln!(
+            "bench_pr9: FAIL — diff_seq is {size_ratio:.3}x chunk_offset on disk \
+             (must be <= {BAR_SIZE_RATIO:.2}x)"
+        );
+        failed = true;
+    }
+    if smoke {
+        // CI gate: the streaming decode must not lose to the oracle.
+        if diffseq.vs_oracle < 1.0 {
+            eprintln!(
+                "bench_pr9: FAIL — diff_seq cold streaming(4) is {:.2}x the sequential \
+                 oracle wall (must be <= 1.0x)",
+                1.0 / diffseq.vs_oracle
+            );
+            failed = true;
+        }
+    } else if headline < BAR_STREAMING {
+        eprintln!(
+            "bench_pr9: FAIL — diff_seq streaming speedup {headline:.2}x is below the \
+             {BAR_STREAMING:.2}x acceptance bar"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+type Cube = molap_datagen::GeneratedCube;
+
+/// File-backed pool + array in the given chunk format. The store file
+/// is returned for cleanup.
+fn build(cube: &Cube, format: ChunkFormat) -> (OlapArray, std::path::PathBuf) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "molap-bench-pr9-{}-{}.db",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let disk = FileDisk::create(&path).expect("create store");
+    let pool = Arc::new(BufferPool::with_bytes(Arc::new(disk), PAPER_POOL_BYTES));
+    let adt = cube
+        .build_olap(pool.clone(), &PAPER_CHUNK_DIMS, format)
+        .expect("build OLAP array");
+    pool.flush_all().expect("flush");
+    (adt, path)
+}
+
+/// Minimum-of-`runs` measurement of one (mode, streaming, threads)
+/// point.
+fn measure(
+    adt: &OlapArray,
+    query: &Query,
+    mode: &str,
+    streaming: bool,
+    threads: usize,
+    runs: usize,
+) -> Sample {
+    let pool = adt.pool();
+    if mode == "warm" {
+        // Prime the page table (and, on materializing paths, the
+        // decoded-chunk cache) once, untimed.
+        run_once(adt, query, streaming, threads);
+    }
+    let mut walls = Vec::with_capacity(runs);
+    let mut last = None;
+    for _ in 0..runs.max(1) {
+        if mode == "cold" {
+            pool.clear().expect("cold pool");
+        }
+        let before = pool.stats().snapshot();
+        let start = Instant::now();
+        run_once(adt, query, streaming, threads);
+        walls.push(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(pool.stats().snapshot().since(&before));
+    }
+    walls.sort_by(|a, b| a.total_cmp(b));
+    let io = last.expect("at least one run");
+    Sample {
+        mode: if mode == "cold" { "cold" } else { "warm" },
+        streaming,
+        threads,
+        wall_ms: walls[0],
+        physical_reads: io.physical_reads,
+        prefetch_issued: io.prefetch_issued,
+        prefetch_hits: io.prefetch_hits,
+    }
+}
+
+fn run_once(
+    adt: &OlapArray,
+    query: &Query,
+    streaming: bool,
+    threads: usize,
+) -> molap_core::ConsolidationResult {
+    let plan = PrefetchPlan::new(2, 16).with_streaming(streaming);
+    consolidate_pipelined(adt, query, threads, plan).expect("pipelined run")
+}
+
+fn point(samples: &[Sample], mode: &str, streaming: bool, threads: usize) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.mode == mode && s.streaming == streaming && s.threads == threads)
+        .expect("measured point")
+        .wall_ms
+}
+
+fn to_json(runs: usize, results: &[FormatResult], size_ratio: f64, headline: f64) -> String {
+    let mut j = String::from("{\n");
+    j.push_str("  \"bench\": \"pr9_diffseq_streaming_decode\",\n");
+    j.push_str("  \"query\": \"full consolidation (Query 1, group by h1 of 4 dims)\",\n");
+    j.push_str("  \"dataset\": \"1%-dense Data Set 1 point (see stdout for cube size)\",\n");
+    let _ = writeln!(j, "  \"runs_per_point\": {runs},");
+    j.push_str("  \"formats\": [\n");
+    for (fi, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"format\": \"{}\", \"bytes_on_disk\": {}, \"pages\": {}, \
+             \"cold_sequential_ms\": {:.3}, \"results\": [",
+            r.name, r.bytes, r.pages, r.seq_cold_ms
+        );
+        for (i, s) in r.samples.iter().enumerate() {
+            let _ = write!(
+                j,
+                "      {{\"mode\": \"{}\", \"streaming\": {}, \"threads\": {}, \
+                 \"wall_ms\": {:.3}, \"physical_reads\": {}, \"prefetch_issued\": {}, \
+                 \"prefetch_hits\": {}}}",
+                s.mode,
+                s.streaming,
+                s.threads,
+                s.wall_ms,
+                s.physical_reads,
+                s.prefetch_issued,
+                s.prefetch_hits
+            );
+            j.push_str(if i + 1 < r.samples.len() { ",\n" } else { "\n" });
+        }
+        let _ = writeln!(
+            j,
+            "    ], \"speedup_cold_streaming4_vs_cold_materialize4\": {:.3}, \
+             \"speedup_cold_streaming4_vs_cold_sequential\": {:.3}}}{}",
+            r.streaming_speedup,
+            r.vs_oracle,
+            if fi + 1 < results.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+    j.push_str(
+        "  \"baseline\": \"cold materialize-then-scan, pipeline on, same format \
+         (pool cleared per run)\",\n",
+    );
+    let _ = writeln!(
+        j,
+        "  \"diffseq_size_ratio_vs_chunk_offset\": {size_ratio:.4},"
+    );
+    let _ = writeln!(
+        j,
+        "  \"speedup_cold_streaming4_vs_cold_materialize4\": {headline:.3}"
+    );
+    j.push_str("}\n");
+    j
+}

@@ -273,7 +273,7 @@ fn storage(ctx: &Ctx) {
 
 fn ablation_compression(ctx: &Ctx) {
     use molap_array::ChunkFormat;
-    println!("\n== Ablation: chunk-offset vs LZW(dense) vs dense (§3.1/§3.3) ==");
+    println!("\n== Ablation: chunk-offset vs diff-seq vs LZW(dense) vs dense (§3.1/§3.3) ==");
     let spec = ctx.ds2(0.05);
     let cube = generate(&spec).expect("generate");
     println!(
@@ -283,6 +283,7 @@ fn ablation_compression(ctx: &Ctx) {
     let mut csv = Vec::new();
     for format in [
         ChunkFormat::ChunkOffset,
+        ChunkFormat::DiffSeq,
         ChunkFormat::DenseLzw,
         ChunkFormat::Dense,
     ] {
@@ -430,10 +431,38 @@ fn print_header(ctx: &Ctx) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    // `--format diffseq` (or `--format=diffseq`) selects the array's
+    // chunk codec for every fixture this run builds.
+    let mut format = molap_core::ChunkFormat::ChunkOffset;
+    let mut skip_next = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        let value = if let Some(v) = a.strip_prefix("--format=") {
+            Some(v.to_string())
+        } else if a == "--format" {
+            skip_next = true;
+            args.get(i + 1).cloned()
+        } else {
+            None
+        };
+        if let Some(v) = value {
+            format = molap_core::ChunkFormat::parse(&v).unwrap_or_else(|| {
+                eprintln!(
+                    "repro: unknown chunk format {v:?}; one of: {}",
+                    molap_core::ChunkFormat::ALL.map(|f| f.name()).join(", ")
+                );
+                std::process::exit(2);
+            });
+        }
+    }
     let targets: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
+        .enumerate()
+        .filter(|(i, a)| !(a.starts_with("--") || *i > 0 && args[i - 1] == "--format"))
+        .map(|(_, s)| s.as_str())
         .collect();
     let target = targets.first().copied().unwrap_or("all");
 
@@ -443,7 +472,8 @@ fn main() {
         harness: Harness {
             runs: if quick { 1 } else { 3 },
             ..Harness::default()
-        },
+        }
+        .with_format(format),
         quick,
         csv_dir,
     };

@@ -127,6 +127,8 @@ pub struct Harness {
     pub pool_bytes: usize,
     /// Use an in-memory disk instead of a temp file (unit tests).
     pub in_memory: bool,
+    /// Chunk codec for the OLAP array side of the fixture.
+    pub format: ChunkFormat,
 }
 
 impl Default for Harness {
@@ -135,11 +137,18 @@ impl Default for Harness {
             runs: 3,
             pool_bytes: PAPER_POOL_BYTES,
             in_memory: false,
+            format: ChunkFormat::ChunkOffset,
         }
     }
 }
 
 impl Harness {
+    /// Same harness with a different chunk codec.
+    pub fn with_format(mut self, format: ChunkFormat) -> Self {
+        self.format = format;
+        self
+    }
+
     /// Builds a fixture for `spec` with the given chunk shape.
     pub fn build(&self, spec: &CubeSpec, chunk_dims: &[u32]) -> Fixture {
         let cube = generate(spec).expect("generate cube");
@@ -148,7 +157,7 @@ impl Harness {
             pool.clone(),
             cube.dims.clone(),
             chunk_dims,
-            ChunkFormat::ChunkOffset,
+            self.format,
             cube.cells.iter().cloned(),
             spec.n_measures,
         )
@@ -295,6 +304,7 @@ mod tests {
             runs: 2,
             pool_bytes: 1 << 20,
             in_memory: true,
+            format: ChunkFormat::ChunkOffset,
         };
         let fx = h.build(&tiny_spec(), &[4, 4, 4, 4]);
         let q = Query::new(vec![DimGrouping::Drop; 4]);
@@ -319,6 +329,7 @@ mod tests {
             runs: 1,
             pool_bytes: 1 << 20,
             in_memory: false,
+            format: ChunkFormat::ChunkOffset,
         };
         let fx = h.build(&tiny_spec(), &[4, 4, 4, 4]);
         let q = Query::new(vec![

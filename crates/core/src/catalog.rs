@@ -531,6 +531,42 @@ mod tests {
     }
 
     #[test]
+    fn diffseq_arrays_persist_across_reopen() -> TestResult {
+        // The catalog stores the chunk format in the array meta, so a
+        // diff-seq array must reopen as diff-seq and keep answering
+        // queries identically.
+        let path = temp_path("diffseq");
+        let query = Query::new(vec![DimGrouping::Level(0), DimGrouping::Level(0)]);
+        let expected;
+        {
+            let db = Database::create(&path, 1 << 20)?;
+            let adt = OlapArray::build(
+                db.pool().clone(),
+                dims()?,
+                &[2, 2],
+                ChunkFormat::DiffSeq,
+                cells(),
+                1,
+            )?;
+            expected = adt.consolidate(&query)?;
+            db.save_olap_array("sales_ds", &adt)?;
+            db.checkpoint()?;
+        }
+        let db = Database::open(&path, 1 << 20)?;
+        let adt = db.open_olap_array("sales_ds")?;
+        assert_eq!(adt.array().format(), ChunkFormat::DiffSeq);
+        assert_eq!(adt.consolidate(&query)?, expected);
+        assert_eq!(
+            crate::consolidate_pipelined(&adt, &query, 2, crate::PrefetchPlan::new(2, 4))?,
+            expected
+        );
+        assert_eq!(adt.get_by_keys(&[1, 2])?, Some(vec![20]));
+        std::fs::remove_file(&path)?;
+        let _ = std::fs::remove_file(wal_path(&path));
+        Ok(())
+    }
+
+    #[test]
     fn type_confusion_and_missing_names_rejected() -> TestResult {
         let path = temp_path("types");
         let db = Database::create(&path, 1 << 20)?;

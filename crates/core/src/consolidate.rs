@@ -142,21 +142,56 @@ pub(crate) fn full_scan_consumer(
     pipe: &molap_array::ChunkPipeline,
 ) -> Result<ResultCube> {
     use crate::kernel::ChunkKernel;
+    use molap_array::diffseq::DiffSeqCursor;
+    use molap_array::ChunkPayload;
     let mut cube = make_cube(maps, adt.n_measures());
     let shape = adt.array().shape();
-    while let Some(item) = pipe.next() {
-        let (chunk_no, chunk) = match item {
+    let limit = shape.chunk_cells() as u32;
+    while let Some(item) = pipe.next_payload() {
+        let (chunk_no, payload) = match item {
             Ok(delivered) => delivered,
             Err(e) => {
                 pipe.shutdown();
                 return Err(e.into());
             }
         };
-        if chunk.valid_cells() == 0 {
-            continue;
+        match payload {
+            ChunkPayload::Chunk(chunk) => {
+                if chunk.valid_cells() == 0 {
+                    continue;
+                }
+                let kernel = ChunkKernel::new(shape, maps, &cube, chunk_no, None);
+                kernel.apply(&chunk, &mut cube);
+            }
+            // The streaming path: raw diff-seq bytes go gap-unpack →
+            // prefix-sum → kernel remap, never materializing a Chunk.
+            ChunkPayload::DiffSeq(bytes) => {
+                let mut cursor = match DiffSeqCursor::new(&bytes, limit) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        pipe.shutdown();
+                        return Err(e.into());
+                    }
+                };
+                if cursor.is_empty() {
+                    continue;
+                }
+                let p = cursor.n_measures();
+                let kernel = ChunkKernel::new(shape, maps, &cube, chunk_no, None);
+                loop {
+                    match cursor.next_batch() {
+                        Ok(Some((offsets, values))) => {
+                            kernel.apply_batch(offsets, values, p, &mut cube);
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            pipe.shutdown();
+                            return Err(e.into());
+                        }
+                    }
+                }
+            }
         }
-        let kernel = ChunkKernel::new(shape, maps, &cube, chunk_no, None);
-        kernel.apply(&chunk, &mut cube);
     }
     Ok(cube)
 }

@@ -25,13 +25,45 @@ use crate::result::ResultCube;
 /// excluded (selection miss or array padding).
 const SKIP: u64 = u64::MAX;
 
+/// Batch width of the streaming entry point — matches the diff-seq
+/// decoder's block size so one decoded gap block is one kernel batch.
+const BATCH: usize = molap_array::diffseq::BLOCK;
+
 struct DimTable {
     /// Within-chunk stride of the dimension in the offset encoding.
     cell_stride: u64,
     /// Chunk extent along the dimension.
     extent: u64,
+    /// Precomputed `ceil(2^64 / cell_stride)` for strength-reduced
+    /// division in the batch path; `0` is the divisor-is-one sentinel
+    /// (the true magic would overflow u64).
+    stride_magic: u64,
+    /// Same, for `extent`.
+    extent_magic: u64,
     /// Within-chunk coordinate → result-cell contribution, or [`SKIP`].
     remap: Vec<u64>,
+}
+
+/// `ceil(2^64 / d)` as a u64, with `0` standing in for `d == 1`.
+fn div_magic(d: u64) -> u64 {
+    if d == 1 {
+        0
+    } else {
+        u64::MAX / d + 1
+    }
+}
+
+/// `n / d` via the precomputed magic. Exact for `n < 2^32`, `d < 2^32`
+/// (Lemire, Kaser & Kurz, "Faster remainder by direct computation"),
+/// which chunk geometry guarantees: offsets and strides both fit in
+/// u32 because `Shape::new` caps the per-chunk cell count.
+#[inline(always)]
+fn fast_div(n: u64, magic: u64) -> u64 {
+    if magic == 0 {
+        n
+    } else {
+        ((magic as u128 * n as u128) >> 64) as u64
+    }
 }
 
 /// A once-per-chunk specialization of phase-2 aggregation.
@@ -77,9 +109,12 @@ impl ChunkKernel {
                     }
                 })
                 .collect();
+            let cell_stride = shape.cell_stride(d);
             tables.push(DimTable {
-                cell_stride: shape.cell_stride(d),
+                cell_stride,
                 extent: extent as u64,
+                stride_magic: div_magic(cell_stride),
+                extent_magic: div_magic(extent as u64),
                 remap,
             });
         }
@@ -102,6 +137,46 @@ impl ChunkKernel {
             }
             cube.add_linear(cell as usize, values);
         });
+    }
+
+    /// Streaming entry point: aggregates a decoded `(offset, measures)`
+    /// batch without a materialized [`Chunk`]. `values` is row-major,
+    /// `offsets.len() * n_measures` long — exactly what
+    /// [`molap_array::diffseq::DiffSeqCursor::next_batch`] yields.
+    ///
+    /// The remap phase runs column-wise over a fixed-width cell buffer
+    /// with strength-reduced division and no per-cell branching:
+    /// excluded cells saturate to [`SKIP`] and are dropped in the final
+    /// scatter. Bit-identical to [`ChunkKernel::apply`] (aggregate
+    /// folds are order-independent).
+    pub(crate) fn apply_batch(
+        &self,
+        offsets: &[u32],
+        values: &[i64],
+        n_measures: usize,
+        cube: &mut ResultCube,
+    ) {
+        debug_assert_eq!(values.len(), offsets.len() * n_measures);
+        let mut cells = [0u64; BATCH];
+        for (block, offs) in offsets.chunks(BATCH).enumerate() {
+            let k = offs.len();
+            cells[..k].fill(0);
+            for t in &self.tables {
+                for (cell, &off) in cells[..k].iter_mut().zip(offs) {
+                    let q = fast_div(off as u64, t.stride_magic);
+                    let within = q - fast_div(q, t.extent_magic) * t.extent;
+                    // SKIP is u64::MAX, so a masked dimension pins the
+                    // cell at SKIP no matter what later tables add.
+                    *cell = cell.saturating_add(t.remap[within as usize]);
+                }
+            }
+            for (i, &cell) in cells[..k].iter().enumerate() {
+                if cell != SKIP {
+                    let row = (block * BATCH + i) * n_measures;
+                    cube.add_linear(cell as usize, &values[row..row + n_measures]);
+                }
+            }
+        }
     }
 }
 
@@ -176,6 +251,78 @@ mod tests {
                 expect.into_result(&q.aggs).unwrap(),
                 "{q:?}"
             );
+        }
+    }
+
+    #[test]
+    fn batch_path_matches_apply() {
+        // The streaming batch entry point (strength-reduced division,
+        // saturating SKIP accumulation) must agree with the per-cell
+        // `apply` on every grouping shape, including masked dimensions
+        // and ragged batch tails.
+        let adt = build();
+        let shape = adt.array().shape();
+        let mask: Vec<Vec<bool>> = (0..2)
+            .map(|d| {
+                (0..shape.chunk_dims()[d] as usize)
+                    .map(|w| d != 0 || w % 2 == 0)
+                    .collect()
+            })
+            .collect();
+        for group_by in [
+            vec![DimGrouping::Level(0), DimGrouping::Level(0)],
+            vec![DimGrouping::Key, DimGrouping::Drop],
+            vec![DimGrouping::Drop, DimGrouping::Drop],
+        ] {
+            for membership in [None, Some(&mask)] {
+                let q = Query::new(group_by.clone());
+                let (maps, _) = phase1(&adt, &q, BuildResultBtrees::No).unwrap();
+                let mut expect = make_cube(&maps, adt.n_measures());
+                let mut cube = make_cube(&maps, adt.n_measures());
+                for chunk_no in 0..shape.num_chunks() {
+                    let chunk = adt.array().read_chunk(chunk_no).unwrap();
+                    let kernel = ChunkKernel::new(
+                        shape,
+                        &maps,
+                        &cube,
+                        chunk_no,
+                        membership.map(|m| m.as_slice()),
+                    );
+                    kernel.apply(&chunk, &mut expect);
+                    // Re-batch the chunk's cells in uneven slices so
+                    // both the full-BATCH and tail paths are hit.
+                    let mut offsets = Vec::new();
+                    let mut values = Vec::new();
+                    chunk.for_each_valid(|off, vals| {
+                        offsets.push(off);
+                        values.extend_from_slice(vals);
+                    });
+                    let p = adt.n_measures();
+                    let mut at = 0;
+                    for step in [1usize, 3, BATCH, BATCH + 7] {
+                        if at >= offsets.len() {
+                            break;
+                        }
+                        let end = (at + step).min(offsets.len());
+                        kernel.apply_batch(
+                            &offsets[at..end],
+                            &values[at * p..end * p],
+                            p,
+                            &mut cube,
+                        );
+                        at = end;
+                    }
+                    if at < offsets.len() {
+                        kernel.apply_batch(&offsets[at..], &values[at * p..], p, &mut cube);
+                    }
+                }
+                assert_eq!(
+                    cube.into_result(&q.aggs).unwrap(),
+                    expect.into_result(&q.aggs).unwrap(),
+                    "{group_by:?} masked={}",
+                    membership.is_some()
+                );
+            }
         }
     }
 

@@ -96,12 +96,15 @@ pub mod util;
 mod write;
 
 pub use adt::OlapArray;
+// Re-exported so downstream crates (datagen, CLI, benches) can select
+// the chunk codec without a direct molap-array dependency.
 pub use aggregate::{AggFunc, AggState, AggValue};
 pub use bitmapjoin::{bitmap_consolidate, JoinBitmapIndexes};
 pub use catalog::{Database, ObjectKind};
 pub use cube_op::{compute_cube, CubeSlice};
 pub use dimension::DimensionTable;
 pub use error::{Error, Result};
+pub use molap_array::ChunkFormat;
 pub use parallel::{consolidate_auto, consolidate_parallel, consolidate_pipelined, PrefetchPlan};
 pub use query::{AttrRef, DimGrouping, Pred, Query, Selection};
 pub use rescache::{shared_result_cache, CacheKey, ResultCache};

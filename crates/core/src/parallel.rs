@@ -43,6 +43,12 @@ pub struct PrefetchPlan {
     pub prefetchers: usize,
     /// Delivery-queue bound: decoded chunks held ahead of consumption.
     pub depth: usize,
+    /// Deliver diff-seq chunks as validated raw bytes so consumers can
+    /// stream (offset, measures) batches straight into the kernels
+    /// instead of materializing a `Chunk` first. On by default; other
+    /// formats always materialize. Turn off to benchmark the
+    /// materialize-then-scan path on the same data.
+    pub streaming: bool,
 }
 
 impl PrefetchPlan {
@@ -51,6 +57,7 @@ impl PrefetchPlan {
         PrefetchPlan {
             prefetchers: prefetchers.max(1),
             depth: depth.max(1),
+            streaming: true,
         }
     }
 
@@ -61,6 +68,12 @@ impl PrefetchPlan {
     /// decoded chunks in flight.
     pub fn auto(num_chunks: u64) -> Self {
         PrefetchPlan::new(2, (num_chunks / 4).clamp(4, 16) as usize)
+    }
+
+    /// Same plan with streaming delivery switched on or off.
+    pub fn with_streaming(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
+        self
     }
 }
 
@@ -115,7 +128,9 @@ pub(crate) fn consolidate_pipelined_cube(
     // this generation, reading pinned pre-images where a writer has
     // since overwritten bytes in place.
     let snap = shared_version_table(adt.pool()).map(|vt| vt.begin_snapshot());
-    let pipe = ChunkPipeline::new(adt.pool().clone(), chunk_nos, plan.depth).with_snapshot(snap);
+    let pipe = ChunkPipeline::new(adt.pool().clone(), chunk_nos, plan.depth)
+        .with_snapshot(snap)
+        .with_streaming(plan.streaming);
     let cubes = crossbeam::thread::scope(|scope| {
         for _ in 0..plan.prefetchers {
             scope.spawn(|_| pipe.run_worker(adt.array()));
@@ -326,6 +341,10 @@ mod tests {
     use std::sync::Arc;
 
     fn build(cells: usize) -> OlapArray {
+        build_fmt(cells, ChunkFormat::ChunkOffset)
+    }
+
+    fn build_fmt(cells: usize, format: ChunkFormat) -> OlapArray {
         let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 4096));
         let dims = vec![
             DimensionTable::build(
@@ -346,7 +365,7 @@ mod tests {
             .filter(|(k, _)| (k[0] * 13 + k[1] * 7) % 3 != 0)
             .take(cells)
             .collect();
-        OlapArray::build(pool, dims, &[7, 6], ChunkFormat::ChunkOffset, all, 1).unwrap()
+        OlapArray::build(pool, dims, &[7, 6], format, all, 1).unwrap()
     }
 
     #[test]
@@ -451,6 +470,59 @@ mod tests {
             ] {
                 let piped = consolidate_pipelined(&adt, q, workers, plan).unwrap();
                 assert_eq!(piped, sequential, "{workers} workers, {plan:?}, {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn diffseq_streaming_matches_sequential_oracle() {
+        // The tentpole acceptance oracle: on a DiffSeq array, pipelined
+        // streaming consolidation (no chunk materialization on the scan
+        // path) must be bit-identical to the sequential `consolidate`,
+        // across all five aggregates, both §4.2 directions, and the
+        // materialize-then-scan pipeline as a third witness.
+        use crate::aggregate::AggFunc;
+        let adt = build_fmt(300, ChunkFormat::DiffSeq);
+        let queries = vec![
+            // Full scans (streaming full_scan_consumer).
+            Query::new(vec![DimGrouping::Level(0), DimGrouping::Level(0)]),
+            Query::new(vec![DimGrouping::Key, DimGrouping::Drop]),
+            Query::new(vec![DimGrouping::Drop, DimGrouping::Drop]),
+            // Broad selection: scan direction, masked streaming kernel.
+            Query::new(vec![DimGrouping::Level(0), DimGrouping::Level(0)])
+                .with_selection(0, Selection::in_list(AttrRef::Level(0), vec![0, 2])),
+            // Narrow key probes: probe direction materializes.
+            Query::new(vec![DimGrouping::Key, DimGrouping::Drop])
+                .with_selection(0, Selection::in_list(AttrRef::Key, vec![3, 17, 29]))
+                .with_selection(1, Selection::eq(AttrRef::Key, 5)),
+            // Empty selection.
+            Query::new(vec![DimGrouping::Level(0), DimGrouping::Drop])
+                .with_selection(0, Selection::eq(AttrRef::Level(0), 99)),
+        ];
+        for base in &queries {
+            for agg in [
+                AggFunc::Sum,
+                AggFunc::Count,
+                AggFunc::Min,
+                AggFunc::Max,
+                AggFunc::Avg,
+            ] {
+                let q = base.clone().with_aggs(vec![agg]);
+                let sequential = adt.consolidate(&q).unwrap();
+                for (workers, plan) in [
+                    (1, PrefetchPlan::new(1, 1)),
+                    (2, PrefetchPlan::new(2, 4)),
+                    (4, PrefetchPlan::new(3, 16)),
+                ] {
+                    adt.pool().clear().unwrap(); // cold: force the byte path
+                    let streamed = consolidate_pipelined(&adt, &q, workers, plan).unwrap();
+                    assert_eq!(streamed, sequential, "streaming {workers}w {plan:?} {q:?}");
+                    adt.pool().clear().unwrap();
+                    let materialized =
+                        consolidate_pipelined(&adt, &q, workers, plan.with_streaming(false))
+                            .unwrap();
+                    assert_eq!(materialized, sequential, "materialize {workers}w {q:?}");
+                }
             }
         }
     }

@@ -276,37 +276,86 @@ pub(crate) fn selection_consumer(
     pipe: &molap_array::ChunkPipeline,
 ) -> Result<crate::result::ResultCube> {
     use crate::kernel::ChunkKernel;
+    use molap_array::diffseq::DiffSeqCursor;
+    use molap_array::ChunkPayload;
     let shape = adt.array().shape();
+    let limit = shape.chunk_cells() as u32;
     let mut cube = make_cube(maps, adt.n_measures());
     let mut ranks = vec![0u32; maps.len()];
-    while let Some(item) = pipe.next() {
-        let (chunk_no, chunk) = match item {
+    while let Some(item) = pipe.next_payload() {
+        let (chunk_no, payload) = match item {
             Ok(delivered) => delivered,
             Err(e) => {
                 pipe.shutdown();
                 return Err(e.into());
             }
         };
-        if chunk.valid_cells() == 0 {
-            continue;
-        }
         // Candidates ascend in chunk number (odometer order), so the
         // delivered chunk's selection cursor is a binary search away.
-        let ci = candidates
-            .binary_search_by_key(&chunk_no, |c| c.0)
-            .map_err(|_| {
-                crate::error::Error::Internal("pipelined chunk missing from candidates".into())
-            })?;
-        let chunk_sel = &candidates[ci].1;
+        let ci = candidates.binary_search_by_key(&chunk_no, |c| c.0).ok();
+        let Some((_, chunk_sel)) = ci.and_then(|i| candidates.get(i)) else {
+            return Err(crate::error::Error::Internal(
+                "pipelined chunk missing from candidates".into(),
+            ));
+        };
         let cross: u64 = (0..probes.len())
             .map(|d| probes[d].groups[chunk_sel[d]].indices.len() as u64)
             .product();
-        if cross > chunk.valid_cells() {
-            let membership = chunk_membership(shape, probes, chunk_sel);
-            let kernel = ChunkKernel::new(shape, maps, &cube, chunk_no, Some(&membership));
-            kernel.apply(&chunk, &mut cube);
-        } else {
-            probe_chunk(adt, &chunk, probes, chunk_sel, maps, &mut ranks, &mut cube);
+        match payload {
+            ChunkPayload::Chunk(chunk) => {
+                if chunk.valid_cells() == 0 {
+                    continue;
+                }
+                if cross > chunk.valid_cells() {
+                    let membership = chunk_membership(shape, probes, chunk_sel);
+                    let kernel = ChunkKernel::new(shape, maps, &cube, chunk_no, Some(&membership));
+                    kernel.apply(&chunk, &mut cube);
+                } else {
+                    probe_chunk(adt, &chunk, probes, chunk_sel, maps, &mut ranks, &mut cube);
+                }
+            }
+            ChunkPayload::DiffSeq(bytes) => {
+                let mut cursor = match DiffSeqCursor::new(&bytes, limit) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        pipe.shutdown();
+                        return Err(e.into());
+                    }
+                };
+                if cursor.is_empty() {
+                    continue;
+                }
+                if cross > cursor.len() as u64 {
+                    // Scan direction streams: membership masks fold
+                    // into the kernel tables, batches feed it directly.
+                    let p = cursor.n_measures();
+                    let membership = chunk_membership(shape, probes, chunk_sel);
+                    let kernel = ChunkKernel::new(shape, maps, &cube, chunk_no, Some(&membership));
+                    loop {
+                        match cursor.next_batch() {
+                            Ok(Some((offsets, values))) => {
+                                kernel.apply_batch(offsets, values, p, &mut cube);
+                            }
+                            Ok(None) => break,
+                            Err(e) => {
+                                pipe.shutdown();
+                                return Err(e.into());
+                            }
+                        }
+                    }
+                } else {
+                    // Probe direction needs random access by offset —
+                    // one of the paths that genuinely wants a Chunk.
+                    let chunk = match ChunkPayload::DiffSeq(bytes).into_chunk(limit) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            pipe.shutdown();
+                            return Err(e.into());
+                        }
+                    };
+                    probe_chunk(adt, &chunk, probes, chunk_sel, maps, &mut ranks, &mut cube);
+                }
+            }
         }
     }
     Ok(cube)

@@ -40,8 +40,10 @@
 #![forbid(unsafe_code)]
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
-use molap_core::{DimensionTable, Result};
+use molap_core::{ChunkFormat, DimensionTable, OlapArray, Result};
+use molap_storage::BufferPool;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -176,6 +178,25 @@ impl GeneratedCube {
     /// engines' global aggregate).
     pub fn total_volume(&self) -> i64 {
         self.cells.iter().map(|(_, m)| m[0]).sum()
+    }
+
+    /// Builds the OLAP Array ADT for this cube on `pool` in the given
+    /// chunk codec — the one-flag format selection every test/bench
+    /// harness plumbs through.
+    pub fn build_olap(
+        &self,
+        pool: Arc<BufferPool>,
+        chunk_dims: &[u32],
+        format: ChunkFormat,
+    ) -> Result<OlapArray> {
+        OlapArray::build(
+            pool,
+            self.dims.clone(),
+            chunk_dims,
+            format,
+            self.cells.iter().cloned(),
+            self.spec.n_measures,
+        )
     }
 }
 
@@ -462,6 +483,29 @@ mod tests {
         assert_eq!(cube.dims[0].label(0, 0), "AA0");
         assert_eq!(cube.dims[0].label(1, 1), "AB1");
         assert_eq!(cube.dims[0].code_of_label(0, "AA3"), Some(3));
+    }
+
+    #[test]
+    fn build_olap_selects_the_chunk_codec() {
+        use molap_storage::MemDisk;
+        let cube = generate(&small_spec()).unwrap();
+        let q = molap_core::Query::new(vec![
+            molap_core::DimGrouping::Level(0),
+            molap_core::DimGrouping::Drop,
+            molap_core::DimGrouping::Drop,
+        ]);
+        let mut results = Vec::new();
+        for format in [
+            ChunkFormat::ChunkOffset,
+            ChunkFormat::Dense,
+            ChunkFormat::DiffSeq,
+        ] {
+            let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 1024));
+            let adt = cube.build_olap(pool, &[5, 4, 3], format).unwrap();
+            assert_eq!(adt.array().format(), format);
+            results.push(adt.consolidate(&q).unwrap());
+        }
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

@@ -71,6 +71,10 @@ echo "==> bench_pr8 --smoke (optimistic reads >= 1.0x mutex at 1 thread; >= 1.5x
 cargo run -q --release --offline -p molap-bench --bin bench_pr8 -- \
   --smoke --out target/BENCH_PR8.smoke.json > /dev/null
 
+echo "==> bench_pr9 --smoke (diff-seq: streaming >= oracle, size <= 0.8x chunk-offset)"
+cargo run -q --release --offline -p molap-bench --bin bench_pr9 -- \
+  --smoke --out target/BENCH_PR9.smoke.json > /dev/null
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -33,7 +33,7 @@ use std::io::{BufRead, Write};
 use std::time::Instant;
 
 use molap::array::ChunkFormat;
-use molap::core::{Database, JoinBitmapIndexes, ObjectKind, OlapArray, StarSchema};
+use molap::core::{Database, JoinBitmapIndexes, ObjectKind, StarSchema};
 use molap::datagen::{generate, AttrLayout, CubeSpec};
 use molap::server::{ClientError, ServerClient};
 
@@ -156,7 +156,7 @@ fn run_command(backend: &mut Backend, line: &str) -> Result<bool, Box<dyn std::e
         ".quit" | ".exit" => return Ok(true),
         ".help" => {
             println!(
-                ".tables | .schema <name> | .load demo | .stats | .checkpoint | .ping | \
+                ".tables | .schema <name> | .load demo [format] | .stats | .checkpoint | .ping | \
                  .shutdown-server | .quit\n\
                  or a SQL statement: SELECT SUM(volume), d.attr FROM <object> \
                  [WHERE d.attr = v | IN (..) | BETWEEN a AND b] [GROUP BY d.attr, ...]"
@@ -248,12 +248,29 @@ fn run_command(backend: &mut Backend, line: &str) -> Result<bool, Box<dyn std::e
                 println!(".checkpoint is embedded-only; the server checkpoints on shutdown")
             }
         },
-        ".load demo" => match backend {
-            Backend::Local(db) => load_demo(db)?,
-            Backend::Remote(_) => {
-                println!(".load demo is embedded-only; load data on the server side")
+        cmd if cmd == ".load demo" || cmd.starts_with(".load demo ") => {
+            let rest = cmd.trim_start_matches(".load demo").trim();
+            let format = if rest.is_empty() {
+                ChunkFormat::ChunkOffset
+            } else {
+                match ChunkFormat::parse(rest) {
+                    Some(f) => f,
+                    None => {
+                        println!(
+                            "unknown chunk format {rest:?}; one of: {}",
+                            ChunkFormat::ALL.map(|f| f.name()).join(", ")
+                        );
+                        return Ok(false);
+                    }
+                }
+            };
+            match backend {
+                Backend::Local(db) => load_demo(db, format)?,
+                Backend::Remote(_) => {
+                    println!(".load demo is embedded-only; load data on the server side")
+                }
             }
-        },
+        }
         ".ping" => match backend {
             Backend::Local(_) => println!("pong (embedded — nothing to ping)"),
             Backend::Remote(client) => {
@@ -332,7 +349,8 @@ fn show_schema(db: &Database, name: &str) -> molap::core::Result<()> {
 }
 
 /// Generates a small star schema and catalogs it in all three forms.
-fn load_demo(db: &Database) -> molap::core::Result<()> {
+/// `format` selects the array's chunk codec (`.load demo diffseq`).
+fn load_demo(db: &Database, format: ChunkFormat) -> molap::core::Result<()> {
     let spec = CubeSpec {
         dim_sizes: vec![30, 20, 16],
         level_cards: vec![vec![5, 2], vec![4, 2], vec![4, 2]],
@@ -343,14 +361,7 @@ fn load_demo(db: &Database) -> molap::core::Result<()> {
         layout: AttrLayout::Blocked,
     };
     let cube = generate(&spec)?;
-    let adt = OlapArray::build(
-        db.pool().clone(),
-        cube.dims.clone(),
-        &[10, 10, 8],
-        ChunkFormat::ChunkOffset,
-        cube.cells.iter().cloned(),
-        1,
-    )?;
+    let adt = cube.build_olap(db.pool().clone(), &[10, 10, 8], format)?;
     let schema = StarSchema::build(
         db.pool().clone(),
         cube.dims.clone(),
