@@ -124,6 +124,47 @@ impl Bitmap {
         }
     }
 
+    /// `self |= b₀ | b₁ | …` in one pass: each word of `self` is read
+    /// and written once no matter how many operands are OR'd in, so the
+    /// accumulator stays in a register instead of bouncing through the
+    /// heap per operand. This is the bulk merge under the hierarchical
+    /// bitmap index's range covers and IN-list probes, where one
+    /// predicate ORs dozens of decompressed node bitmaps.
+    pub fn or_assign_many(&mut self, others: &[Bitmap]) {
+        for o in others {
+            assert_eq!(self.nbits, o.nbits, "bitmap length mismatch");
+        }
+        for (i, w) in self.words.iter_mut().enumerate() {
+            let mut acc = *w;
+            for o in others {
+                acc |= o.words[i];
+            }
+            *w = acc;
+        }
+    }
+
+    /// Appends every set-bit position to `out`, ascending — the bulk
+    /// form of [`Bitmap::iter_ones`]. Zero words are skipped at word
+    /// granularity and set words are drained with `trailing_zeros`,
+    /// without per-bit iterator state; `out` is grown by exactly
+    /// [`Bitmap::count_ones`] entries in one reservation.
+    ///
+    /// Positions are returned as `u32` because every consumer (array
+    /// index lists, fact-tuple numbers) is 32-bit addressed; bitmaps
+    /// wider than `u32::MAX` bits are not constructible in practice.
+    pub fn ones_into(&self, out: &mut Vec<u32>) {
+        debug_assert!(self.nbits <= u32::MAX as usize, "bitmap too wide for u32");
+        out.reserve(self.count_ones() as usize);
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            let base = (wi * WORD_BITS) as u32;
+            while w != 0 {
+                out.push(base + w.trailing_zeros());
+                w &= w - 1; // clear lowest set bit
+            }
+        }
+    }
+
     /// Serializes as `nbits (u64 LE)` followed by the raw words.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = vec![0u8; 8 + self.words.len() * 8];
@@ -261,6 +302,58 @@ mod tests {
         assert_eq!(bm.iter_ones().collect::<Vec<_>>(), positions);
         assert!(Bitmap::new(100).iter_ones().next().is_none());
         assert!(Bitmap::new(0).iter_ones().next().is_none());
+    }
+
+    #[test]
+    fn or_assign_many_matches_repeated_or() {
+        let mut operands = Vec::new();
+        for step in 2..6usize {
+            let mut bm = Bitmap::new(300);
+            for i in (step..300).step_by(step) {
+                bm.set(i);
+            }
+            operands.push(bm);
+        }
+        let mut bulk = Bitmap::new(300);
+        bulk.set(0);
+        let mut serial = bulk.clone();
+        bulk.or_assign_many(&operands);
+        for o in &operands {
+            serial.or_assign(o);
+        }
+        assert_eq!(bulk, serial);
+        // OR with nothing is the identity.
+        let before = bulk.clone();
+        bulk.or_assign_many(&[]);
+        assert_eq!(bulk, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn or_assign_many_length_checked() {
+        Bitmap::new(10).or_assign_many(&[Bitmap::new(10), Bitmap::new(11)]);
+    }
+
+    #[test]
+    fn ones_into_matches_iter_ones() {
+        let mut bm = Bitmap::new(517);
+        for i in (0..517).step_by(7) {
+            bm.set(i);
+        }
+        bm.set(63);
+        bm.set(64);
+        bm.set(516);
+        let mut bulk = vec![999u32]; // appends, never clears
+        bm.ones_into(&mut bulk);
+        let mut expect = vec![999u32];
+        expect.extend(bm.iter_ones().map(|p| p as u32));
+        assert_eq!(bulk, expect);
+
+        let mut empty = Vec::new();
+        Bitmap::new(100).ones_into(&mut empty);
+        assert!(empty.is_empty());
+        Bitmap::new(0).ones_into(&mut empty);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -1,0 +1,782 @@
+//! Multi-level hierarchical bitmap index (HBI) for range and
+//! membership selections over array positions, per "Hierarchical
+//! Bitmap Indexing for Range and Membership Queries on Multidimensional
+//! Arrays" (arXiv:2108.13735).
+//!
+//! The leaf level holds one bitmap per distinct attribute value, in
+//! value order, over the `nbits` array positions of the indexed
+//! dimension. Each upper level ORs `fanout` consecutive children into
+//! one coarser bitmap, so a contiguous run of leaves — exactly what a
+//! range predicate selects — is covered by O(fanout · log_fanout V)
+//! nodes instead of one bitmap per qualifying value: the run's
+//! unaligned edges are peeled leaf by leaf and the aligned middle
+//! ascends to ever-coarser nodes, segment-tree style.
+//!
+//! [`HbiIndex`] is the build-time form; [`HbiIndex::persist`] freezes
+//! it into a [`StoredHbi`] whose node bitmaps live RLE-compressed in a
+//! pool-backed large-object store (the [`crate::StoredBitmapIndex`]
+//! pattern), so probes cost real, counted buffer-pool I/O. The value
+//! directory and node LOB ids travel in the metadata blob
+//! ([`StoredHbi::meta_to_bytes`]); the bitmaps themselves stay at rest
+//! until a probe fetches them.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use molap_storage::util::{read_i64, read_u32, read_u64, write_i64, write_u32, write_u64};
+use molap_storage::{BufferPool, LobId, LobStore, Result, StorageError};
+
+use crate::bitmap::Bitmap;
+use crate::rle;
+
+/// Default tree fanout: each upper-level node ORs this many children.
+/// 8 keeps range covers short (≤ `2·(fanout−1)` edge peels plus a few
+/// interior nodes per level) while the tree stays shallow — a million
+/// distinct values need only 7 levels.
+pub const HBI_FANOUT: usize = 8;
+
+/// Hard ceiling on persisted level counts: `2^48` leaves at the
+/// minimum fanout of 2 — far beyond any constructible index, so a
+/// larger claim in a metadata blob is corruption, not data.
+const MAX_LEVELS: usize = 48;
+
+/// Build-time hierarchical bitmap index.
+#[derive(Clone, Debug)]
+pub struct HbiIndex {
+    nbits: usize,
+    fanout: usize,
+    /// Distinct indexed values, ascending; index = leaf position.
+    values: Vec<i64>,
+    /// `levels[0]` = leaf bitmaps (one per value, value order);
+    /// `levels[k+1][i]` = OR of `levels[k][i·fanout .. (i+1)·fanout]`.
+    levels: Vec<Vec<Bitmap>>,
+}
+
+impl HbiIndex {
+    /// Builds the index from one attribute code per array position:
+    /// `codes[pos]` is the value position `pos` carries. Uses
+    /// [`HBI_FANOUT`].
+    pub fn build(codes: &[i64]) -> Self {
+        Self::build_with_fanout(codes, HBI_FANOUT)
+    }
+
+    /// [`HbiIndex::build`] with an explicit tree fanout (≥ 2).
+    pub fn build_with_fanout(codes: &[i64], fanout: usize) -> Self {
+        assert!(fanout >= 2, "HBI fanout must be at least 2");
+        let nbits = codes.len();
+        let mut map: BTreeMap<i64, Bitmap> = BTreeMap::new();
+        for (pos, &v) in codes.iter().enumerate() {
+            map.entry(v).or_insert_with(|| Bitmap::new(nbits)).set(pos);
+        }
+        let values: Vec<i64> = map.keys().copied().collect();
+        let mut levels = vec![map.into_values().collect::<Vec<_>>()];
+        while levels.last().expect("leaf level").len() > 1 {
+            let prev = levels.last().expect("previous level");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(fanout));
+            for group in prev.chunks(fanout) {
+                let mut acc = group[0].clone();
+                acc.or_assign_many(&group[1..]);
+                next.push(acc);
+            }
+            levels.push(next);
+        }
+        HbiIndex {
+            nbits,
+            fanout,
+            values,
+            levels,
+        }
+    }
+
+    /// Array positions each bitmap covers.
+    pub fn nbits(&self) -> usize {
+        self.nbits
+    }
+
+    /// Number of distinct indexed values (= leaf bitmaps).
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of tree levels, leaves included.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// OR of the leaves for all indexed values in `lo ..= hi`, via the
+    /// aligned cover (no I/O; build-time form). The oracle the stored
+    /// probes are tested against.
+    pub fn range_bitmap(&self, lo: i64, hi: i64) -> Bitmap {
+        let mut acc = Bitmap::new(self.nbits);
+        let (i, j) = leaf_span(&self.values, lo, hi);
+        if i < j {
+            let lens: Vec<usize> = self.levels.iter().map(Vec::len).collect();
+            for (level, pos) in cover_nodes(self.fanout, &lens, i, j - 1) {
+                acc.or_assign(&self.levels[level][pos]);
+            }
+        }
+        acc
+    }
+
+    /// Writes every node bitmap (RLE-compressed, leaves first) into
+    /// `pool`-backed large objects and returns the persistent form.
+    pub fn persist(&self, pool: Arc<BufferPool>) -> Result<StoredHbi> {
+        let lobs = LobStore::new(pool);
+        let mut levels = Vec::with_capacity(self.levels.len());
+        for level in &self.levels {
+            let mut ids = Vec::with_capacity(level.len());
+            for bm in level {
+                ids.push(lobs.append(&rle::compress(bm))?);
+            }
+            levels.push(ids);
+        }
+        Ok(StoredHbi {
+            nbits: self.nbits,
+            fanout: self.fanout,
+            values: self.values.clone(),
+            levels,
+            lobs,
+        })
+    }
+}
+
+/// Persisted hierarchical bitmap index: node bitmaps at rest as RLE
+/// large objects, probed through the buffer pool.
+pub struct StoredHbi {
+    nbits: usize,
+    fanout: usize,
+    values: Vec<i64>,
+    /// LOB id per node, mirroring [`HbiIndex::levels`].
+    levels: Vec<Vec<LobId>>,
+    lobs: LobStore,
+}
+
+impl StoredHbi {
+    /// Builds and persists the index in one streaming pass with
+    /// [`HBI_FANOUT`]: node bitmaps go to the LOB store as their
+    /// subtrees complete, so peak memory is O(levels · fanout ·
+    /// nbits/8) instead of the O(values · nbits/8) that
+    /// [`HbiIndex::build`] materializes — the form array build uses,
+    /// where a key attribute has one distinct value per row.
+    pub fn build(pool: Arc<BufferPool>, codes: &[i64]) -> Result<StoredHbi> {
+        Self::build_with_fanout(pool, codes, HBI_FANOUT)
+    }
+
+    /// [`StoredHbi::build`] with an explicit tree fanout (≥ 2).
+    pub fn build_with_fanout(
+        pool: Arc<BufferPool>,
+        codes: &[i64],
+        fanout: usize,
+    ) -> Result<StoredHbi> {
+        assert!(fanout >= 2, "HBI fanout must be at least 2");
+        let nbits = codes.len();
+        let lobs = LobStore::new(pool);
+        // Positions grouped by value, in value order.
+        let mut pairs: Vec<(i64, u32)> = codes
+            .iter()
+            .enumerate()
+            .map(|(p, &v)| (v, p as u32))
+            .collect();
+        pairs.sort_unstable();
+        let mut values = Vec::new();
+        let mut levels: Vec<Vec<LobId>> = vec![Vec::new()];
+        // Completed nodes per level awaiting a parent — never more
+        // than `fanout` before they fold upward.
+        let mut pending: Vec<Vec<Bitmap>> = vec![Vec::new()];
+        let mut i = 0;
+        while i < pairs.len() {
+            let v = pairs[i].0;
+            let mut leaf = Bitmap::new(nbits);
+            while i < pairs.len() && pairs[i].0 == v {
+                leaf.set(pairs[i].1 as usize);
+                i += 1;
+            }
+            values.push(v);
+            stream_node(&lobs, &mut levels, &mut pending, 0, leaf, fanout)?;
+        }
+        // Fold the partial tail group of every level that still needs
+        // a parent (more than one node), bottom up, until one root
+        // remains. A tail parent ORs exactly the children that exist,
+        // matching the eager build and the reopen validator's
+        // ceil(count / fanout) chain.
+        let mut k = 0;
+        while levels[k].len() > 1 {
+            if !pending[k].is_empty() {
+                let group = std::mem::take(&mut pending[k]);
+                let mut parent = group[0].clone();
+                parent.or_assign_many(&group[1..]);
+                stream_node(&lobs, &mut levels, &mut pending, k + 1, parent, fanout)?;
+            }
+            k += 1;
+        }
+        Ok(StoredHbi {
+            nbits,
+            fanout,
+            values,
+            levels,
+            lobs,
+        })
+    }
+
+    /// Array positions each bitmap covers.
+    pub fn nbits(&self) -> usize {
+        self.nbits
+    }
+
+    /// Number of distinct indexed values (= leaf bitmaps).
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of tree levels, leaves included.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// On-disk footprint in pages (compressed).
+    pub fn total_pages(&self) -> u64 {
+        self.lobs.total_pages()
+    }
+
+    /// Number of distinct indexed values falling in `lo ..= hi` — the
+    /// predicate-shape planner's width estimate, answered from the
+    /// in-memory value directory without I/O.
+    pub fn range_width(&self, lo: i64, hi: i64) -> usize {
+        let (i, j) = leaf_span(&self.values, lo, hi);
+        j - i
+    }
+
+    /// OR of the leaves for all indexed values in `lo ..= hi`, reading
+    /// the aligned cover's node bitmaps: unaligned leaf edges plus a
+    /// few interior nodes per level, instead of one bitmap (or B-tree
+    /// scan) per qualifying value.
+    pub fn fetch_range(&self, lo: i64, hi: i64) -> Result<Bitmap> {
+        self.lobs.pool().stats().hbi_probe();
+        let (i, j) = leaf_span(&self.values, lo, hi);
+        if i >= j {
+            return Ok(Bitmap::new(self.nbits)); // empty or inverted range
+        }
+        let lens: Vec<usize> = self.levels.iter().map(Vec::len).collect();
+        self.fetch_union(&cover_nodes(self.fanout, &lens, i, j - 1))
+    }
+
+    /// OR of the leaves for the given values (an IN-list predicate);
+    /// values not in the directory contribute nothing and cost no I/O.
+    /// `values` must be sorted — the [`crate::Bitmap`]-level invariant
+    /// IN-lists already carry.
+    pub fn fetch_in(&self, values: &[i64]) -> Result<Bitmap> {
+        self.lobs.pool().stats().hbi_probe();
+        let mut nodes = Vec::with_capacity(values.len());
+        for &v in values {
+            if let Ok(leaf) = self.values.binary_search(&v) {
+                nodes.push((0usize, leaf));
+            }
+        }
+        self.fetch_union(&nodes)
+    }
+
+    /// Reads and decompresses the named nodes, ORing them in one bulk
+    /// pass.
+    fn fetch_union(&self, nodes: &[(usize, usize)]) -> Result<Bitmap> {
+        let mut acc = Bitmap::new(self.nbits);
+        let mut fetched = Vec::with_capacity(nodes.len());
+        for &(level, pos) in nodes {
+            fetched.push(self.fetch_node(level, pos)?);
+        }
+        self.lobs
+            .pool()
+            .stats()
+            .hbi_bitmaps_read_add(fetched.len() as u64);
+        acc.or_assign_many(&fetched);
+        Ok(acc)
+    }
+
+    fn fetch_node(&self, level: usize, pos: usize) -> Result<Bitmap> {
+        let id = *self
+            .levels
+            .get(level)
+            .and_then(|l| l.get(pos))
+            .ok_or(StorageError::Corrupt("hbi node out of range"))?;
+        let bm = rle::decompress(&self.lobs.read(id)?)?;
+        if bm.nbits() != self.nbits {
+            return Err(StorageError::Corrupt("hbi node width mismatch"));
+        }
+        Ok(bm)
+    }
+
+    /// Serializes the value directory, per-level node ids, and LOB
+    /// metadata so the index can be reopened over the same pool
+    /// contents. Layout: `nbits u64 | fanout u32 | n_values u32 |
+    /// n_levels u32 | lob_meta_len u32 | values (i64 each) | per level:
+    /// count u32 + LobIds (u32 each) | LOB directory`.
+    pub fn meta_to_bytes(&self) -> Vec<u8> {
+        let lob_meta = self.lobs.directory_to_bytes();
+        let nodes: usize = self.levels.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(
+            24 + self.values.len() * 8 + self.levels.len() * 4 + nodes * 4 + lob_meta.len(),
+        );
+        out.resize(24, 0);
+        write_u64(&mut out, 0, self.nbits as u64);
+        write_u32(&mut out, 8, self.fanout as u32);
+        write_u32(&mut out, 12, self.values.len() as u32);
+        write_u32(&mut out, 16, self.levels.len() as u32);
+        write_u32(&mut out, 20, lob_meta.len() as u32);
+        for &v in &self.values {
+            let off = out.len();
+            out.resize(off + 8, 0);
+            write_i64(&mut out, off, v);
+        }
+        for level in &self.levels {
+            let off = out.len();
+            out.resize(off + 4 + level.len() * 4, 0);
+            write_u32(&mut out, off, level.len() as u32);
+            for (i, id) in level.iter().enumerate() {
+                write_u32(&mut out, off + 4 + i * 4, id.0);
+            }
+        }
+        out.extend_from_slice(&lob_meta);
+        out
+    }
+
+    /// Inverse of [`StoredHbi::meta_to_bytes`]. Every structural
+    /// invariant is re-validated — truncation, a non-ascending value
+    /// directory, or level counts inconsistent with the fanout all
+    /// return [`StorageError::Corrupt`] instead of panicking or
+    /// yielding an index that probes out of bounds.
+    pub fn from_meta_bytes(pool: Arc<BufferPool>, bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 24 {
+            return Err(StorageError::Corrupt("hbi meta header"));
+        }
+        let nbits = read_u64(bytes, 0) as usize;
+        let fanout = read_u32(bytes, 8) as usize;
+        let n_values = read_u32(bytes, 12) as usize;
+        let n_levels = read_u32(bytes, 16) as usize;
+        let lob_meta_len = read_u32(bytes, 20) as usize;
+        if fanout < 2 {
+            return Err(StorageError::Corrupt("hbi fanout below 2"));
+        }
+        if n_levels == 0 || n_levels > MAX_LEVELS {
+            return Err(StorageError::Corrupt("hbi level count implausible"));
+        }
+        let mut off = 24usize;
+        if bytes.len() < off + n_values * 8 {
+            return Err(StorageError::Corrupt("hbi value directory truncated"));
+        }
+        let mut values = Vec::with_capacity(n_values);
+        for i in 0..n_values {
+            let v = read_i64(bytes, off + i * 8);
+            if let Some(&prev) = values.last() {
+                if v <= prev {
+                    return Err(StorageError::Corrupt("hbi value directory unsorted"));
+                }
+            }
+            values.push(v);
+        }
+        off += n_values * 8;
+        let mut levels = Vec::with_capacity(n_levels);
+        let mut expect = n_values;
+        for k in 0..n_levels {
+            if bytes.len() < off + 4 {
+                return Err(StorageError::Corrupt("hbi level header truncated"));
+            }
+            let count = read_u32(bytes, off) as usize;
+            off += 4;
+            // Level 0 carries one leaf per value; every upper level
+            // must hold exactly ceil(children / fanout) nodes, and the
+            // build only adds a level while more than one node remains.
+            if count != expect {
+                return Err(StorageError::Corrupt("hbi level count mismatch"));
+            }
+            if k + 1 < n_levels && count <= 1 {
+                return Err(StorageError::Corrupt("hbi level beyond tree top"));
+            }
+            if bytes.len() < off + count * 4 {
+                return Err(StorageError::Corrupt("hbi level ids truncated"));
+            }
+            let ids = (0..count)
+                .map(|i| LobId(read_u32(bytes, off + i * 4)))
+                .collect();
+            off += count * 4;
+            levels.push(ids);
+            expect = count.div_ceil(fanout);
+        }
+        if levels.last().map(Vec::len).unwrap_or(0) > 1 {
+            return Err(StorageError::Corrupt("hbi tree missing upper levels"));
+        }
+        if bytes.len() < off + lob_meta_len {
+            return Err(StorageError::Corrupt("hbi lob directory truncated"));
+        }
+        let lobs = LobStore::from_directory_bytes(pool, &bytes[off..off + lob_meta_len])?;
+        Ok(StoredHbi {
+            nbits,
+            fanout,
+            values,
+            levels,
+            lobs,
+        })
+    }
+}
+
+/// Appends one completed node at `level` for the streaming builder:
+/// persists it, parks it in `pending`, and whenever a level
+/// accumulates a full group of `fanout` nodes, folds them into their
+/// parent and ascends.
+fn stream_node(
+    lobs: &LobStore,
+    levels: &mut Vec<Vec<LobId>>,
+    pending: &mut Vec<Vec<Bitmap>>,
+    start_level: usize,
+    node: Bitmap,
+    fanout: usize,
+) -> Result<()> {
+    let mut level = start_level;
+    let mut node = node;
+    loop {
+        if levels.len() == level {
+            levels.push(Vec::new());
+            pending.push(Vec::new());
+        }
+        levels[level].push(lobs.append(&rle::compress(&node))?);
+        pending[level].push(node);
+        if pending[level].len() < fanout {
+            return Ok(());
+        }
+        let group = std::mem::take(&mut pending[level]);
+        let mut parent = group[0].clone();
+        parent.or_assign_many(&group[1..]);
+        node = parent;
+        level += 1;
+    }
+}
+
+/// Maps a value range onto the leaf directory: returns the half-open
+/// leaf span `[i, j)` of values in `lo ..= hi`.
+fn leaf_span(values: &[i64], lo: i64, hi: i64) -> (usize, usize) {
+    if lo > hi {
+        return (0, 0);
+    }
+    let i = values.partition_point(|&v| v < lo);
+    let j = values.partition_point(|&v| v <= hi);
+    (i, j)
+}
+
+/// The greedy aligned cover of the inclusive leaf span `[lo, hi]`:
+/// `(level, position)` nodes whose subtrees tile the span exactly. At
+/// each level the unaligned prefix and suffix are peeled node by node,
+/// then the aligned middle ascends — at most `2·(fanout−1)` peels per
+/// level, O(fanout · log_fanout V) nodes overall. A partial tail group
+/// counts as complete: its parent ORs exactly the children that exist.
+fn cover_nodes(
+    fanout: usize,
+    level_lens: &[usize],
+    mut lo: usize,
+    mut hi: usize,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for level in 0..level_lens.len() {
+        if level + 1 >= level_lens.len() {
+            // Top level: no parent to ascend to; emit the span as is.
+            out.extend((lo..=hi).map(|p| (level, p)));
+            return out;
+        }
+        while lo <= hi && !lo.is_multiple_of(fanout) {
+            out.push((level, lo));
+            lo += 1;
+        }
+        if lo > hi {
+            return out;
+        }
+        let last = level_lens[level] - 1;
+        while !(hi + 1).is_multiple_of(fanout) && hi != last {
+            out.push((level, hi));
+            if hi == lo {
+                return out;
+            }
+            hi -= 1;
+        }
+        lo /= fanout;
+        hi /= fanout;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molap_storage::MemDisk;
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 256))
+    }
+
+    /// 200 positions; value = position / 2 (100 distinct values, two
+    /// positions each) — wide enough for a 3-level tree at fanout 8.
+    fn sample_codes() -> Vec<i64> {
+        (0..200).map(|p| p / 2).collect()
+    }
+
+    /// The brute-force oracle: bit `p` set iff `lo <= codes[p] <= hi`.
+    fn naive_range(codes: &[i64], lo: i64, hi: i64) -> Bitmap {
+        let mut bm = Bitmap::new(codes.len());
+        for (p, &v) in codes.iter().enumerate() {
+            if lo <= v && v <= hi {
+                bm.set(p);
+            }
+        }
+        bm
+    }
+
+    #[test]
+    fn build_shapes_the_tree() {
+        let idx = HbiIndex::build(&sample_codes());
+        assert_eq!(idx.nbits(), 200);
+        assert_eq!(idx.num_values(), 100);
+        // 100 leaves -> 13 -> 2 -> 1 at fanout 8.
+        assert_eq!(idx.num_levels(), 4);
+        assert_eq!(idx.levels[1].len(), 13);
+        assert_eq!(idx.levels[2].len(), 2);
+        assert_eq!(idx.levels[3].len(), 1);
+        // Every upper node is the OR of its children.
+        assert_eq!(idx.levels[3][0].count_ones(), 200);
+    }
+
+    #[test]
+    fn range_bitmap_matches_oracle_at_every_alignment() {
+        let codes = sample_codes();
+        for fanout in [2, 3, 8] {
+            let idx = HbiIndex::build_with_fanout(&codes, fanout);
+            for lo in (0..100).step_by(7) {
+                for width in [0i64, 1, 2, 5, 8, 13, 40, 99] {
+                    let hi = lo + width;
+                    assert_eq!(
+                        idx.range_bitmap(lo, hi),
+                        naive_range(&codes, lo, hi),
+                        "fanout {fanout} range {lo}..={hi}"
+                    );
+                }
+            }
+            // Empty, inverted, and out-of-domain ranges select nothing.
+            assert!(idx.range_bitmap(5, 4).is_empty());
+            assert!(idx.range_bitmap(1000, 2000).is_empty());
+            assert_eq!(idx.range_bitmap(i64::MIN, i64::MAX).count_ones(), 200);
+        }
+    }
+
+    #[test]
+    fn stored_range_and_in_match_build_time_oracle() {
+        let codes = sample_codes();
+        let idx = HbiIndex::build(&codes);
+        let stored = idx.persist(pool()).unwrap();
+        assert_eq!(stored.num_values(), 100);
+        assert_eq!(stored.num_levels(), 4);
+        for (lo, hi) in [(0, 0), (3, 27), (10, 89), (0, 99), (95, 300), (-5, 2)] {
+            assert_eq!(
+                stored.fetch_range(lo, hi).unwrap(),
+                naive_range(&codes, lo, hi),
+                "range {lo}..={hi}"
+            );
+            assert_eq!(
+                stored.range_width(lo, hi),
+                idx.range_bitmap(lo, hi).count_ones() as usize / 2
+            );
+        }
+        let in_list = [0i64, 7, 7, 42, 99, 1000];
+        let mut expect = Bitmap::new(200);
+        for &v in &in_list {
+            expect.or_assign(&naive_range(&codes, v, v));
+        }
+        assert_eq!(stored.fetch_in(&in_list).unwrap(), expect);
+        assert!(stored.fetch_in(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn streaming_build_matches_eager_build() {
+        // Leaf counts straddling every tail-fold shape at fanout 8
+        // (exact powers, one under/over, cascading partial groups) and
+        // at fanout 2 (deep trees).
+        for fanout in [2usize, 8] {
+            for n_values in [0usize, 1, 2, 7, 8, 9, 63, 64, 65, 100, 200] {
+                let codes: Vec<i64> = (0..n_values as i64 * 2).map(|p| p / 2).collect();
+                let eager = HbiIndex::build_with_fanout(&codes, fanout)
+                    .persist(pool())
+                    .unwrap();
+                let streamed = StoredHbi::build_with_fanout(pool(), &codes, fanout).unwrap();
+                assert_eq!(streamed.num_values(), eager.num_values());
+                assert_eq!(
+                    streamed.num_levels(),
+                    eager.num_levels(),
+                    "fanout {fanout}, {n_values} values"
+                );
+                for (a, b) in streamed.levels.iter().zip(&eager.levels) {
+                    assert_eq!(a.len(), b.len(), "fanout {fanout}, {n_values} values");
+                }
+                for (lo, hi) in [(0i64, 0), (1, 12), (3, 170), (i64::MIN, i64::MAX)] {
+                    assert_eq!(
+                        streamed.fetch_range(lo, hi).unwrap(),
+                        eager.fetch_range(lo, hi).unwrap(),
+                        "fanout {fanout}, {n_values} values, range {lo}..={hi}"
+                    );
+                }
+                // And it reopens through the same validator.
+                let meta = streamed.meta_to_bytes();
+                let back = StoredHbi::from_meta_bytes(pool(), &meta).unwrap();
+                assert_eq!(back.num_levels(), streamed.num_levels());
+            }
+        }
+    }
+
+    #[test]
+    fn range_cover_reads_few_bitmaps() {
+        let p = pool();
+        let stored = HbiIndex::build(&sample_codes()).persist(p.clone()).unwrap();
+        let before = p.stats().snapshot();
+        // 80 of 100 values: a per-value plan would read 80 bitmaps.
+        let bm = stored.fetch_range(10, 89).unwrap();
+        assert_eq!(bm.count_ones(), 160);
+        let delta = p.stats().snapshot().since(&before);
+        assert_eq!(delta.hbi_probes, 1);
+        assert!(
+            delta.hbi_bitmaps_read <= 24,
+            "cover should be O(fanout · levels), read {}",
+            delta.hbi_bitmaps_read
+        );
+        assert!(delta.hbi_bitmaps_read >= 1);
+    }
+
+    #[test]
+    fn meta_roundtrip_preserves_probes() {
+        let p = pool();
+        let codes = sample_codes();
+        let stored = HbiIndex::build(&codes).persist(p.clone()).unwrap();
+        let meta = stored.meta_to_bytes();
+        let reopened = StoredHbi::from_meta_bytes(p, &meta).unwrap();
+        assert_eq!(reopened.nbits(), 200);
+        assert_eq!(reopened.num_levels(), stored.num_levels());
+        for (lo, hi) in [(0, 0), (13, 76), (0, 99)] {
+            assert_eq!(
+                reopened.fetch_range(lo, hi).unwrap(),
+                stored.fetch_range(lo, hi).unwrap()
+            );
+        }
+        assert_eq!(
+            reopened.fetch_in(&[3, 55]).unwrap(),
+            stored.fetch_in(&[3, 55]).unwrap()
+        );
+    }
+
+    #[test]
+    fn single_value_and_empty_indices() {
+        let one = HbiIndex::build(&[7, 7, 7]).persist(pool()).unwrap();
+        assert_eq!(one.num_levels(), 1);
+        assert_eq!(one.fetch_range(7, 7).unwrap().count_ones(), 3);
+        assert_eq!(one.fetch_range(0, 6).unwrap().count_ones(), 0);
+        assert_eq!(one.range_width(0, 100), 1);
+
+        let empty = HbiIndex::build(&[]).persist(pool()).unwrap();
+        assert_eq!(empty.num_values(), 0);
+        assert!(empty.fetch_range(i64::MIN, i64::MAX).unwrap().is_empty());
+        assert!(empty.fetch_in(&[1, 2]).unwrap().is_empty());
+        // And it survives persistence.
+        let meta = empty.meta_to_bytes();
+        let back = StoredHbi::from_meta_bytes(pool(), &meta).unwrap();
+        assert_eq!(back.num_values(), 0);
+    }
+
+    #[test]
+    fn truncated_meta_is_typed_corruption_at_every_length() {
+        let stored = HbiIndex::build(&sample_codes()).persist(pool()).unwrap();
+        let meta = stored.meta_to_bytes();
+        // Chopping the blob anywhere must yield Corrupt, never a panic
+        // (the final length is the valid blob itself).
+        for len in 0..meta.len() {
+            let err = StoredHbi::from_meta_bytes(pool(), &meta[..len]);
+            assert!(
+                matches!(err, Err(StorageError::Corrupt(_))),
+                "truncation at {len} must be typed corruption"
+            );
+        }
+        assert!(StoredHbi::from_meta_bytes(pool(), &meta).is_ok());
+    }
+
+    #[test]
+    fn forged_structure_is_typed_corruption() {
+        let stored = HbiIndex::build(&sample_codes()).persist(pool()).unwrap();
+        let meta = stored.meta_to_bytes();
+
+        let corrupt = |mutate: &dyn Fn(&mut Vec<u8>)| {
+            let mut m = meta.clone();
+            mutate(&mut m);
+            StoredHbi::from_meta_bytes(pool(), &m)
+        };
+        // Forged level count (claims 40 levels).
+        assert!(matches!(
+            corrupt(&|m| write_u32(m, 16, 40)),
+            Err(StorageError::Corrupt(_))
+        ));
+        // Zero and absurd level counts.
+        assert!(matches!(
+            corrupt(&|m| write_u32(m, 16, 0)),
+            Err(StorageError::Corrupt(_))
+        ));
+        assert!(matches!(
+            corrupt(&|m| write_u32(m, 16, u32::MAX)),
+            Err(StorageError::Corrupt(_))
+        ));
+        // Degenerate fanout breaks the level-count chain rule.
+        assert!(matches!(
+            corrupt(&|m| write_u32(m, 8, 0)),
+            Err(StorageError::Corrupt(_))
+        ));
+        assert!(matches!(
+            corrupt(&|m| write_u32(m, 8, 1)),
+            Err(StorageError::Corrupt(_))
+        ));
+        // Forged leaf count (level 0 must carry one leaf per value).
+        assert!(matches!(
+            corrupt(&|m| write_u32(m, 24 + 100 * 8, 99)),
+            Err(StorageError::Corrupt(_))
+        ));
+        // Unsorted value directory.
+        assert!(matches!(
+            corrupt(&|m| write_i64(m, 24, 5000)),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn forged_node_ids_fail_typed_at_probe_time() {
+        let p = pool();
+        let stored = HbiIndex::build(&sample_codes()).persist(p.clone()).unwrap();
+        let mut meta = stored.meta_to_bytes();
+        // First leaf's LobId -> far beyond the directory. Parsing still
+        // succeeds (ids are opaque), but probing it must be a typed
+        // error from the LOB store, not a panic.
+        write_u32(&mut meta, 24 + 100 * 8 + 4, 0xFFFF_FF00);
+        let forged = StoredHbi::from_meta_bytes(p, &meta).unwrap();
+        assert!(forged.fetch_range(0, 0).is_err());
+        assert!(forged.fetch_in(&[0]).is_err());
+    }
+
+    #[test]
+    fn cover_nodes_tiles_exactly() {
+        // Exhaustive: every span of a 3-level synthetic tree, checked
+        // by expanding each cover node back to its leaf interval.
+        let fanout = 4usize;
+        let lens = [23usize, 6, 2, 1];
+        for lo in 0..23 {
+            for hi in lo..23 {
+                let mut covered = [false; 23];
+                for (level, pos) in cover_nodes(fanout, &lens, lo, hi) {
+                    let width = fanout.pow(level as u32);
+                    for c in covered.iter_mut().take((pos + 1) * width).skip(pos * width) {
+                        assert!(!*c, "leaf covered twice for {lo}..={hi}");
+                        *c = true;
+                    }
+                }
+                for (leaf, &c) in covered.iter().enumerate() {
+                    assert_eq!(c, lo <= leaf && leaf <= hi, "leaf {leaf} of {lo}..={hi}");
+                }
+            }
+        }
+    }
+}

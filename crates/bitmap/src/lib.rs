@@ -18,7 +18,12 @@
 //!   as in the era's systems);
 //! * [`BitmapIndex`] / [`StoredBitmapIndex`] — the per-attribute
 //!   value → bitmap map, in its build-time (in-memory) and persisted
-//!   (large-object, buffer-pool-accounted) forms.
+//!   (large-object, buffer-pool-accounted) forms;
+//! * [`HbiIndex`] / [`StoredHbi`] — the multi-level *hierarchical*
+//!   bitmap index ([`hbi`]): value-ordered leaf bitmaps OR-aggregated
+//!   up a tree of coarser levels, so range and wide membership
+//!   predicates over array positions resolve with O(fanout · log V)
+//!   bitmap reads instead of one per qualifying value.
 //!
 //! # Example
 //!
@@ -44,8 +49,10 @@
 #![forbid(unsafe_code)]
 
 mod bitmap;
+pub mod hbi;
 mod index;
 pub mod rle;
 
 pub use bitmap::Bitmap;
+pub use hbi::{HbiIndex, StoredHbi, HBI_FANOUT};
 pub use index::{BitmapIndex, StoredBitmapIndex};

@@ -15,21 +15,29 @@
 //!   and *loaded* during a consolidation's first phase, so their I/O is
 //!   part of the measured query cost, as in the paper.
 
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use molap_array::{ArrayBuilder, ChunkFormat, ChunkedArray};
+use molap_bitmap::StoredHbi;
 use molap_btree::{BTree, BTreeConfig};
 use molap_storage::{BufferPool, LobId, LobStore};
 
 use crate::dimension::DimensionTable;
 use crate::error::{Error, Result};
 use crate::query::Query;
+use crate::select::PlannerMode;
 use crate::util::FxHashMap;
 
 pub(crate) struct DimIndexes {
     pub key_btree: BTree,
     /// One per hierarchy level.
     pub attr_btrees: Vec<BTree>,
+    /// Hierarchical bitmap index on the key attribute (the B-tree's
+    /// range/membership complement; see [`crate::select`]).
+    pub key_hbi: StoredHbi,
+    /// One hierarchical bitmap index per hierarchy level.
+    pub attr_hbis: Vec<StoredHbi>,
     /// One serialized IndexToIndex array per hierarchy level.
     pub i2i_lobs: Vec<LobId>,
     /// Rank → code per hierarchy level (ascending codes).
@@ -46,6 +54,10 @@ pub struct OlapArray {
     /// Lazily computed identity fingerprint (see
     /// [`OlapArray::identity_hash`]).
     identity: OnceLock<u64>,
+    /// Selection-planner routing override ([`PlannerMode`] as a `u8`).
+    /// Process-local and not persisted: reopened handles start on
+    /// `Auto`. Atomic because parallel consolidations share `&self`.
+    planner_mode: AtomicU8,
 }
 
 impl OlapArray {
@@ -110,12 +122,19 @@ impl OlapArray {
                 .collect();
             key_entries.sort_unstable();
             let key_btree = BTree::bulk_load(pool.clone(), BTreeConfig::default(), key_entries)?;
+            // Hierarchical bitmap index on the key attribute: leaf
+            // bitmaps over array positions, value-ordered, persisted
+            // RLE-compressed alongside the B-tree (streaming build —
+            // key attributes have one distinct value per row).
+            let key_hbi = StoredHbi::build(pool.clone(), dim.keys())?;
 
             let mut attr_btrees = Vec::with_capacity(dim.num_levels());
+            let mut attr_hbis = Vec::with_capacity(dim.num_levels());
             let mut i2i_lobs = Vec::with_capacity(dim.num_levels());
             let mut level_codes = Vec::with_capacity(dim.num_levels());
             for level in 0..dim.num_levels() {
                 let codes = dim.attr_codes(level)?;
+                attr_hbis.push(StoredHbi::build(pool.clone(), codes)?);
                 // Attribute B-tree: code -> array indices carrying it.
                 let mut entries: Vec<(i64, u64)> = codes
                     .iter()
@@ -146,6 +165,8 @@ impl OlapArray {
             dim_indexes.push(DimIndexes {
                 key_btree,
                 attr_btrees,
+                key_hbi,
+                attr_hbis,
                 i2i_lobs,
                 level_codes,
             });
@@ -158,12 +179,34 @@ impl OlapArray {
             dim_indexes,
             i2i_store,
             identity: OnceLock::new(),
+            planner_mode: AtomicU8::new(PlannerMode::Auto as u8),
         })
     }
 
     /// The buffer pool everything is stored on.
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// The selection planner's current routing mode.
+    pub fn planner_mode(&self) -> PlannerMode {
+        PlannerMode::from_u8(self.planner_mode.load(Ordering::Relaxed))
+    }
+
+    /// Pins (or un-pins, with [`PlannerMode::Auto`]) the selection
+    /// planner's index choice. Process-local: not persisted, and
+    /// reopened handles start back on `Auto`.
+    pub fn set_planner_mode(&self, mode: PlannerMode) {
+        self.planner_mode.store(mode as u8, Ordering::Relaxed);
+    }
+
+    /// The §4.2 step-1 *final index list* for dimension `d` under
+    /// `query` (`None` when the dimension carries no selection), with
+    /// the predicate-shape planner applied. Exposed for benchmarking
+    /// and EXPLAIN-style tooling; consolidation calls the same routine
+    /// internally.
+    pub fn selection_index_list(&self, query: &Query, d: usize) -> Result<Option<Vec<u32>>> {
+        crate::select::final_index_list(self, query, d)
     }
 
     /// The underlying chunked array.
@@ -287,9 +330,11 @@ impl OlapArray {
         write_blob(&mut out, &self.i2i_store.directory_to_bytes());
         for di in &self.dim_indexes {
             write_blob(&mut out, &di.key_btree.meta_to_bytes());
+            write_blob(&mut out, &di.key_hbi.meta_to_bytes());
             out.extend_from_slice(&(di.attr_btrees.len() as u16).to_le_bytes());
-            for (btree, lob) in di.attr_btrees.iter().zip(&di.i2i_lobs) {
+            for ((btree, hbi), lob) in di.attr_btrees.iter().zip(&di.attr_hbis).zip(&di.i2i_lobs) {
                 write_blob(&mut out, &btree.meta_to_bytes());
+                write_blob(&mut out, &hbi.meta_to_bytes());
                 out.extend_from_slice(&lob.0.to_le_bytes());
             }
         }
@@ -309,6 +354,7 @@ impl OlapArray {
         let mut dim_indexes = Vec::with_capacity(n_dims);
         for dim in &dims {
             let key_btree = BTree::from_meta_bytes(pool.clone(), r.blob()?)?;
+            let key_hbi = StoredHbi::from_meta_bytes(pool.clone(), r.blob()?)?;
             let n_levels = r.u16()? as usize;
             if n_levels != dim.num_levels() {
                 return Err(Error::Data(format!(
@@ -318,16 +364,20 @@ impl OlapArray {
                 )));
             }
             let mut attr_btrees = Vec::with_capacity(n_levels);
+            let mut attr_hbis = Vec::with_capacity(n_levels);
             let mut i2i_lobs = Vec::with_capacity(n_levels);
             let mut level_codes = Vec::with_capacity(n_levels);
             for level in 0..n_levels {
                 attr_btrees.push(BTree::from_meta_bytes(pool.clone(), r.blob()?)?);
+                attr_hbis.push(StoredHbi::from_meta_bytes(pool.clone(), r.blob()?)?);
                 i2i_lobs.push(LobId(r.u32()?));
                 level_codes.push(dim.distinct_codes(level)?);
             }
             dim_indexes.push(DimIndexes {
                 key_btree,
                 attr_btrees,
+                key_hbi,
+                attr_hbis,
                 i2i_lobs,
                 level_codes,
             });
@@ -339,6 +389,7 @@ impl OlapArray {
             dim_indexes,
             i2i_store,
             identity: OnceLock::new(),
+            planner_mode: AtomicU8::new(PlannerMode::Auto as u8),
         })
     }
 

@@ -109,6 +109,7 @@ pub use parallel::{consolidate_auto, consolidate_parallel, consolidate_pipelined
 pub use query::{AttrRef, DimGrouping, Pred, Query, Selection};
 pub use rescache::{shared_result_cache, CacheKey, ResultCache};
 pub use result::{ConsolidationResult, GroupedDim, ResultCube, Rollup, Row};
+pub use select::PlannerMode;
 pub use sql::{parse_query, SqlStatement};
 pub use starjoin::{starjoin_consolidate, StarSchema};
 pub use write::{apply_batch, apply_batch_with, CubeMaintenance, WriteBatch, WriteReceipt};

@@ -1,10 +1,15 @@
 //! The OLAP Array consolidation algorithm with selection (§4.2).
 //!
-//! 1. For each selected dimension, probe the B-tree built on the
-//!    selected attribute for each selected value; the returned index
-//!    lists are merged (union within a predicate's IN-list,
+//! 1. For each selected dimension, resolve each predicate to a sorted
+//!    index list and merge (union within a predicate's IN-list,
 //!    intersection across conjunctive predicates) into one *final
-//!    index list* per dimension.
+//!    index list* per dimension. A predicate-shape planner picks the
+//!    access method per predicate: point lookups and small IN-lists
+//!    probe the attribute B-tree; wide ranges and large IN-lists go
+//!    through the hierarchical bitmap index
+//!    ([`molap_bitmap::StoredHbi`]), which resolves them with
+//!    O(fanout · log V) bitmap reads instead of one B-tree descent per
+//!    qualifying value.
 //! 2. The cross-product of the final lists is generated **on the fly**
 //!    (no memory is allocated for cross-product elements), ordered by
 //!    chunk number and, within a chunk, by increasing chunk offset:
@@ -25,6 +30,49 @@ use crate::error::Result;
 use crate::query::{AttrRef, Pred, Query};
 use crate::result::ConsolidationResult;
 use crate::util::{intersect_sorted, union_sorted};
+
+/// How the selection planner picks the index per predicate.
+///
+/// Process-local and not persisted: reopened arrays start on `Auto`.
+/// The force modes exist for benchmarking and for pinning a plan when
+/// the heuristic misfires on an unusual value distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PlannerMode {
+    /// Route by predicate shape (the thresholds below).
+    Auto = 0,
+    /// Every predicate probes the B-tree (the pre-PR-10 plan).
+    ForceBtree = 1,
+    /// Every predicate probes the hierarchical bitmap index.
+    ForceHbi = 2,
+}
+
+impl PlannerMode {
+    pub(crate) fn from_u8(v: u8) -> PlannerMode {
+        match v {
+            1 => PlannerMode::ForceBtree,
+            2 => PlannerMode::ForceHbi,
+            _ => PlannerMode::Auto,
+        }
+    }
+}
+
+/// `Auto` routes a range to the HBI once it spans at least
+/// `max(8, num_values / 8)` distinct attribute values. The B-tree side
+/// scans (and sorts) one entry per selected row — cost proportional to
+/// selectivity — while the aligned cover reads a near-constant number
+/// of whole-dimension bitmaps, so the crossover sits at a *fraction*
+/// of the domain (~1/8 measured in BENCH_PR10), with a floor of 8
+/// below which a couple of B-tree descents always win.
+const HBI_MIN_RANGE_WIDTH: usize = 8;
+const HBI_RANGE_FRACTION: usize = 8;
+/// `Auto` routes an IN-list to the HBI once it carries at least
+/// `max(8, num_values / 64)` values. Each B-tree probe is a separate
+/// descent plus an O(list) re-merge (quadratic in total), while the
+/// HBI pays one leaf-bitmap read per value — its crossover is far
+/// lower than the range one (~1/64 measured in BENCH_PR10).
+const HBI_MIN_IN_VALUES: usize = 8;
+const HBI_IN_FRACTION: usize = 64;
 
 /// One dimension's selected indices, pre-split by chunk coordinate.
 pub(crate) struct DimProbe {
@@ -51,38 +99,74 @@ pub(crate) fn final_index_list(
     if sels.is_empty() {
         return Ok(None);
     }
+    let mode = adt.planner_mode();
+    let stats = adt.pool().stats();
     let mut acc: Option<Vec<u32>> = None;
     for sel in sels {
-        let btree = match sel.attr {
-            AttrRef::Key => &adt.dim_indexes(d).key_btree,
-            AttrRef::Level(l) => &adt.dim_indexes(d).attr_btrees[l],
+        let di = adt.dim_indexes(d);
+        let (btree, hbi) = match sel.attr {
+            AttrRef::Key => (&di.key_btree, &di.key_hbi),
+            AttrRef::Level(l) => (&di.attr_btrees[l], &di.attr_hbis[l]),
         };
-        let list: Vec<u32> = match &sel.pred {
-            // Union of the index lists of the predicate's values;
-            // scan_eq returns ascending rows (bulk-loaded in row order).
-            Pred::In(values) => {
-                let mut list: Vec<u32> = Vec::new();
-                for &value in values {
-                    let rows: Vec<u32> = btree
-                        .scan_eq(value)?
-                        .into_iter()
-                        .map(|r| r as u32)
-                        .collect();
-                    list = union_sorted(&list, &rows);
+        // Predicate-shape routing: point/small-IN stays on the B-tree,
+        // wide ranges and large IN-lists resolve through the HBI.
+        // `range_width` is a catalog-only estimate (no I/O).
+        let use_hbi = match mode {
+            PlannerMode::ForceBtree => false,
+            PlannerMode::ForceHbi => true,
+            PlannerMode::Auto => match &sel.pred {
+                Pred::In(values) => {
+                    values.len() >= HBI_MIN_IN_VALUES.max(hbi.num_values() / HBI_IN_FRACTION)
                 }
-                list
-            }
-            // One range scan; rows come back in key order, so re-sort
-            // into index order before merging.
-            Pred::Range { lo, hi } => {
-                let mut rows: Vec<u32> = btree
-                    .scan_range(*lo, *hi)?
-                    .into_iter()
-                    .map(|(_, r)| r as u32)
-                    .collect();
-                rows.sort_unstable();
-                rows.dedup();
-                rows
+                Pred::Range { lo, hi } => {
+                    hbi.range_width(*lo, *hi)
+                        >= HBI_MIN_RANGE_WIDTH.max(hbi.num_values() / HBI_RANGE_FRACTION)
+                }
+            },
+        };
+        let list: Vec<u32> = if use_hbi {
+            stats.planner_route_hbi();
+            let bm = match &sel.pred {
+                // Pred::In's canonical (sorted, deduped) invariant
+                // matches fetch_in's contract.
+                Pred::In(values) => hbi.fetch_in(values)?,
+                Pred::Range { lo, hi } => hbi.fetch_range(*lo, *hi)?,
+            };
+            // Leaf bitmaps are keyed by array position, so the set
+            // bits come out already in ascending index order.
+            let mut list = Vec::new();
+            bm.ones_into(&mut list);
+            list
+        } else {
+            stats.planner_route_btree();
+            match &sel.pred {
+                // Union of the index lists of the predicate's values;
+                // scan_eq returns ascending rows (bulk-loaded in row
+                // order).
+                Pred::In(values) => {
+                    let mut list: Vec<u32> = Vec::new();
+                    for &value in values {
+                        let rows: Vec<u32> = btree
+                            .scan_eq(value)?
+                            .into_iter()
+                            .map(|r| r as u32)
+                            .collect();
+                        list = union_sorted(&list, &rows);
+                    }
+                    list
+                }
+                // One range scan; rows come back in key order, so
+                // re-sort into index order before merging.
+                Pred::Range { lo, hi } => {
+                    let mut rows: Vec<u32> = btree
+                        .scan_range(*lo, *hi)?
+                        .into_iter()
+                        .map(|(_, r)| r as u32)
+                        .collect();
+                    rows.sort_unstable();
+                    rows.dedup();
+                    rows
+                }
             }
         };
         acc = Some(match acc {

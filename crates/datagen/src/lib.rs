@@ -114,6 +114,23 @@ impl CubeSpec {
         }
     }
 
+    /// The PR 10 crossover-selectivity sweep cube: one big dimension
+    /// of `rows` keys whose first attribute carries `distinct` values
+    /// in contiguous blocks (so a range predicate maps to a contiguous
+    /// index span, the regime hierarchical bitmap indices target),
+    /// crossed with a small 64-row dimension; 1 cell in 8 is valid.
+    pub fn selection_sweep(rows: u32, distinct: u32) -> Self {
+        CubeSpec {
+            dim_sizes: vec![rows, 64],
+            level_cards: vec![vec![distinct], vec![8]],
+            valid_cells: rows as u64 * 64 / 8,
+            seed: 2010,
+            n_measures: 1,
+            independent_last_level: false,
+            layout: AttrLayout::Blocked,
+        }
+    }
+
     /// Overrides the selection attribute: appends (or replaces) each
     /// dimension's *last* level with cardinality `v`, as Query 2 varies
     /// "the number of distinct values for the second attribute of each
@@ -469,6 +486,19 @@ mod tests {
         }
         // Contiguous: rows 0..5 -> 0, 5..10 -> 1, ...
         assert!(sel.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn selection_sweep_shape() {
+        let spec = CubeSpec::selection_sweep(640, 64);
+        assert_eq!(spec.dim_sizes, vec![640, 64]);
+        assert_eq!(spec.valid_cells, 640 * 64 / 8);
+        let cube = generate(&spec).unwrap();
+        // Blocked layout: 10 contiguous rows per attribute value.
+        let codes = cube.dims[0].attr_codes(0).unwrap();
+        for (row, &v) in codes.iter().enumerate() {
+            assert_eq!(v, row as i64 / 10, "row {row}");
+        }
     }
 
     #[test]

@@ -221,6 +221,10 @@ impl MetricsSnapshot {
             self.io.opt_btree_reads,
             self.io.opt_btree_restarts,
             self.io.opt_btree_escalations,
+            self.io.hbi_probes,
+            self.io.hbi_bitmaps_read,
+            self.io.planner_btree,
+            self.io.planner_hbi,
         ] {
             put_u64(out, v);
         }
@@ -283,6 +287,10 @@ impl MetricsSnapshot {
             opt_btree_reads: c.u64()?,
             opt_btree_restarts: c.u64()?,
             opt_btree_escalations: c.u64()?,
+            hbi_probes: c.u64()?,
+            hbi_bitmaps_read: c.u64()?,
+            planner_btree: c.u64()?,
+            planner_hbi: c.u64()?,
         };
         let n_shards = c.u64()? as usize;
         // Cap the allocation by what the payload can actually hold.
@@ -373,7 +381,7 @@ impl std::fmt::Display for MetricsSnapshot {
             self.io.result_cache_patched,
             self.io.result_cache_fallbacks
         )?;
-        write!(
+        writeln!(
             f,
             "olc:      pool {}/{}/{}, chunks {}/{}/{}, results {}/{}/{}, btree {}/{}/{} (reads/restarts/escalations)",
             self.io.opt_pool_reads,
@@ -388,6 +396,14 @@ impl std::fmt::Display for MetricsSnapshot {
             self.io.opt_btree_reads,
             self.io.opt_btree_restarts,
             self.io.opt_btree_escalations
+        )?;
+        write!(
+            f,
+            "planner:  {} btree-routed, {} hbi-routed; hbi {} probes / {} bitmaps read",
+            self.io.planner_btree,
+            self.io.planner_hbi,
+            self.io.hbi_probes,
+            self.io.hbi_bitmaps_read
         )?;
         if !self.shards.is_empty() {
             let hits: u64 = self.shards.iter().map(|s| s.hits).sum();
@@ -467,6 +483,10 @@ mod tests {
             opt_btree_reads: 17,
             opt_btree_restarts: 4,
             opt_btree_escalations: 2,
+            hbi_probes: 5,
+            hbi_bitmaps_read: 12,
+            planner_btree: 6,
+            planner_hbi: 3,
         };
         let shards = vec![
             ShardStats { hits: 6, misses: 2 },

@@ -52,6 +52,10 @@ pub struct IoStats {
     opt_btree_reads: AtomicU64,
     opt_btree_restarts: AtomicU64,
     opt_btree_escalations: AtomicU64,
+    hbi_probes: AtomicU64,
+    hbi_bitmaps_read: AtomicU64,
+    planner_btree: AtomicU64,
+    planner_hbi: AtomicU64,
 }
 
 impl Default for IoStats {
@@ -99,6 +103,10 @@ impl IoStats {
             opt_btree_reads: AtomicU64::new(0),
             opt_btree_restarts: AtomicU64::new(0),
             opt_btree_escalations: AtomicU64::new(0),
+            hbi_probes: AtomicU64::new(0),
+            hbi_bitmaps_read: AtomicU64::new(0),
+            planner_btree: AtomicU64::new(0),
+            planner_hbi: AtomicU64::new(0),
         }
     }
 
@@ -318,6 +326,33 @@ impl IoStats {
         }
     }
 
+    /// Records one predicate resolved against a hierarchical bitmap
+    /// index (a range cover or an IN-list lookup).
+    #[inline]
+    pub fn hbi_probe(&self) {
+        self.hbi_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` HBI node bitmaps fetched and decompressed.
+    #[inline]
+    pub fn hbi_bitmaps_read_add(&self, n: u64) {
+        self.hbi_bitmaps_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one selection the predicate-shape planner routed to the
+    /// B-tree index-list path.
+    #[inline]
+    pub fn planner_route_btree(&self) {
+        self.planner_btree.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one selection the predicate-shape planner routed to the
+    /// hierarchical bitmap index.
+    #[inline]
+    pub fn planner_route_hbi(&self) {
+        self.planner_hbi.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of the counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -354,6 +389,10 @@ impl IoStats {
             opt_btree_reads: self.opt_btree_reads.load(Ordering::Relaxed),
             opt_btree_restarts: self.opt_btree_restarts.load(Ordering::Relaxed),
             opt_btree_escalations: self.opt_btree_escalations.load(Ordering::Relaxed),
+            hbi_probes: self.hbi_probes.load(Ordering::Relaxed),
+            hbi_bitmaps_read: self.hbi_bitmaps_read.load(Ordering::Relaxed),
+            planner_btree: self.planner_btree.load(Ordering::Relaxed),
+            planner_hbi: self.planner_hbi.load(Ordering::Relaxed),
         }
     }
 
@@ -393,6 +432,10 @@ impl IoStats {
         self.opt_btree_reads.store(0, Ordering::Relaxed);
         self.opt_btree_restarts.store(0, Ordering::Relaxed);
         self.opt_btree_escalations.store(0, Ordering::Relaxed);
+        self.hbi_probes.store(0, Ordering::Relaxed);
+        self.hbi_bitmaps_read.store(0, Ordering::Relaxed);
+        self.planner_btree.store(0, Ordering::Relaxed);
+        self.planner_hbi.store(0, Ordering::Relaxed);
     }
 }
 
@@ -477,6 +520,17 @@ pub struct IoSnapshot {
     pub opt_btree_restarts: u64,
     /// Optimistic B-tree probes that escalated to the tree mutex.
     pub opt_btree_escalations: u64,
+    /// Predicates resolved against a hierarchical bitmap index (range
+    /// covers + IN-list lookups).
+    pub hbi_probes: u64,
+    /// HBI node bitmaps fetched and decompressed.
+    pub hbi_bitmaps_read: u64,
+    /// Selections the predicate-shape planner routed to the B-tree
+    /// index-list path.
+    pub planner_btree: u64,
+    /// Selections the predicate-shape planner routed to the
+    /// hierarchical bitmap index.
+    pub planner_hbi: u64,
 }
 
 impl IoSnapshot {
@@ -558,6 +612,12 @@ impl IoSnapshot {
             opt_btree_escalations: self
                 .opt_btree_escalations
                 .saturating_sub(earlier.opt_btree_escalations),
+            hbi_probes: self.hbi_probes.saturating_sub(earlier.hbi_probes),
+            hbi_bitmaps_read: self
+                .hbi_bitmaps_read
+                .saturating_sub(earlier.hbi_bitmaps_read),
+            planner_btree: self.planner_btree.saturating_sub(earlier.planner_btree),
+            planner_hbi: self.planner_hbi.saturating_sub(earlier.planner_hbi),
         }
     }
 
@@ -643,6 +703,11 @@ mod tests {
         s.opt_chunk(0, false);
         s.opt_result(1, true);
         s.opt_btree(4, false);
+        s.hbi_probe();
+        s.hbi_bitmaps_read_add(7);
+        s.planner_route_btree();
+        s.planner_route_btree();
+        s.planner_route_hbi();
         let snap = s.snapshot();
         assert_eq!(snap.logical_reads, 2);
         assert_eq!(snap.physical_reads, 1);
@@ -678,6 +743,10 @@ mod tests {
         assert_eq!(snap.opt_btree_reads, 1);
         assert_eq!(snap.opt_btree_restarts, 4);
         assert_eq!(snap.opt_btree_escalations, 0);
+        assert_eq!(snap.hbi_probes, 1);
+        assert_eq!(snap.hbi_bitmaps_read, 7);
+        assert_eq!(snap.planner_btree, 2);
+        assert_eq!(snap.planner_hbi, 1);
 
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());

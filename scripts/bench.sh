@@ -2,9 +2,10 @@
 # Performance gates: the PR 3 sharded-pool / chunk-cache / parallel
 # bench, the PR 4 prefetch-pipeline bench, the PR 5 result-cache /
 # subsumption / coalescing bench, the PR 6 write-subsystem bench, the
-# PR 8 optimistic-lock-coupling contention microbench, and the PR 9
-# diff-seq streaming-decode format matrix, writing BENCH_PR3.json ..
-# BENCH_PR6.json, BENCH_PR8.json, and BENCH_PR9.json at the repo
+# PR 8 optimistic-lock-coupling contention microbench, the PR 9
+# diff-seq streaming-decode format matrix, and the PR 10 HBI
+# crossover-selectivity sweep, writing BENCH_PR3.json ..
+# BENCH_PR6.json and BENCH_PR8.json .. BENCH_PR10.json at the repo
 # root.
 #
 #   scripts/bench.sh            full runs (enforce the acceptance bars)
@@ -22,3 +23,4 @@ cargo run -q --release --offline -p molap-bench --bin bench_pr5 -- "$@"
 cargo run -q --release --offline -p molap-bench --bin bench_pr6 -- "$@"
 cargo run -q --release --offline -p molap-bench --bin bench_pr8 -- "$@"
 cargo run -q --release --offline -p molap-bench --bin bench_pr9 -- "$@"
+cargo run -q --release --offline -p molap-bench --bin bench_pr10 -- "$@"

@@ -75,6 +75,10 @@ echo "==> bench_pr9 --smoke (diff-seq: streaming >= oracle, size <= 0.8x chunk-o
 cargo run -q --release --offline -p molap-bench --bin bench_pr9 -- \
   --smoke --out target/BENCH_PR9.smoke.json > /dev/null
 
+echo "==> bench_pr10 --smoke (HBI >= 2x btree index lists at >=25% selectivity; auto <= 1.1x at points)"
+cargo run -q --release --offline -p molap-bench --bin bench_pr10 -- \
+  --smoke --out target/BENCH_PR10.smoke.json > /dev/null
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

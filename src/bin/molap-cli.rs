@@ -228,6 +228,10 @@ fn run_command(backend: &mut Backend, line: &str) -> Result<bool, Box<dyn std::e
                     s.opt_btree_restarts,
                     s.opt_btree_escalations
                 );
+                println!(
+                    "selection planner: {} btree-routed, {} hbi-routed; hbi {} probes / {} bitmaps read",
+                    s.planner_btree, s.planner_hbi, s.hbi_probes, s.hbi_bitmaps_read
+                );
                 let shards = pool.shard_stats();
                 let (hits, misses) = shards
                     .iter()
